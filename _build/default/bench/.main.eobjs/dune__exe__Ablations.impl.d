@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Atomic Clsm_core Clsm_lsm Clsm_sim_lsm Clsm_workload Costs Domain Experiment Filename List Printf String Sys System Unix Workload_spec

@@ -1,0 +1,1 @@
+bench/calibrate.ml: Analyze Array Bechamel Benchmark Clsm_core Clsm_lsm Clsm_skiplist Clsm_sstable Clsm_wal Filename Hashtbl Instance List Measure Printf Staged String Sys Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/figures.ml: Clsm_sim_lsm Clsm_workload Experiment Lazy List Printf String System Workload_spec

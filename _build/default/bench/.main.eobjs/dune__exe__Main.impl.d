@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Calibrate Figures List Real_check Sensitivity Sys

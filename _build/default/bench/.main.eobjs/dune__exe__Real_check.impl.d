@@ -1,0 +1,1 @@
+bench/real_check.ml: Array Clsm_core Clsm_workload Driver Filename Format List Printf Store_ops Sys Unix Workload_spec

@@ -1,0 +1,1 @@
+bench/sensitivity.ml: Clsm_sim_lsm Clsm_workload Costs Experiment Float Fun List Printf System Workload_spec

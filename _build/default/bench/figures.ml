@@ -1,0 +1,304 @@
+(* Regenerates every figure of the paper's evaluation (§5) from the
+   discipline-level simulator, printing the same series each figure plots.
+   Absolute numbers come from calibrated service times; orderings, knees
+   and ratios come from the modeled synchronization structures. *)
+
+open Clsm_sim_lsm
+open Clsm_workload
+
+let kops v = v /. 1000.0
+let us v = v *. 1e6
+
+let line fmt = Printf.printf (fmt ^^ "\n%!")
+
+let header title note =
+  line "";
+  line "== %s ==" title;
+  if note <> "" then line "   %s" note
+
+(* throughput table: rows = systems, columns = thread counts *)
+let throughput_table ~threads ~label rows =
+  line "%-18s %s" ("threads ->")
+    (String.concat "" (List.map (Printf.sprintf "%10d") threads));
+  List.iter
+    (fun (name, series) ->
+      line "%-18s %s" name
+        (String.concat ""
+           (List.map (fun v -> Printf.sprintf "%10.0f" v) series)))
+    rows;
+  line "   (%s)" label
+
+let latency_table rows =
+  line "%-18s %10s %12s %12s" "system" "threads" "Kops/s" "p90 (us)";
+  List.iter
+    (fun (name, points) ->
+      List.iter
+        (fun (threads, thr, p90) ->
+          line "%-18s %10d %12.0f %12.1f" name threads (kops thr) (us p90))
+        points)
+    rows
+
+let run_point ?duration ?memtable_bytes ?compaction_threads
+    ?write_amplification ?throttle ?prefill ?initial_l0 ~system ~threads spec =
+  Experiment.run
+    (Experiment.config ?duration ?memtable_bytes ?compaction_threads
+       ?write_amplification ?throttle ?prefill ?initial_l0 ~system ~threads
+       spec)
+
+let sweep ?duration ?memtable_bytes ?compaction_threads ?write_amplification
+    ?throttle ?prefill ?initial_l0 ~threads ~systems spec =
+  List.map
+    (fun system ->
+      ( System.name system,
+        List.map
+          (fun n ->
+            run_point ?duration ?memtable_bytes ?compaction_threads
+              ?write_amplification ?throttle ?prefill ?initial_l0 ~system
+              ~threads:n spec)
+          threads ))
+    systems
+
+let default_threads = [ 1; 2; 4; 8; 16 ]
+let space = 10_000_000
+let duration = 0.4
+
+(* ---------- Figure 1 ---------- *)
+
+let fig1 () =
+  header "Figure 1: partitioning vs concurrency (production workload)"
+    "resource-isolated: 4 partitions x (threads/4); resource-shared: cLSM, 1 partition";
+  let spec = Workload_spec.production ~read_ratio:0.90 ~space in
+  let threads = [ 4; 8; 16 ] in
+  let partitioned system =
+    List.map
+      (fun n ->
+        Experiment.run_partitioned ~partitions:4
+          (Experiment.config ~duration ~system ~threads:n spec))
+      threads
+  in
+  let shared =
+    List.map (fun n -> run_point ~duration ~system:System.Clsm ~threads:n spec) threads
+  in
+  throughput_table ~threads ~label:"Kops/s"
+    [
+      ( "LevelDB x4",
+        List.map (fun (o : Experiment.outcome) -> kops o.throughput)
+          (partitioned System.Leveldb) );
+      ( "HyperLevelDB x4",
+        List.map (fun (o : Experiment.outcome) -> kops o.throughput)
+          (partitioned System.Hyperleveldb) );
+      ( "cLSM x1",
+        List.map (fun (o : Experiment.outcome) -> kops o.throughput) shared );
+    ]
+
+(* ---------- Figure 5: write performance ---------- *)
+
+let write_spec = Workload_spec.write_only ~space
+
+let fig5_data =
+  lazy (sweep ~duration ~threads:default_threads ~systems:System.all write_spec)
+
+let fig5a () =
+  header "Figure 5a: write throughput (100% writes, uniform keys)" "";
+  throughput_table ~threads:default_threads ~label:"Kops/s"
+    (List.map
+       (fun (name, outs) ->
+         (name, List.map (fun (o : Experiment.outcome) -> kops o.throughput) outs))
+       (Lazy.force fig5_data))
+
+let fig5b () =
+  header "Figure 5b: write throughput vs 90th-percentile latency" "";
+  latency_table
+    (List.map
+       (fun (name, outs) ->
+         ( name,
+           List.map
+             (fun (o : Experiment.outcome) -> (o.threads, o.throughput, o.p90))
+             outs ))
+       (Lazy.force fig5_data))
+
+(* ---------- Figure 6: read performance ---------- *)
+
+let read_spec = Workload_spec.read_only_skewed ~space
+let read_threads = [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+
+let fig6_data =
+  lazy (sweep ~duration ~threads:read_threads ~systems:System.all read_spec)
+
+let fig6a () =
+  header "Figure 6a: read throughput (100% reads, 90% from popular blocks)" "";
+  throughput_table ~threads:read_threads ~label:"Kops/s"
+    (List.map
+       (fun (name, outs) ->
+         (name, List.map (fun (o : Experiment.outcome) -> kops o.throughput) outs))
+       (Lazy.force fig6_data))
+
+let fig6b () =
+  header "Figure 6b: read throughput vs 90th-percentile latency" "";
+  latency_table
+    (List.map
+       (fun (name, outs) ->
+         ( name,
+           List.map
+             (fun (o : Experiment.outcome) -> (o.threads, o.throughput, o.p90))
+             outs ))
+       (Lazy.force fig6_data))
+
+(* ---------- Figure 7: mixed workloads ---------- *)
+
+let fig7a () =
+  header "Figure 7a: mixed 50% read / 50% write throughput" "";
+  let spec = Workload_spec.mixed_read_write ~space in
+  throughput_table ~threads:default_threads ~label:"Kops/s"
+    (List.map
+       (fun (name, outs) ->
+         (name, List.map (fun (o : Experiment.outcome) -> kops o.throughput) outs))
+       (sweep ~duration ~threads:default_threads ~systems:System.all spec))
+
+let fig7b () =
+  header "Figure 7b: mixed 50% scan / 50% write throughput (keys/s)"
+    "scan lengths U[10,20]; bLSM omitted (no consistent scans)";
+  let spec = Workload_spec.mixed_scan_write ~space in
+  let systems =
+    [ System.Rocksdb; System.Leveldb; System.Hyperleveldb; System.Clsm ]
+  in
+  throughput_table ~threads:default_threads ~label:"Kkeys/s"
+    (List.map
+       (fun (name, outs) ->
+         ( name,
+           List.map (fun (o : Experiment.outcome) -> kops o.keys_per_sec) outs ))
+       (sweep ~duration ~threads:default_threads ~systems spec))
+
+(* ---------- Figure 8: memory component size ---------- *)
+
+let fig8 () =
+  header "Figure 8: mixed read/write throughput vs memtable size (8 threads)" "";
+  let spec = Workload_spec.mixed_read_write ~space in
+  let sizes_mb = [ 1; 16; 32; 64; 128; 256; 512 ] in
+  let row system =
+    List.map
+      (fun mb ->
+        (* long enough that L0 pile-up and write stalls reach steady state
+           at small memtable sizes *)
+        let o =
+          run_point ~duration:5.0 ~memtable_bytes:(mb * 1024 * 1024)
+            ~system ~threads:8 spec
+        in
+        kops o.Experiment.throughput)
+      sizes_mb
+  in
+  line "%-18s %s" "memtable MB ->"
+    (String.concat "" (List.map (Printf.sprintf "%10d") sizes_mb));
+  List.iter
+    (fun sys -> line "%-18s %s" (System.name sys)
+        (String.concat ""
+           (List.map (Printf.sprintf "%10.0f") (row sys))))
+    [ System.Leveldb; System.Clsm ];
+  line "   (Kops/s)"
+
+(* ---------- Figure 9: read-modify-write ---------- *)
+
+let fig9 () =
+  header "Figure 9: RMW (put-if-absent) throughput"
+    "cLSM Algorithm 3 vs LevelDB augmented with lock striping";
+  let spec = Workload_spec.rmw_only ~space in
+  throughput_table ~threads:default_threads ~label:"Kops/s"
+    (List.map
+       (fun (name, outs) ->
+         (name, List.map (fun (o : Experiment.outcome) -> kops o.throughput) outs))
+       (sweep ~duration ~threads:default_threads
+          ~systems:[ System.Striped_rmw; System.Clsm ]
+          spec))
+
+(* ---------- Figure 10: production workloads ---------- *)
+
+let fig10 () =
+  let datasets =
+    [ ("Dataset 1", 0.93); ("Dataset 2", 0.85); ("Dataset 3", 0.96); ("Dataset 4", 0.86) ]
+  in
+  List.iter
+    (fun (name, read_ratio) ->
+      header
+        (Printf.sprintf "Figure 10 (%s): production workload, %.0f%% reads"
+           name (read_ratio *. 100.))
+        "40B keys, 1KB values, heavy-tail popularity";
+      let spec = Workload_spec.production ~read_ratio ~space in
+      let systems =
+        [ System.Rocksdb; System.Leveldb; System.Hyperleveldb; System.Clsm ]
+      in
+      throughput_table ~threads:default_threads ~label:"Kops/s"
+        (List.map
+           (fun (sname, outs) ->
+             ( sname,
+               List.map (fun (o : Experiment.outcome) -> kops o.throughput) outs ))
+           (sweep ~duration ~threads:default_threads ~systems spec)))
+    datasets
+
+(* ---------- Figure 11: heavy disk-compaction ---------- *)
+
+let fig11 () =
+  header "Figure 11: heavy disk-compaction (RocksDB benchmark)"
+    "1B-item store under constant update load; disk-bound; RocksDB uses 4 compaction threads";
+  let spec = Workload_spec.disk_heavy ~space:1_000_000_000 in
+  let threads = default_threads in
+  let point system compaction_threads n =
+    (* long horizon: multi-threaded compaction needs time to drain backlog *)
+    run_point ~duration:10.0 ~write_amplification:25.0 ~throttle:true
+      ~initial_l0:10 ~compaction_threads ~system ~threads:n spec
+  in
+  throughput_table ~threads ~label:"Kops/s"
+    [
+      ( "RocksDB",
+        List.map
+          (fun n -> kops (point System.Rocksdb 4 n).Experiment.throughput)
+          threads );
+      ( "cLSM",
+        List.map
+          (fun n -> kops (point System.Clsm 1 n).Experiment.throughput)
+          threads );
+    ]
+
+(* Extension beyond the paper: the YCSB core workloads through the same
+   simulator, cLSM vs the LevelDB family at 8 threads. *)
+let ycsb () =
+  header "Extension: YCSB core workloads (8 threads)" "Zipf(0.99), 1KB values";
+  let systems = [ System.Leveldb; System.Hyperleveldb; System.Clsm ] in
+  line "%-26s %s" "workload"
+    (String.concat "" (List.map (fun s -> Printf.sprintf "%14s" (System.name s)) systems));
+  List.iter
+    (fun (name, spec) ->
+      let cells =
+        List.map
+          (fun system ->
+            let o = run_point ~duration:0.3 ~system ~threads:8 spec in
+            Printf.sprintf "%14.0f" (kops o.Experiment.keys_per_sec))
+          systems
+      in
+      line "%-26s %s" name (String.concat "" cells))
+    (Clsm_workload.Ycsb.all ~space:10_000_000);
+  line "   (Kkeys/s; scans counted per key returned)"
+
+let all_figures =
+  [
+    ("fig1", fig1);
+    ("fig5a", fig5a);
+    ("fig5b", fig5b);
+    ("fig6a", fig6a);
+    ("fig6b", fig6b);
+    ("fig7a", fig7a);
+    ("fig7b", fig7b);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("ycsb", ycsb);
+  ]
+
+let run name =
+  match List.assoc_opt name all_figures with
+  | Some f -> f ()
+  | None ->
+      line "unknown figure %S; available: %s" name
+        (String.concat ", " (List.map fst all_figures))
+
+let run_all () = List.iter (fun (_, f) -> f ()) all_figures

@@ -1,0 +1,34 @@
+(* Benchmark harness entry point.
+
+   Default: run every paper figure through the simulator.
+   --figure <id>   one figure (fig1 fig5a fig5b fig6a fig6b fig7a fig7b
+                   fig8 fig9 fig10 fig11)
+   --calibrate     Bechamel microbenchmarks of the real implementation
+   --real [quick]  real-execution cross-checks (multi-domain driver)
+   --ablations     design-choice ablation sweeps *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] | [ "--figures" ] ->
+      print_endline
+        "cLSM benchmark harness: regenerating all paper figures (simulated \
+         multicore; see DESIGN.md)";
+      Figures.run_all ()
+  | [ "--figure"; name ] -> Figures.run name
+  | [ "--calibrate" ] -> Calibrate.run ()
+  | [ "--real" ] -> Real_check.run ~quick:false
+  | [ "--real"; "quick" ] -> Real_check.run ~quick:true
+  | [ "--ablations" ] -> Ablations.run ()
+  | [ "--sensitivity" ] -> Sensitivity.run ()
+  | [ "--all" ] ->
+      Calibrate.run ();
+      Figures.run_all ();
+      Ablations.run ();
+      Sensitivity.run ();
+      Real_check.run ~quick:true
+  | _ ->
+      prerr_endline
+        "usage: main.exe [--figure <id> | --calibrate | --real [quick] | \
+         --ablations | --sensitivity | --all]";
+      exit 1

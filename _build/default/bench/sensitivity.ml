@@ -1,0 +1,86 @@
+(* Sensitivity analysis: the simulated figures rest on calibrated service
+   times; this sweep perturbs each load-bearing constant by 2x in both
+   directions and recomputes the paper's headline comparisons. If a
+   conclusion (who wins, by roughly how much) survives every perturbation,
+   it follows from the synchronization disciplines rather than from the
+   calibration. *)
+
+open Clsm_sim_lsm
+open Clsm_workload
+
+let line fmt = Printf.printf (fmt ^^ "\n%!")
+
+type headline = {
+  write_ratio_at_8 : float; (* cLSM / best single-writer-family, Fig 5a *)
+  write_scaling : float; (* cLSM 8-thread / 1-thread, Fig 5a *)
+  read_ratio_at_16 : float; (* cLSM / LevelDB, Fig 6a *)
+  rmw_ratio_at_8 : float; (* cLSM / lock striping, Fig 9 *)
+}
+
+let run_headline costs =
+  let space = 10_000_000 in
+  let point ~system ~threads spec =
+    (Experiment.run
+       (Experiment.config ~costs ~duration:0.2 ~system ~threads spec))
+      .Experiment.throughput
+  in
+  let writes = Workload_spec.write_only ~space in
+  let reads = Workload_spec.read_only_skewed ~space in
+  let rmws = Workload_spec.rmw_only ~space in
+  let clsm_w8 = point ~system:System.Clsm ~threads:8 writes in
+  let clsm_w1 = point ~system:System.Clsm ~threads:1 writes in
+  let hyper_w8 = point ~system:System.Hyperleveldb ~threads:8 writes in
+  let leveldb_w8 = point ~system:System.Leveldb ~threads:8 writes in
+  {
+    write_ratio_at_8 = clsm_w8 /. Float.max hyper_w8 leveldb_w8;
+    write_scaling = clsm_w8 /. clsm_w1;
+    read_ratio_at_16 =
+      point ~system:System.Clsm ~threads:16 reads
+      /. point ~system:System.Leveldb ~threads:16 reads;
+    rmw_ratio_at_8 =
+      point ~system:System.Clsm ~threads:8 rmws
+      /. point ~system:System.Striped_rmw ~threads:8 rmws;
+  }
+
+let perturbations =
+  [
+    ("baseline", Fun.id);
+    ("mem_write x2", fun c -> { c with Costs.mem_write = c.Costs.mem_write *. 2. });
+    ("mem_write /2", fun c -> { c with Costs.mem_write = c.Costs.mem_write /. 2. });
+    ("mem_read x2", fun c -> { c with Costs.mem_read = c.Costs.mem_read *. 2. });
+    ("mem_read /2", fun c -> { c with Costs.mem_read = c.Costs.mem_read /. 2. });
+    ( "bus write x2",
+      fun c -> { c with Costs.bus_fixed_write = c.Costs.bus_fixed_write *. 2. } );
+    ( "cas contention x2",
+      fun c -> { c with Costs.clsm_cas_retry = c.Costs.clsm_cas_retry *. 2. } );
+    ( "cas contention /2",
+      fun c -> { c with Costs.clsm_cas_retry = c.Costs.clsm_cas_retry /. 2. } );
+    ( "ht factor 1.0",
+      fun c -> { c with Costs.ht_factor = 1.0; cross_chip_factor = 1.0 } );
+    ( "disk reads x2",
+      fun c -> { c with Costs.disk_read = c.Costs.disk_read *. 2. } );
+    ( "leveldb read CS x2",
+      fun c -> { c with Costs.leveldb_read_cs = c.Costs.leveldb_read_cs *. 2. } );
+  ]
+
+let run () =
+  line "";
+  line "== Sensitivity: headline ratios under 2x parameter perturbations ==";
+  line
+    "   (paper: writes ~1.8x best competitor @8 and 2.5x self-scaling; reads \
+     >2x LevelDB @16; RMW ~2.5x striping @8)";
+  line "%-22s %14s %14s %14s %14s" "perturbation" "write vs best"
+    "write scaling" "read vs LDB" "rmw vs stripe";
+  let ok = ref true in
+  List.iter
+    (fun (name, f) ->
+      let h = run_headline (f Costs.default) in
+      line "%-22s %14.2f %14.2f %14.2f %14.2f" name h.write_ratio_at_8
+        h.write_scaling h.read_ratio_at_16 h.rmw_ratio_at_8;
+      if
+        h.write_ratio_at_8 < 1.1 || h.write_scaling < 1.4
+        || h.read_ratio_at_16 < 1.1 || h.rmw_ratio_at_8 < 1.4
+      then ok := false)
+    perturbations;
+  line "   every row > 1: cLSM's advantage follows from the disciplines%s"
+    (if !ok then " (all margins held)" else " (!! some margin collapsed)")

@@ -1,0 +1,258 @@
+(* clsm-cli: command-line shell over a cLSM store directory.
+
+   Examples:
+     clsm_cli put  --dir /tmp/db mykey myvalue
+     clsm_cli get  --dir /tmp/db mykey
+     clsm_cli scan --dir /tmp/db --start a --stop z --limit 20
+     clsm_cli incr --dir /tmp/db counter
+     clsm_cli bench --dir /tmp/db --threads 2 --ops 20000 --workload mixed
+     clsm_cli stats --dir /tmp/db *)
+
+open Cmdliner
+open Clsm_core
+
+let dir_arg =
+  let doc = "Store directory (created if missing)." in
+  Arg.(value & opt string "./clsm-data" & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
+
+let with_db dir f =
+  let db = Db.open_store (Options.default ~dir) in
+  let finally () = Db.close db in
+  Fun.protect ~finally (fun () -> f db)
+
+(* ---------- point ops ---------- *)
+
+let put_cmd =
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  let value = Arg.(required & pos 1 (some string) None & info [] ~docv:"VALUE") in
+  let run dir key value = with_db dir (fun db -> Db.put db ~key ~value) in
+  Cmd.v (Cmd.info "put" ~doc:"Store a key-value pair.")
+    Term.(const run $ dir_arg $ key $ value)
+
+let get_cmd =
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  let run dir key =
+    with_db dir (fun db ->
+        match Db.get db key with
+        | Some v ->
+            print_endline v;
+            0
+        | None ->
+            prerr_endline "(not found)";
+            1)
+    |> exit
+  in
+  Cmd.v (Cmd.info "get" ~doc:"Print a key's value.")
+    Term.(const run $ dir_arg $ key)
+
+let del_cmd =
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  let run dir key = with_db dir (fun db -> Db.delete db ~key) in
+  Cmd.v (Cmd.info "del" ~doc:"Delete a key (writes a deletion marker).")
+    Term.(const run $ dir_arg $ key)
+
+let scan_cmd =
+  let start =
+    Arg.(value & opt (some string) None & info [ "start" ] ~docv:"KEY")
+  in
+  let stop = Arg.(value & opt (some string) None & info [ "stop" ] ~docv:"KEY") in
+  let limit = Arg.(value & opt int 100 & info [ "limit" ] ~docv:"N") in
+  let run dir start stop limit =
+    with_db dir (fun db ->
+        List.iter
+          (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
+          (Db.range ?start ?stop ~limit db))
+  in
+  Cmd.v
+    (Cmd.info "scan" ~doc:"Consistent snapshot range scan in key order.")
+    Term.(const run $ dir_arg $ start $ stop $ limit)
+
+let incr_cmd =
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  let by = Arg.(value & opt int 1 & info [ "by" ] ~docv:"N") in
+  let run dir key by =
+    with_db dir (fun db ->
+        let result = ref 0 in
+        ignore
+          (Db.rmw db ~key (fun v ->
+               let n = match v with Some s -> int_of_string s | None -> 0 in
+               result := n + by;
+               Db.Set (string_of_int (n + by))));
+        Printf.printf "%d\n" !result)
+  in
+  Cmd.v
+    (Cmd.info "incr"
+       ~doc:"Atomically increment an integer value (non-blocking RMW).")
+    Term.(const run $ dir_arg $ key $ by)
+
+(* ---------- maintenance / introspection ---------- *)
+
+let compact_cmd =
+  let run dir = with_db dir Db.compact_now in
+  Cmd.v
+    (Cmd.info "compact" ~doc:"Flush the memtable and compact all levels.")
+    Term.(const run $ dir_arg)
+
+let verify_cmd =
+  let run dir =
+    with_db dir (fun db ->
+        match Db.verify_integrity db with
+        | [] ->
+            print_endline "ok: all table files verify; level invariants hold";
+            0
+        | problems ->
+            List.iter (Printf.eprintf "problem: %s\n") problems;
+            1)
+    |> exit
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check every table file and the disk-component invariants.")
+    Term.(const run $ dir_arg)
+
+let repair_cmd =
+  let run dir =
+    Db.repair ~dir;
+    print_endline "manifest rebuilt; damaged tables (if any) renamed *.damaged"
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:"Rebuild a lost/corrupt manifest from the table files present.")
+    Term.(const run $ dir_arg)
+
+let stats_cmd =
+  let run dir =
+    with_db dir (fun db ->
+        Format.printf "%a@." Stats.pp (Db.stats db);
+        Format.printf "memtable bytes: %d@." (Db.memtable_bytes db);
+        Format.printf "files per level:";
+        List.iter (Format.printf " %d") (Db.level_file_counts db);
+        Format.printf "@.")
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print store statistics.")
+    Term.(const run $ dir_arg)
+
+let batch_cmd =
+  let doc =
+    "Apply an atomic batch read from stdin: lines are 'put <key> <value>' \
+     or 'del <key>'."
+  in
+  let run dir =
+    let rec read acc =
+      match input_line stdin with
+      | line -> (
+          match String.split_on_char ' ' (String.trim line) with
+          | [ "" ] -> read acc
+          | [ "put"; k; v ] -> read (Db.Batch_put (k, v) :: acc)
+          | [ "del"; k ] -> read (Db.Batch_delete k :: acc)
+          | _ -> failwith ("batch: malformed line: " ^ line))
+      | exception End_of_file -> List.rev acc
+    in
+    let ops = read [] in
+    with_db dir (fun db -> Db.write_batch db ops);
+    Printf.printf "applied %d operations atomically\n" (List.length ops)
+  in
+  Cmd.v (Cmd.info "batch" ~doc) Term.(const run $ dir_arg)
+
+(* ---------- traces ---------- *)
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE_FILE")
+
+let trace_synth_cmd =
+  let count = Arg.(value & opt int 100_000 & info [ "ops" ] ~docv:"N") in
+  let space = Arg.(value & opt int 100_000 & info [ "space" ] ~docv:"KEYS") in
+  let read_ratio =
+    Arg.(value & opt float 0.9 & info [ "read-ratio" ] ~docv:"R")
+  in
+  let run file count space read_ratio =
+    let open Clsm_workload in
+    let spec = Workload_spec.production ~read_ratio ~space in
+    Trace.synthesize ~spec ~count file;
+    Format.printf "%a@." Trace.pp_stats (Trace.stats_of (Trace.load file))
+  in
+  Cmd.v
+    (Cmd.info "trace-synth"
+       ~doc:
+         "Write a synthetic production-profile trace (heavy-tail keys, 40B \
+          keys / 1KB values) to a file.")
+    Term.(const run $ trace_file_arg $ count $ space $ read_ratio)
+
+let trace_replay_cmd =
+  let run dir file =
+    let open Clsm_workload in
+    let ops = Trace.load file in
+    Format.printf "replaying: %a@." Trace.pp_stats (Trace.stats_of ops);
+    let store = Store_ops.open_clsm (Options.default ~dir) in
+    let r = Trace.replay store ops in
+    Format.printf "%a@." Driver.pp_result r;
+    store.Store_ops.close ()
+  in
+  Cmd.v
+    (Cmd.info "trace-replay" ~doc:"Replay a trace file against the store.")
+    Term.(const run $ dir_arg $ trace_file_arg)
+
+(* ---------- workload bench ---------- *)
+
+let bench_cmd =
+  let threads = Arg.(value & opt int 2 & info [ "threads" ] ~docv:"N") in
+  let ops = Arg.(value & opt int 20_000 & info [ "ops" ] ~docv:"N") in
+  let workload =
+    let doc =
+      "One of: write, read, mixed, scan, rmw, production, ycsb-a .. ycsb-f."
+    in
+    Arg.(value & opt string "mixed" & info [ "workload" ] ~doc)
+  in
+  let space = Arg.(value & opt int 50_000 & info [ "space" ] ~docv:"KEYS") in
+  let run dir threads ops workload space =
+    let open Clsm_workload in
+    let spec =
+      match workload with
+      | "write" -> Workload_spec.write_only ~space
+      | "read" -> Workload_spec.read_only_skewed ~space
+      | "mixed" -> Workload_spec.mixed_read_write ~space
+      | "scan" -> Workload_spec.mixed_scan_write ~space
+      | "rmw" -> Workload_spec.rmw_only ~space
+      | "production" -> Workload_spec.production ~read_ratio:0.9 ~space
+      | "ycsb-a" -> Ycsb.workload_a ~space
+      | "ycsb-b" -> Ycsb.workload_b ~space
+      | "ycsb-c" -> Ycsb.workload_c ~space
+      | "ycsb-d" -> Ycsb.workload_d ~space
+      | "ycsb-e" -> Ycsb.workload_e ~space
+      | "ycsb-f" -> Ycsb.workload_f ~space
+      | other -> failwith ("unknown workload: " ^ other)
+    in
+    let store = Store_ops.open_clsm (Options.default ~dir) in
+    if spec.Workload_spec.read_ratio > 0.0 then
+      Driver.preload store spec ~count:space;
+    let r = Driver.run ~threads ~ops_per_thread:(ops / max 1 threads) store spec in
+    Format.printf "%a@." Driver.pp_result r;
+    store.Store_ops.close ()
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run a workload against the store and report.")
+    Term.(const run $ dir_arg $ threads $ ops $ workload $ space)
+
+let () =
+  let info =
+    Cmd.info "clsm_cli" ~version:"1.0.0"
+      ~doc:"Concurrent log-structured data store (cLSM, EuroSys '15) shell"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            put_cmd;
+            get_cmd;
+            del_cmd;
+            batch_cmd;
+            scan_cmd;
+            incr_cmd;
+            compact_cmd;
+            verify_cmd;
+            repair_cmd;
+            stats_cmd;
+            trace_synth_cmd;
+            trace_replay_cmd;
+            bench_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/analytics_scan.ml: Atomic Clsm_core Db Domain Filename Hashtbl List Options Printf Scanf String

@@ -1,0 +1,1 @@
+examples/backup_restore.ml: Atomic Clsm_core Db Domain Filename List Options Printf String

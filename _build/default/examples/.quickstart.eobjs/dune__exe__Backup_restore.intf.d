@@ -1,0 +1,1 @@
+examples/backup_restore.mli:

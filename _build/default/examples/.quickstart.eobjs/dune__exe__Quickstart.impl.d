@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Clsm_core Db Filename Format List Options Printf Stats Sys Unix

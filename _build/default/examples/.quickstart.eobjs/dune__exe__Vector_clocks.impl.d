@@ -1,0 +1,1 @@
+examples/vector_clocks.ml: Array Clsm_core Db Domain Filename List Options Printf String

@@ -1,0 +1,1 @@
+examples/web_serving.ml: Clsm_core Clsm_sstable Clsm_workload Driver Filename Format List Store_ops Workload_spec

@@ -1,0 +1,95 @@
+(* Online backup and restore built from the public API: a consistent
+   snapshot scan (which never blocks writers — paper §3.2) streams the
+   store's state into a trace file while writers keep mutating; replaying
+   the trace into a fresh directory reproduces exactly the snapshot-time
+   state. Demonstrates why consistent scans matter operationally, beyond
+   analytics.
+
+   Run with:  dune exec examples/backup_restore.exe *)
+
+open Clsm_core
+
+let tmp name =
+  Filename.concat (Filename.get_temp_dir_name ()) ("clsm_backup_" ^ name)
+
+let backup db path =
+  (* One snapshot pins the whole view; the iterator streams it. *)
+  let snap = Db.get_snap db in
+  let oc = open_out path in
+  let it = Db.iterator ~snapshot:snap db in
+  Db.iter_seek_first it;
+  let count = ref 0 in
+  while Db.iter_valid it do
+    (* store the value inline: "B <key-len> <key><value>" would need
+       framing; reuse the put trace line with an exact value payload *)
+    Printf.fprintf oc "%s\t%s\n" (Db.iter_key it) (Db.iter_value it);
+    incr count;
+    Db.iter_next it
+  done;
+  Db.iter_close it;
+  close_out oc;
+  let ts = Db.snapshot_ts snap in
+  Db.release_snapshot db snap;
+  (!count, ts)
+
+let restore path dir =
+  let db = Db.open_store (Options.default ~dir) in
+  let ic = open_in path in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line '\t' with
+       | Some i ->
+           Db.put db
+             ~key:(String.sub line 0 i)
+             ~value:(String.sub line (i + 1) (String.length line - i - 1))
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  db
+
+let () =
+  let src_dir = tmp "src" and dst_dir = tmp "dst" and file = tmp "dump.tsv" in
+  let db = Db.open_store (Options.default ~dir:src_dir) in
+  for i = 0 to 4_999 do
+    Db.put db ~key:(Printf.sprintf "item%05d" i) ~value:(string_of_int (i * 7))
+  done;
+
+  (* writers keep going while the backup streams *)
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          incr i;
+          Db.put db
+            ~key:(Printf.sprintf "item%05d" (!i mod 5_000))
+            ~value:"mutated-during-backup"
+        done;
+        !i)
+  in
+  let count, ts = backup db file in
+  Atomic.set stop true;
+  let writes_during_backup = Domain.join writer in
+  Printf.printf "backed up %d keys at snapshot ts=%d (%d writes ran meanwhile)\n"
+    count ts writes_during_backup;
+
+  let restored = restore file dst_dir in
+  (* the restored store must be internally consistent: every key present,
+     and each value either the original or the mutation — exactly one
+     snapshot, never a mix within one key *)
+  assert (List.length (Db.range restored) = 5_000);
+  let originals = ref 0 and mutated = ref 0 in
+  List.iter
+    (fun (k, v) ->
+      let i = int_of_string (String.sub k 4 5) in
+      if v = string_of_int (i * 7) then incr originals
+      else if v = "mutated-during-backup" then incr mutated
+      else assert false)
+    (Db.range restored);
+  Printf.printf "restored: %d original values, %d mutated-before-snapshot\n"
+    !originals !mutated;
+  Db.close restored;
+  Db.close db;
+  print_endline "backup_restore: OK"

@@ -1,0 +1,73 @@
+(* Multi-site update reconciliation with vector clocks — the use case the
+   paper cites for atomic read-modify-write (§1, §3.3, Dynamo-style [19]):
+   several replication sites apply updates to the same keys concurrently;
+   each update must atomically read the stored (clock, value), advance its
+   site's component, and write back the merged clock. Lock-free RMW makes
+   the reconciliation safe without per-key locks.
+
+   Each stored value is "c0,c1,...,cn|payload" where ci is site i's clock
+   component. The invariant checked at the end: every site's component
+   equals the number of updates that site applied — impossible to maintain
+   under lost updates.
+
+   Run with:  dune exec examples/vector_clocks.exe *)
+
+open Clsm_core
+
+let sites = 3
+let keys = 40
+let updates_per_site = 2_000
+
+let parse_clock v =
+  match String.index_opt v '|' with
+  | None -> (Array.make sites 0, "")
+  | Some bar ->
+      let clock =
+        String.sub v 0 bar |> String.split_on_char ','
+        |> List.map int_of_string |> Array.of_list
+      in
+      (clock, String.sub v (bar + 1) (String.length v - bar - 1))
+
+let render_clock clock payload =
+  String.concat "," (List.map string_of_int (Array.to_list clock))
+  ^ "|" ^ payload
+
+let site db site_id () =
+  let rng = ref (site_id * 7919) in
+  for u = 1 to updates_per_site do
+    rng := (!rng * 1103515245) + 12345;
+    let key = Printf.sprintf "item%03d" (abs !rng mod keys) in
+    ignore
+      (Db.rmw db ~key (fun stored ->
+           let clock, _old_payload =
+             match stored with
+             | Some v -> parse_clock v
+             | None -> (Array.make sites 0, "")
+           in
+           (* merge = component-wise max already stored; advance ours *)
+           clock.(site_id) <- clock.(site_id) + 1;
+           Db.Set
+             (render_clock clock (Printf.sprintf "site%d-update%d" site_id u))))
+  done;
+  ()
+
+let () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "clsm_vclocks" in
+  let db = Db.open_store (Options.default ~dir) in
+  let domains = List.init sites (fun i -> Domain.spawn (site db i)) in
+  List.iter Domain.join domains;
+  (* Sum each site's components across all keys. *)
+  let totals = Array.make sites 0 in
+  List.iter
+    (fun (_, v) ->
+      let clock, _ = parse_clock v in
+      Array.iteri (fun i c -> totals.(i) <- totals.(i) + c) clock)
+    (Db.range ~start:"item" ~stop:"itemz" db);
+  Array.iteri
+    (fun i total ->
+      Printf.printf "site %d: %d updates recorded (expected %d)\n" i total
+        updates_per_site;
+      assert (total = updates_per_site))
+    totals;
+  Db.close db;
+  print_endline "vector_clocks: OK (no lost updates across sites)"

@@ -1,0 +1,1 @@
+lib/baselines/single_writer_store.mli: Clsm_core

@@ -1,0 +1,1 @@
+lib/baselines/striped_rmw.ml: Array Clsm_core Clsm_util Mutex Single_writer_store

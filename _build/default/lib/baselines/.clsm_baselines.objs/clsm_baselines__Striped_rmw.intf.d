@@ -1,0 +1,1 @@
+lib/baselines/striped_rmw.mli: Clsm_core Single_writer_store

@@ -1,0 +1,505 @@
+open Clsm_primitives
+open Clsm_lsm
+open Clsm_core
+
+type snapshot = { snap_ts : int; released : bool Atomic.t }
+
+type memcomp = {
+  mem : Memtable.t;
+  wal : Clsm_wal.Wal_writer.t option;
+  wal_number : int;
+}
+
+type t = {
+  opts : Options.t;
+  mutex : Mutex.t; (* the LevelDB global mutex *)
+  mutable pm : memcomp;
+  mutable imm : memcomp option;
+  mutable version : Version.t Refcounted.t;
+  mutable seq : int;
+  mutable snapshot_list : int list; (* active snapshot timestamps *)
+  next_file : int Atomic.t;
+  cache : Clsm_sstable.Block.t Clsm_sstable.Cache.t;
+  stats : Stats.t;
+  stop : bool Atomic.t;
+  maintenance : Mutex.t;
+  mutable bg_domain : unit Domain.t option;
+  mutable closed : bool;
+}
+
+let with_mutex t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | v ->
+      Mutex.unlock t.mutex;
+      v
+  | exception e ->
+      Mutex.unlock t.mutex;
+      raise e
+
+let alloc_file_number t () = Atomic.fetch_and_add t.next_file 1
+
+let new_memcomp t =
+  let wal_number = alloc_file_number t () in
+  let wal =
+    if t.opts.Options.wal_enabled then
+      Some
+        (Clsm_wal.Wal_writer.create
+           ~mode:
+             (if t.opts.Options.sync_wal then Clsm_wal.Wal_writer.Sync
+              else Clsm_wal.Wal_writer.Async)
+           (Table_file.wal_path ~dir:t.opts.Options.dir wal_number))
+    else None
+  in
+  { mem = Memtable.create (); wal; wal_number }
+
+(* ---------- manifest / recovery (same format as Clsm_core.Db) ---------- *)
+
+let manifest_of_state t =
+  let v = Refcounted.value t.version in
+  let files =
+    List.map (fun f -> (0, (Refcounted.value f).Table_file.number)) v.Version.l0
+    @ List.concat
+        (List.mapi
+           (fun i fs ->
+             List.map (fun f -> (i + 1, (Refcounted.value f).Table_file.number)) fs)
+           (Array.to_list v.Version.levels))
+  in
+  {
+    Manifest.next_file_number = Atomic.get t.next_file;
+    last_ts = t.seq;
+    wal_number = t.pm.wal_number;
+    files;
+  }
+
+let save_manifest t = Manifest.save ~dir:t.opts.Options.dir (manifest_of_state t)
+
+(* ---------- reads ---------- *)
+
+(* LevelDB's read path: grab the component pointers under the mutex,
+   search without it. *)
+let pin_components t =
+  with_mutex t (fun () ->
+      let v = t.version in
+      let ok = Refcounted.try_incr v in
+      assert ok;
+      (t.pm, t.imm, v))
+
+let get_entry t ~user_key ~snap_ts =
+  let pm, imm, vcell = pin_components t in
+  let result =
+    match Memtable.get pm.mem ~user_key ~snap_ts with
+    | Some (_, e) -> Some e
+    | None -> (
+        match
+          match imm with
+          | Some mc -> Memtable.get mc.mem ~user_key ~snap_ts
+          | None -> None
+        with
+        | Some (_, e) -> Some e
+        | None -> (
+            match Version.get (Refcounted.value vcell) ~user_key ~snap_ts with
+            | Some (_, e) -> Some e
+            | None -> None))
+  in
+  Refcounted.decr vcell;
+  result
+
+let get t key =
+  Stats.incr_gets t.stats;
+  match get_entry t ~user_key:key ~snap_ts:Internal_key.max_ts with
+  | Some (Entry.Value v) -> Some v
+  | Some Entry.Tombstone | None -> None
+
+(* ---------- writes (fully serialized) ---------- *)
+
+let throttle t =
+  let b = Backoff.create ~max_spins:4096 () in
+  let rec wait () =
+    if Atomic.get t.stop then ()
+    else begin
+      let mem_full, imm_busy, l0_pile =
+        with_mutex t (fun () ->
+            ( Memtable.approximate_bytes t.pm.mem
+              > 2 * t.opts.Options.memtable_bytes,
+              t.imm <> None,
+              Version.level_file_count (Refcounted.value t.version) 0
+              >= t.opts.Options.lsm.Lsm_config.l0_stall_limit ))
+      in
+      if (mem_full && imm_busy) || l0_pile then begin
+        Stats.incr_write_stalls t.stats;
+        Backoff.once b;
+        wait ()
+      end
+    end
+  in
+  wait ()
+
+let write_entry t ~user_key entry =
+  throttle t;
+  with_mutex t (fun () ->
+      t.seq <- t.seq + 1;
+      let ts = t.seq in
+      Memtable.add t.pm.mem ~user_key ~ts entry;
+      match t.pm.wal with
+      | Some w ->
+          Clsm_wal.Wal_writer.append w
+            (Log_record.encode { Log_record.ts; user_key; entry })
+      | None -> ())
+
+let put t ~key ~value =
+  Stats.incr_puts t.stats;
+  write_entry t ~user_key:key (Entry.Value value)
+
+let delete t ~key =
+  Stats.incr_deletes t.stats;
+  write_entry t ~user_key:key Entry.Tombstone
+
+(* ---------- snapshots (trivial under a single writer, §4) ---------- *)
+
+let get_snap t =
+  Stats.incr_snapshots t.stats;
+  with_mutex t (fun () ->
+      let ts = t.seq in
+      t.snapshot_list <- ts :: t.snapshot_list;
+      { snap_ts = ts; released = Atomic.make false })
+
+let snapshot_ts s = s.snap_ts
+
+let remove_one x l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | y :: rest when y = x -> List.rev_append acc rest
+    | y :: rest -> go (y :: acc) rest
+  in
+  go [] l
+
+let release_snapshot t s =
+  if not (Atomic.exchange s.released true) then
+    with_mutex t (fun () -> t.snapshot_list <- remove_one s.snap_ts t.snapshot_list)
+
+let get_at t s key =
+  Stats.incr_gets t.stats;
+  match get_entry t ~user_key:key ~snap_ts:s.snap_ts with
+  | Some (Entry.Value v) -> Some v
+  | Some Entry.Tombstone | None -> None
+
+(* ---------- scans ---------- *)
+
+let range ?snapshot ?start ?stop ?(limit = max_int) t =
+  Stats.incr_scans t.stats;
+  let snap, own =
+    match snapshot with Some s -> (s, false) | None -> (get_snap t, true)
+  in
+  let pm, imm, vcell = pin_components t in
+  let sources =
+    Memtable.iter pm.mem
+    :: (match imm with Some mc -> [ Memtable.iter mc.mem ] | None -> [])
+    @ Version.iters (Refcounted.value vcell)
+  in
+  let merged = Merge_iter.merge ~cmp:Internal_key.compare_encoded sources in
+  (match start with
+  | Some s -> merged.Iter.seek (Internal_key.make s 0)
+  | None -> merged.Iter.seek_to_first ());
+  let rec next_visible () =
+    if not (merged.Iter.valid ()) then None
+    else begin
+      let uk = Internal_key.user_key_of (merged.Iter.key ()) in
+      let best = ref None in
+      while
+        merged.Iter.valid ()
+        && String.equal (Internal_key.user_key_of (merged.Iter.key ())) uk
+      do
+        if Internal_key.ts_of (merged.Iter.key ()) <= snap.snap_ts then
+          best := Some (merged.Iter.value ());
+        merged.Iter.next ()
+      done;
+      match !best with
+      | Some enc -> (
+          match Entry.decode enc with
+          | Entry.Value v -> Some (uk, v)
+          | Entry.Tombstone -> next_visible ())
+      | None -> next_visible ()
+    end
+  in
+  let rec collect n acc =
+    if n >= limit then List.rev acc
+    else
+      match next_visible () with
+      | None -> List.rev acc
+      | Some (k, _) when (match stop with Some e -> k >= e | None -> false) ->
+          List.rev acc
+      | Some kv -> collect (n + 1) (kv :: acc)
+  in
+  let result = collect 0 [] in
+  Refcounted.decr vcell;
+  if own then release_snapshot t snap;
+  result
+
+(* ---------- maintenance ---------- *)
+
+let rotate t =
+  let fresh = new_memcomp t in
+  with_mutex t (fun () ->
+      if t.imm <> None || Memtable.is_empty t.pm.mem then begin
+        (match fresh.wal with
+        | Some w ->
+            Clsm_wal.Wal_writer.close w;
+            (try Sys.remove (Clsm_wal.Wal_writer.path w) with Sys_error _ -> ())
+        | None -> ());
+        false
+      end
+      else begin
+        t.imm <- Some t.pm;
+        t.pm <- fresh;
+        Stats.incr_rotations t.stats;
+        true
+      end)
+
+let flush_imm t =
+  match with_mutex t (fun () -> t.imm) with
+  | None -> false
+  | Some mc ->
+      let snapshots = with_mutex t (fun () -> t.snapshot_list) in
+      let bytes = Memtable.approximate_bytes mc.mem in
+      let outputs =
+        Compaction.write_sorted_run ~cfg:t.opts.Options.lsm
+          ~dir:t.opts.Options.dir ~cache:t.cache
+          ~alloc_number:(alloc_file_number t) ~snapshots ~drop_tombstones:false
+          (Memtable.iter mc.mem)
+      in
+      with_mutex t (fun () ->
+          let cur = Refcounted.value t.version in
+          let next =
+            Version.create ~l0:(outputs @ cur.Version.l0) ~levels:cur.Version.levels
+          in
+          let old = t.version in
+          t.version <- Refcounted.create ~release:Version.release next;
+          Refcounted.retire old;
+          t.imm <- None);
+      List.iter Refcounted.retire outputs;
+      Stats.incr_flushes t.stats;
+      Stats.add_bytes_flushed t.stats bytes;
+      with_mutex t (fun () -> save_manifest t);
+      (match mc.wal with
+      | Some w ->
+          Clsm_wal.Wal_writer.close w;
+          (try Sys.remove (Clsm_wal.Wal_writer.path w) with Sys_error _ -> ())
+      | None -> ());
+      true
+
+let compact_level_once t =
+  let vcell = with_mutex t (fun () ->
+      let v = t.version in
+      let ok = Refcounted.try_incr v in
+      assert ok;
+      v)
+  in
+  let result =
+    match Compaction.pick ~cfg:t.opts.Options.lsm (Refcounted.value vcell) with
+    | None -> false
+    | Some task ->
+        let snapshots = with_mutex t (fun () -> t.snapshot_list) in
+        let outputs =
+          Compaction.run ~cfg:t.opts.Options.lsm ~dir:t.opts.Options.dir
+            ~cache:t.cache ~alloc_number:(alloc_file_number t) ~snapshots task
+        in
+        with_mutex t (fun () ->
+            let next = Compaction.apply (Refcounted.value t.version) task ~outputs in
+            let old = t.version in
+            t.version <- Refcounted.create ~release:Version.release next;
+            Refcounted.retire old);
+        List.iter
+          (fun f -> Table_file.mark_obsolete (Refcounted.value f))
+          (task.Compaction.inputs_lo @ task.Compaction.inputs_hi);
+        List.iter Refcounted.retire outputs;
+        Stats.incr_compactions t.stats;
+        with_mutex t (fun () -> save_manifest t);
+        true
+  in
+  Refcounted.decr vcell;
+  result
+
+let maintenance_step t =
+  Mutex.lock t.maintenance;
+  let worked =
+    if flush_imm t then true
+    else begin
+      let need =
+        with_mutex t (fun () ->
+            Memtable.approximate_bytes t.pm.mem > t.opts.Options.memtable_bytes)
+      in
+      if need && rotate t then begin
+        ignore (flush_imm t);
+        true
+      end
+      else compact_level_once t
+    end
+  in
+  Mutex.unlock t.maintenance;
+  worked
+
+let compact_now t =
+  Mutex.lock t.maintenance;
+  ignore (flush_imm t);
+  ignore (rotate t);
+  ignore (flush_imm t);
+  while compact_level_once t do () done;
+  Mutex.unlock t.maintenance
+
+(* ---------- open / close ---------- *)
+
+let open_store (opts : Options.t) =
+  if not (Sys.file_exists opts.Options.dir) then Unix.mkdir opts.Options.dir 0o755;
+  let cache =
+    Clsm_sstable.Cache.create ~capacity:opts.Options.cache_bytes
+      ~weight:Clsm_sstable.Block.size_bytes ()
+  in
+  let num_levels = opts.Options.lsm.Lsm_config.num_levels in
+  let dir = opts.Options.dir in
+  let manifest = Manifest.load ~dir in
+  let list_files () =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           match String.split_on_char '.' name with
+           | [ num; ext ] -> (
+               match int_of_string_opt num with
+               | Some n when ext = "sst" -> Some (`Table (n, name))
+               | Some n when ext = "log" -> Some (`Wal (n, name))
+               | _ -> None)
+           | _ -> None)
+  in
+  let version, next_file, last_ts, min_wal =
+    match manifest with
+    | None -> (Version.empty ~num_levels, 1, 0, 0)
+    | Some m ->
+        let live = List.map snd m.Manifest.files in
+        List.iter
+          (function
+            | `Table (n, name) when not (List.mem n live) ->
+                Sys.remove (Filename.concat dir name)
+            | `Wal (n, name) when n < m.Manifest.wal_number ->
+                Sys.remove (Filename.concat dir name)
+            | `Table _ | `Wal _ -> ())
+          (list_files ());
+        let l0 = ref [] and levels = Array.make (num_levels - 1) [] in
+        List.iter
+          (fun (level, number) ->
+            let tf = Table_file.open_number ~cache ~dir number in
+            let cell = Refcounted.create ~release:Table_file.release tf in
+            if level = 0 then l0 := cell :: !l0
+            else levels.(level - 1) <- cell :: levels.(level - 1))
+          m.Manifest.files;
+        Array.iteri
+          (fun i files ->
+            levels.(i) <-
+              List.sort
+                (fun a b ->
+                  Internal_key.compare_encoded
+                    (Refcounted.value a).Table_file.smallest
+                    (Refcounted.value b).Table_file.smallest)
+                files)
+          levels;
+        let v = Version.create ~l0:(List.rev !l0) ~levels in
+        List.iter Refcounted.retire !l0;
+        Array.iter (List.iter Refcounted.retire) levels;
+        (v, m.Manifest.next_file_number, m.Manifest.last_ts, m.Manifest.wal_number)
+  in
+  let mem = Memtable.create () in
+  let max_ts = ref last_ts in
+  let wals =
+    List.filter_map
+      (function `Wal (n, name) when n >= min_wal -> Some (n, name) | _ -> None)
+      (list_files ())
+    |> List.sort compare
+  in
+  List.iter
+    (fun (_, name) ->
+      let records, _ = Clsm_wal.Wal_reader.read_records (Filename.concat dir name) in
+      List.iter
+        (fun payload ->
+          match Log_record.decode payload with
+          | { Log_record.ts; user_key; entry } ->
+              Memtable.add mem ~user_key ~ts entry;
+              if ts > !max_ts then max_ts := ts
+          | exception (Clsm_util.Varint.Corrupt _ | Invalid_argument _) -> ())
+        records)
+    wals;
+  let next_file =
+    List.fold_left
+      (fun acc f -> match f with `Table (n, _) | `Wal (n, _) -> max acc (n + 1))
+      (max 1 next_file) (list_files ())
+  in
+  let next_file_atomic = Atomic.make next_file in
+  let wal_number = Atomic.fetch_and_add next_file_atomic 1 in
+  let wal =
+    if opts.Options.wal_enabled then
+      Some
+        (Clsm_wal.Wal_writer.create
+           ~mode:
+             (if opts.Options.sync_wal then Clsm_wal.Wal_writer.Sync
+              else Clsm_wal.Wal_writer.Async)
+           (Table_file.wal_path ~dir wal_number))
+    else None
+  in
+  (match wal with
+  | Some w ->
+      Memtable.fold_entries
+        (fun user_key ts entry () ->
+          Clsm_wal.Wal_writer.append w
+            (Log_record.encode { Log_record.ts; user_key; entry }))
+        mem ();
+      Clsm_wal.Wal_writer.flush w
+  | None -> ());
+  let t =
+    {
+      opts;
+      mutex = Mutex.create ();
+      pm = { mem; wal; wal_number };
+      imm = None;
+      version = Refcounted.create ~release:Version.release version;
+      seq = !max_ts;
+      snapshot_list = [];
+      next_file = next_file_atomic;
+      cache;
+      stats = Stats.create ();
+      stop = Atomic.make false;
+      maintenance = Mutex.create ();
+      bg_domain = None;
+      closed = false;
+    }
+  in
+  save_manifest t;
+  List.iter
+    (fun (n, name) ->
+      if n < wal_number then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    wals;
+  t.bg_domain <-
+    Some
+      (Domain.spawn (fun () ->
+           while not (Atomic.get t.stop) do
+             if not (maintenance_step t) then Unix.sleepf 0.002
+           done));
+  t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Atomic.set t.stop true;
+    (match t.bg_domain with Some d -> Domain.join d | None -> ());
+    (match t.pm.wal with
+    | Some w ->
+        Clsm_wal.Wal_writer.flush w;
+        Clsm_wal.Wal_writer.close w
+    | None -> ());
+    save_manifest t;
+    Refcounted.retire t.version
+  end
+
+let stats t = Stats.read t.stats
+
+let level_file_counts t =
+  let v = Refcounted.value t.version in
+  List.length v.Version.l0
+  :: List.map List.length (Array.to_list v.Version.levels)

@@ -1,0 +1,40 @@
+(** LevelDB-style baseline: the same LSM substrate as cLSM (memtable,
+    SSTables, leveled compaction, WAL) under LevelDB's concurrency control —
+    "coarse-grained synchronization that forces all puts to be executed
+    sequentially" (paper §6). A single global mutex serializes every write
+    and every component-pointer access; reads take it briefly to pin the
+    components (as LevelDB's [GetApproximate...] path does) and release it
+    before searching.
+
+    Semantically equivalent to {!Clsm_core.Db} (multi-versioned reads,
+    snapshots, recovery); only the synchronization differs. This is the
+    competitor for the write/read scalability comparisons (Figures 5–8)
+    and, via {!Striped_rmw}, the lock-striping RMW baseline of Figure 9. *)
+
+type t
+
+val open_store : Clsm_core.Options.t -> t
+val close : t -> unit
+
+val put : t -> key:string -> value:string -> unit
+val delete : t -> key:string -> unit
+val get : t -> string -> string option
+
+type snapshot
+
+val get_snap : t -> snapshot
+val snapshot_ts : snapshot -> int
+val release_snapshot : t -> snapshot -> unit
+val get_at : t -> snapshot -> string -> string option
+
+val range :
+  ?snapshot:snapshot ->
+  ?start:string ->
+  ?stop:string ->
+  ?limit:int ->
+  t ->
+  (string * string) list
+
+val compact_now : t -> unit
+val stats : t -> Clsm_core.Stats.snapshot
+val level_file_counts : t -> int list

@@ -1,0 +1,51 @@
+type t = { store : Single_writer_store.t; stripes : Mutex.t array }
+
+let create ?(stripes = 1024) store =
+  if stripes < 1 then invalid_arg "Striped_rmw.create";
+  { store; stripes = Array.init stripes (fun _ -> Mutex.create ()) }
+
+let stripe_of t key =
+  t.stripes.(Clsm_util.Hashing.hash ~seed:0x517cc1b7 key
+             mod Array.length t.stripes)
+
+let with_stripe t key f =
+  let m = stripe_of t key in
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
+let put t ~key ~value =
+  with_stripe t key (fun () -> Single_writer_store.put t.store ~key ~value)
+
+let delete t ~key =
+  with_stripe t key (fun () -> Single_writer_store.delete t.store ~key)
+
+let get t key = Single_writer_store.get t.store key
+
+type rmw_decision = Clsm_core.Db.rmw_decision = Set of string | Remove | Abort
+
+let rmw t ~key f =
+  with_stripe t key (fun () ->
+      let pre = Single_writer_store.get t.store key in
+      (match f pre with
+      | Set v -> Single_writer_store.put t.store ~key ~value:v
+      | Remove -> Single_writer_store.delete t.store ~key
+      | Abort -> ());
+      pre)
+
+let put_if_absent t ~key ~value =
+  let installed = ref false in
+  ignore
+    (rmw t ~key (function
+      | Some _ -> Abort
+      | None ->
+          installed := true;
+          Set value));
+  !installed
+
+let store t = t.store

@@ -1,0 +1,24 @@
+(** The Figure 9 baseline: "a textbook RMW implementation based on lock
+    striping [Gray & Reuter]. The algorithm protects each RMW and write
+    operation with an exclusive granular lock to the accessed key" — here a
+    fixed array of mutexes indexed by key hash, layered over the
+    single-writer LevelDB-style store. Reads remain lock-free at this
+    layer. *)
+
+type t
+
+val create : ?stripes:int -> Single_writer_store.t -> t
+(** Default 1024 stripes. *)
+
+val put : t -> key:string -> value:string -> unit
+(** Write under the key's stripe lock (and then the store's global write
+    mutex, as in the augmented LevelDB). *)
+
+val delete : t -> key:string -> unit
+val get : t -> string -> string option
+
+type rmw_decision = Clsm_core.Db.rmw_decision = Set of string | Remove | Abort
+
+val rmw : t -> key:string -> (string option -> rmw_decision) -> string option
+val put_if_absent : t -> key:string -> value:string -> bool
+val store : t -> Single_writer_store.t

@@ -1,0 +1,1 @@
+lib/core/cow_memtable.ml: Atomic Clsm_lsm Entry Internal_key Iter Map Mutex Seq String

@@ -1,0 +1,1 @@
+lib/core/cow_memtable.mli: Memtable_intf

@@ -1,0 +1,1 @@
+lib/core/cow_store.ml: Cow_memtable Store

@@ -1,0 +1,1 @@
+lib/core/cow_store.mli: Store_sig

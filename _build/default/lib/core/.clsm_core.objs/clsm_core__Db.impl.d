@@ -1,0 +1,1 @@
+lib/core/db.ml: Memtable Store

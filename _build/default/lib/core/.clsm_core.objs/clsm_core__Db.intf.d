@@ -1,0 +1,1 @@
+lib/core/db.mli: Store_sig

@@ -1,0 +1,1 @@
+lib/core/log_record.ml: Buffer Clsm_lsm Clsm_util Entry List String Varint

@@ -1,0 +1,1 @@
+lib/core/log_record.mli: Clsm_lsm Entry

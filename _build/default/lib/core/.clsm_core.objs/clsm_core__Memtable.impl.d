@@ -1,0 +1,1 @@
+lib/core/memtable.ml: Atomic Clsm_lsm Clsm_skiplist Entry Internal_key Iter String

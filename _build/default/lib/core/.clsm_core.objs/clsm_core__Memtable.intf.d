@@ -1,0 +1,1 @@
+lib/core/memtable.mli: Clsm_lsm Entry Iter

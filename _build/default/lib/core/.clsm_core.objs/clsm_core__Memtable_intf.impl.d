@@ -1,0 +1,1 @@
+lib/core/memtable_intf.ml: Clsm_lsm

@@ -1,0 +1,1 @@
+lib/core/snapshot_registry.ml: Int List Mutex Option

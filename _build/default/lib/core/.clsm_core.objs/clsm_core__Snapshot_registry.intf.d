@@ -1,0 +1,1 @@
+lib/core/snapshot_registry.mli:

@@ -1,0 +1,1 @@
+lib/core/store_sig.ml: Clsm_sstable Options Stats

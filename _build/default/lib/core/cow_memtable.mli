@@ -1,0 +1,15 @@
+(** An alternative memory component: a persistent balanced map behind an
+    atomic pointer (copy-on-write).
+
+    Reads are wait-free — they load an immutable map snapshot and search
+    it; writers serialize on a mutex, derive the successor map and publish
+    it atomically. Iteration over an immutable snapshot is trivially
+    weakly consistent.
+
+    This exists to demonstrate the paper's decoupling claim (§1, §3): the
+    whole store works unchanged over a completely different concurrent
+    sorted map ({!Store.Make}); only write-side parallelism differs.
+    [try_install] detects conflicts by snapshot identity, so RMW stays
+    atomic, merely not lock-free. *)
+
+include Memtable_intf.S

@@ -1,0 +1,6 @@
+(* The same store over the copy-on-write map component: demonstrates the
+   paper's claim that the algorithm is decoupled from the in-memory data
+   structure. Reads and scans are identical in character; writes and RMWs
+   serialize on the component's mutex. *)
+
+include Store.Make (Cow_memtable)

@@ -1,0 +1,7 @@
+(** {!Db}'s algorithmic twin over {!Cow_memtable} (a persistent map behind
+    an atomic pointer): the generic-algorithm demonstration of §1/§3.
+    Same API, same on-disk format, same recovery; only the memory
+    component's concurrency differs (serialized writes, wait-free reads,
+    mutex-based RMW installs). *)
+
+include Store_sig.S

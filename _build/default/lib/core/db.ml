@@ -1,0 +1,5 @@
+(* The flagship instantiation: the cLSM of the paper, over the lock-free
+   skip-list memtable (Algorithm 3's conflict detection is the skip-list's
+   bottom-level CAS). *)
+
+include Store.Make (Memtable)

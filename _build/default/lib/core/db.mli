@@ -1,0 +1,24 @@
+(** cLSM: a concurrent log-structured data store.
+
+    This is the paper's algorithm end to end:
+
+    - {b Algorithm 1} — put/get over the global component pointers [Pm]
+      (mutable memtable), [P'm] (immutable memtable being merged) and [Pd]
+      (the disk component), protected by an RCU-like pointer protocol with
+      per-component reference counters. Gets never block; puts hold a
+      writer-preference shared-exclusive lock in shared mode; the merge
+      hooks [beforeMerge]/[afterMerge] take it exclusively for two short
+      pointer-swap critical sections.
+    - {b Algorithm 2} — multi-versioned snapshots: a global [timeCounter],
+      the [Active] set of in-flight put timestamps, and the monotone
+      [snapTime]; {!get_snap} returns a timestamp no active put can
+      invalidate, and {!val-rmw}/{!put} acquire timestamps through the
+      rollback-on-race [getTS].
+    - {b Algorithm 3} — non-blocking atomic read-modify-write via
+      optimistic conflict detection on the memtable skip-list.
+
+    All operations are safe to call from any number of domains. One
+    background domain runs the maintenance service: memtable rotation,
+    flush to level 0, and leveled compaction with snapshot-aware GC. *)
+
+include Store_sig.S

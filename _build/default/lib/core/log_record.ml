@@ -1,0 +1,48 @@
+open Clsm_util
+open Clsm_lsm
+
+type t = { ts : int; user_key : string; entry : Entry.t }
+
+let encode_into buf { ts; user_key; entry } =
+  Varint.write buf ts;
+  Varint.write buf (String.length user_key);
+  Buffer.add_string buf user_key;
+  let e = Entry.encode entry in
+  Varint.write buf (String.length e);
+  Buffer.add_string buf e
+
+let encode r =
+  let buf = Buffer.create (String.length r.user_key + 24) in
+  encode_into buf r;
+  Buffer.contents buf
+
+let encode_batch rs =
+  let buf = Buffer.create 256 in
+  List.iter (encode_into buf) rs;
+  Buffer.contents buf
+
+let decode_one s pos =
+  let ts, pos = Varint.read s ~pos in
+  let klen, pos = Varint.read s ~pos in
+  if pos + klen > String.length s then invalid_arg "Log_record.decode";
+  let user_key = String.sub s pos klen in
+  let pos = pos + klen in
+  let elen, pos = Varint.read s ~pos in
+  if pos + elen > String.length s then invalid_arg "Log_record.decode";
+  let entry = Entry.decode (String.sub s pos elen) in
+  ({ ts; user_key; entry }, pos + elen)
+
+let decode_all s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos = n then List.rev acc
+    else
+      let r, pos = decode_one s pos in
+      go pos (r :: acc)
+  in
+  go 0 []
+
+let decode s =
+  match decode_all s with
+  | [ r ] -> r
+  | _ -> invalid_arg "Log_record.decode: not a single record"

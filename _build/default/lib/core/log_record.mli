@@ -1,0 +1,25 @@
+(** Payload encoding of WAL records.
+
+    A payload carries one or more writes; each write is self-delimiting
+    (timestamp, key, entry, all length-prefixed) so an atomic batch (paper
+    §4) can be logged as a single WAL record — the batch becomes durable
+    all-or-nothing. Every write carries its cLSM timestamp so recovery can
+    restore the global order even though relaxed logging may emit records
+    out of order (paper §4). *)
+
+open Clsm_lsm
+
+type t = { ts : int; user_key : string; entry : Entry.t }
+
+val encode : t -> string
+
+val encode_batch : t list -> string
+(** Concatenation of {!encode}; decodes back as the same list. *)
+
+val decode_all : string -> t list
+(** Raises [Clsm_util.Varint.Corrupt] or [Invalid_argument] on malformed
+    input (recovery treats the whole payload as lost). *)
+
+val decode : string -> t
+(** Single-record payloads only; raises [Invalid_argument] when the
+    payload holds zero or several records. *)

@@ -1,0 +1,50 @@
+(** The in-memory component [Cm]: a lock-free skip-list of
+    key-timestamp-value triples sorted by (user key asc, timestamp asc),
+    exactly the structure Algorithms 1–3 of the paper operate on.
+
+    All operations are thread-safe and non-blocking; obsolete versions are
+    never removed (they disappear when the whole component is discarded
+    after its merge, §3.2.1). *)
+
+open Clsm_lsm
+
+type t
+
+val create : unit -> t
+
+val add : t -> user_key:string -> ts:int -> Entry.t -> unit
+(** Insert one version. (user_key, ts) pairs are unique because every put
+    draws a fresh timestamp; a duplicate insert (WAL replay of an already
+    flushed record) is silently ignored. *)
+
+val get : t -> user_key:string -> snap_ts:int -> (int * Entry.t) option
+(** Newest version of [user_key] with timestamp [<= snap_ts]. *)
+
+val latest_ts : t -> user_key:string -> int option
+(** Timestamp of the newest version of [user_key] in this component. *)
+
+(** One optimistic attempt of Algorithm 3's install step. *)
+type rmw_location
+
+val locate_rmw : t -> user_key:string -> int option * rmw_location
+(** Locate the insertion point for [(user_key, ∞)] (line 5). The first
+    component is the timestamp of the predecessor when it is a version of
+    [user_key] (for the line-6 conflict check), [None] otherwise. *)
+
+val try_install : t -> rmw_location -> user_key:string -> ts:int -> Entry.t -> bool
+(** CAS the new version in after the located predecessor (line 12); [false]
+    means a concurrent insertion moved the insertion point — re-run the
+    whole read-check-install attempt. *)
+
+val approximate_bytes : t -> int
+(** Payload bytes plus a per-entry overhead estimate; drives rotation. *)
+
+val entry_count : t -> int
+val is_empty : t -> bool
+
+val iter : t -> Iter.t
+(** Weakly-consistent iterator over (encoded internal key, encoded entry),
+    suitable for merges and scans. *)
+
+val fold_entries : (string -> int -> Entry.t -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+(** [f user_key ts entry acc] in internal-key order (tests, flush stats). *)

@@ -1,0 +1,52 @@
+(** The in-memory component interface the cLSM algorithm is generic over.
+
+    The paper's "Generic algorithm" contribution (§1): puts, gets, snapshot
+    scans and range queries only assume a thread-safe sorted multi-version
+    map with weakly-consistent iteration; any such data structure can serve
+    as [Cm] (§3, citing ConcurrentSkipListMap and Bronson's tree as
+    examples). Atomic read-modify-write additionally needs an optimistic
+    locate/install pair — Algorithm 3 obtains it from the skip-list's
+    bottom-level CAS; other structures may provide it differently (see
+    {!Cow_memtable}, which serializes installs instead).
+
+    {!Store.Make} builds the full store (Algorithms 1 and 2, WAL, merge
+    hooks, recovery) over any implementation of this signature. *)
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> user_key:string -> ts:int -> Clsm_lsm.Entry.t -> unit
+  (** Insert one version. (user_key, ts) pairs are unique under normal
+      operation; a duplicate insert (WAL replay) must be ignored. *)
+
+  val get : t -> user_key:string -> snap_ts:int -> (int * Clsm_lsm.Entry.t) option
+  (** Newest version of [user_key] with timestamp [<= snap_ts]. *)
+
+  val latest_ts : t -> user_key:string -> int option
+
+  (** One optimistic attempt of Algorithm 3's install step. *)
+  type rmw_location
+
+  val locate_rmw : t -> user_key:string -> int option * rmw_location
+  (** Locate the insertion point for [(user_key, ∞)]; the first component
+      is the predecessor's timestamp when it is a version of [user_key]
+      (conflict detection), [None] otherwise. *)
+
+  val try_install :
+    t -> rmw_location -> user_key:string -> ts:int -> Clsm_lsm.Entry.t -> bool
+  (** Publish a new version iff no conflicting insertion happened since
+      {!locate_rmw}; [false] means retry the whole attempt. *)
+
+  val approximate_bytes : t -> int
+  val entry_count : t -> int
+  val is_empty : t -> bool
+
+  val iter : t -> Clsm_lsm.Iter.t
+  (** Weakly-consistent iterator over (encoded internal key, encoded
+      entry): every binding present for the whole traversal is visited. *)
+
+  val fold_entries :
+    (string -> int -> Clsm_lsm.Entry.t -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+end

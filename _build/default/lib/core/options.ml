@@ -1,0 +1,24 @@
+type t = {
+  dir : string;
+  memtable_bytes : int;
+  sync_wal : bool;
+  wal_enabled : bool;
+  cache_bytes : int;
+  linearizable_snapshots : bool;
+  unsafe_naive_snapshots : bool;
+  active_set_capacity : int;
+  lsm : Clsm_lsm.Lsm_config.t;
+}
+
+let default ~dir =
+  {
+    dir;
+    memtable_bytes = 128 * 1024 * 1024;
+    sync_wal = false;
+    wal_enabled = true;
+    cache_bytes = 64 * 1024 * 1024;
+    linearizable_snapshots = false;
+    unsafe_naive_snapshots = false;
+    active_set_capacity = 4096;
+    lsm = Clsm_lsm.Lsm_config.default;
+  }

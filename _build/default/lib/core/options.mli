@@ -1,0 +1,22 @@
+(** Store configuration. Defaults mirror the paper's evaluation setup where
+    applicable (128 MB memory component §5; Bloom filters and a block cache
+    inherited from LevelDB §4). *)
+
+type t = {
+  dir : string;  (** data directory (created if missing) *)
+  memtable_bytes : int;  (** soft size limit of [Cm] (default 128 MB) *)
+  sync_wal : bool;  (** synchronous logging (default false — async) *)
+  wal_enabled : bool;  (** disable only for benchmarks *)
+  cache_bytes : int;  (** block cache budget (default 64 MB) *)
+  linearizable_snapshots : bool;
+      (** use the linearizable [getSnap] variant (§3.2.1: omit lines 10–11)
+          instead of the default serializable one *)
+  unsafe_naive_snapshots : bool;
+      (** ABLATION ONLY: take snapshot timestamps straight from
+          [timeCounter], skipping the Active-set protocol — reintroduces the
+          Figure 3/4 races (scans may observe inconsistent states) *)
+  active_set_capacity : int;  (** slots for in-flight timestamps *)
+  lsm : Clsm_lsm.Lsm_config.t;  (** disk component tuning *)
+}
+
+val default : dir:string -> t

@@ -1,0 +1,42 @@
+type entry = { ts : int; expires : float option; mutable live : bool }
+type handle = entry
+type t = { mutex : Mutex.t; mutable entries : entry list }
+
+let create () = { mutex = Mutex.create (); entries = [] }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | v ->
+      Mutex.unlock t.mutex;
+      v
+  | exception e ->
+      Mutex.unlock t.mutex;
+      raise e
+
+let expired now entry =
+  (not entry.live)
+  || match entry.expires with Some e -> now >= e | None -> false
+
+let install t ?ttl ~now ts =
+  let entry =
+    { ts; expires = Option.map (fun d -> now +. d) ttl; live = true }
+  in
+  with_lock t (fun () -> t.entries <- entry :: t.entries);
+  entry
+
+let remove t handle =
+  with_lock t (fun () -> handle.live <- false)
+
+let prune_locked t now =
+  t.entries <- List.filter (fun e -> not (expired now e)) t.entries
+
+let live_timestamps t ~now =
+  with_lock t (fun () ->
+      prune_locked t now;
+      List.map (fun e -> e.ts) t.entries |> List.sort Int.compare)
+
+let min_timestamp t ~now =
+  match live_timestamps t ~now with [] -> None | ts :: _ -> Some ts
+
+let cardinal t = with_lock t (fun () -> List.length t.entries)

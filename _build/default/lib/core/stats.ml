@@ -1,0 +1,89 @@
+type t = {
+  puts : int Atomic.t;
+  gets : int Atomic.t;
+  deletes : int Atomic.t;
+  rmws : int Atomic.t;
+  rmw_conflicts : int Atomic.t;
+  snapshots_taken : int Atomic.t;
+  scans : int Atomic.t;
+  memtable_rotations : int Atomic.t;
+  flushes : int Atomic.t;
+  compactions : int Atomic.t;
+  bytes_flushed : int Atomic.t;
+  bytes_compacted : int Atomic.t;
+  write_stalls : int Atomic.t;
+}
+
+type snapshot = {
+  puts : int;
+  gets : int;
+  deletes : int;
+  rmws : int;
+  rmw_conflicts : int;
+  snapshots_taken : int;
+  scans : int;
+  memtable_rotations : int;
+  flushes : int;
+  compactions : int;
+  bytes_flushed : int;
+  bytes_compacted : int;
+  write_stalls : int;
+}
+
+let create () : t =
+  {
+    puts = Atomic.make 0;
+    gets = Atomic.make 0;
+    deletes = Atomic.make 0;
+    rmws = Atomic.make 0;
+    rmw_conflicts = Atomic.make 0;
+    snapshots_taken = Atomic.make 0;
+    scans = Atomic.make 0;
+    memtable_rotations = Atomic.make 0;
+    flushes = Atomic.make 0;
+    compactions = Atomic.make 0;
+    bytes_flushed = Atomic.make 0;
+    bytes_compacted = Atomic.make 0;
+    write_stalls = Atomic.make 0;
+  }
+
+let incr_puts (t : t) = Atomic.incr t.puts
+let incr_gets (t : t) = Atomic.incr t.gets
+let incr_deletes (t : t) = Atomic.incr t.deletes
+let incr_rmws (t : t) = Atomic.incr t.rmws
+let incr_rmw_conflicts (t : t) = Atomic.incr t.rmw_conflicts
+let incr_snapshots (t : t) = Atomic.incr t.snapshots_taken
+let incr_scans (t : t) = Atomic.incr t.scans
+let incr_rotations (t : t) = Atomic.incr t.memtable_rotations
+let incr_flushes (t : t) = Atomic.incr t.flushes
+let incr_compactions (t : t) = Atomic.incr t.compactions
+let add_bytes_flushed (t : t) n = ignore (Atomic.fetch_and_add t.bytes_flushed n)
+let add_bytes_compacted (t : t) n = ignore (Atomic.fetch_and_add t.bytes_compacted n)
+let incr_write_stalls (t : t) = Atomic.incr t.write_stalls
+
+let read (t : t) : snapshot =
+  {
+    puts = Atomic.get t.puts;
+    gets = Atomic.get t.gets;
+    deletes = Atomic.get t.deletes;
+    rmws = Atomic.get t.rmws;
+    rmw_conflicts = Atomic.get t.rmw_conflicts;
+    snapshots_taken = Atomic.get t.snapshots_taken;
+    scans = Atomic.get t.scans;
+    memtable_rotations = Atomic.get t.memtable_rotations;
+    flushes = Atomic.get t.flushes;
+    compactions = Atomic.get t.compactions;
+    bytes_flushed = Atomic.get t.bytes_flushed;
+    bytes_compacted = Atomic.get t.bytes_compacted;
+    write_stalls = Atomic.get t.write_stalls;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>puts=%d gets=%d deletes=%d rmws=%d (conflicts=%d)@,\
+     snapshots=%d scans=%d@,\
+     rotations=%d flushes=%d compactions=%d@,\
+     bytes_flushed=%d bytes_compacted=%d stalls=%d@]"
+    s.puts s.gets s.deletes s.rmws s.rmw_conflicts s.snapshots_taken s.scans
+    s.memtable_rotations s.flushes s.compactions s.bytes_flushed
+    s.bytes_compacted s.write_stalls

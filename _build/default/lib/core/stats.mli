@@ -1,0 +1,37 @@
+(** Operation and maintenance counters (all atomic; cheap enough to keep on
+    in production). *)
+
+type t
+
+type snapshot = {
+  puts : int;
+  gets : int;
+  deletes : int;
+  rmws : int;
+  rmw_conflicts : int;
+  snapshots_taken : int;
+  scans : int;
+  memtable_rotations : int;
+  flushes : int;
+  compactions : int;
+  bytes_flushed : int;
+  bytes_compacted : int;
+  write_stalls : int;
+}
+
+val create : unit -> t
+val incr_puts : t -> unit
+val incr_gets : t -> unit
+val incr_deletes : t -> unit
+val incr_rmws : t -> unit
+val incr_rmw_conflicts : t -> unit
+val incr_snapshots : t -> unit
+val incr_scans : t -> unit
+val incr_rotations : t -> unit
+val incr_flushes : t -> unit
+val incr_compactions : t -> unit
+val add_bytes_flushed : t -> int -> unit
+val add_bytes_compacted : t -> int -> unit
+val incr_write_stalls : t -> unit
+val read : t -> snapshot
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,153 @@
+(** The store signature produced by {!Store.Make} — see {!Db} (the
+    skip-list instantiation, the paper's cLSM) for the full story; the
+    per-item documentation lives here. *)
+
+module type S = sig
+  type t
+
+  val open_store : Options.t -> t
+  (** Open (or create) the store, running crash recovery: load the manifest,
+      delete orphaned files, replay live write-ahead logs (re-sorted by
+      timestamp), and start the compaction domain.
+      Raises on unrecoverable corruption. *)
+
+  val close : t -> unit
+  (** Stop maintenance, flush the WAL, persist the manifest and release all
+      components. Idempotent. The memtable is {e not} flushed — like
+      LevelDB, reopening recovers it from the log. *)
+
+  (** {1 Point operations} *)
+
+  val put : t -> key:string -> value:string -> unit
+  val delete : t -> key:string -> unit
+  (** Put of the deletion marker ⊥ (paper §2.1). *)
+
+  val get : t -> string -> string option
+  (** Latest value, or [None] if absent or deleted. Never blocks. *)
+
+  (** {1 Read-modify-write} *)
+
+  type rmw_decision =
+    | Set of string  (** store this value *)
+    | Remove  (** store a deletion marker *)
+    | Abort  (** change nothing *)
+
+  val rmw : t -> key:string -> (string option -> rmw_decision) -> string option
+  (** [rmw t ~key f] atomically applies [f] to the current value of [key]
+      (with [None] for absent/deleted) and installs its decision. [f] may be
+      re-invoked after a conflict with a concurrent writer — only the final
+      invocation's decision takes effect, so side effects inside [f] must be
+      overwriting, not cumulative. The returned value is the pre-image read
+      by the successful attempt. Lock-free: failure of one attempt implies
+      another operation progressed. *)
+
+  val put_if_absent : t -> key:string -> value:string -> bool
+  (** The Figure 9 RMW flavor: atomically install [value] unless [key] is
+      present. [true] if this call installed it. *)
+
+  (** {1 Atomic write batches} *)
+
+  type batch_op =
+    | Batch_put of string * string  (** key, value *)
+    | Batch_delete of string
+
+  val write_batch : t -> batch_op list -> unit
+  (** Apply all operations atomically: the shared-exclusive lock is held in
+      exclusive mode for the duration (the paper inherits LevelDB's blocking
+      batch implementation, §4), so no writer, RMW or snapshot can interleave,
+      and the batch is logged as a single WAL record (durable
+      all-or-nothing). Plain {!get}s do not take the lock and may observe a
+      prefix of an in-flight batch; use snapshots for consistent reads. *)
+
+  (** {1 Snapshots and scans} *)
+
+  type snapshot
+
+  val get_snap : ?ttl:float -> t -> snapshot
+  (** Consistent point-in-time view (serializable; linearizable when the
+      store was opened with [linearizable_snapshots]). Release it with
+      {!release_snapshot}, or pass [ttl] (seconds) to have the handle expire
+      automatically — the paper's two removal paths for unused snapshot
+      handles (§3.2.1). Reading through an expired snapshot is not checked;
+      its pinned versions may be garbage-collected. *)
+
+  val snapshot_ts : snapshot -> int
+  val release_snapshot : t -> snapshot -> unit
+  (** Unpin the snapshot so compactions may GC versions it held (the
+      paper's explicit API-call removal from the active snapshot list).
+      Idempotent. *)
+
+  val get_at : t -> snapshot -> string -> string option
+  (** Snapshot read of a single key (§3.2.2). *)
+
+  val multi_get : t -> string list -> (string * string option) list
+  (** Read several keys from one internal snapshot, so the results are
+      mutually consistent. *)
+
+  (** Forward iterator over live user keys: the snapshot-filtered merge of
+      all components. Holds references on its components — {!iter_close} it. *)
+  type iterator
+
+  val iterator : ?snapshot:snapshot -> t -> iterator
+  (** Without [snapshot], an internal snapshot is taken and released on
+      close. *)
+
+  val iter_seek_first : iterator -> unit
+  val iter_seek : iterator -> string -> unit
+  (** Position at the first visible key [>= target]. *)
+
+  val iter_valid : iterator -> bool
+  val iter_key : iterator -> string
+  val iter_value : iterator -> string
+  val iter_next : iterator -> unit
+  val iter_close : iterator -> unit
+
+  val range :
+    ?snapshot:snapshot ->
+    ?start:string ->
+    ?stop:string ->
+    ?limit:int ->
+    t ->
+    (string * string) list
+  (** Collect visible bindings with [start <= key < stop] (both optional),
+      at most [limit]. A range query in the paper's sense (§3.2.2). *)
+
+  val fold :
+    ?snapshot:snapshot -> (string -> string -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+  (** Full snapshot scan. *)
+
+  (** {1 Maintenance and introspection} *)
+
+  val compact_now : t -> unit
+  (** Synchronously rotate the memtable, flush it, and run level compactions
+      to quiescence. For tests, benchmarks and bulk-load flows. *)
+
+  val simulate_crash : t -> unit
+  (** Testing hook: abandon the store without flushing the asynchronous WAL
+      queue or persisting the manifest — the on-disk state is what a process
+      crash would leave. The handle must not be used afterwards; reopen the
+      directory with {!open_store} to run recovery. *)
+
+  val flush_wal : t -> unit
+  val stats : t -> Stats.snapshot
+  val options : t -> Options.t
+
+  val level_file_counts : t -> int list
+  (** Files per level, L0 first. *)
+
+  val memtable_bytes : t -> int
+  val cache_stats : t -> Clsm_sstable.Cache.stats
+
+  val repair : dir:string -> unit
+  (** LevelDB-style RepairDB: rebuild the manifest of a store whose manifest
+      was lost or corrupted, from the table files present. Damaged tables are
+      renamed aside ([.damaged]); surviving tables are installed at level 0,
+      where timestamp order keeps reads correct. Run on a closed store, then
+      {!open_store} as usual (WAL replay still applies). *)
+
+  val verify_integrity : t -> string list
+  (** Verify every table file (checksums, ordering, properties) and the
+      level invariants of the current disk component. Empty list = healthy.
+      Safe on a live store (operates on a pinned version). *)
+
+end

@@ -1,0 +1,1 @@
+lib/lsm/compaction.ml: Array Clsm_primitives Clsm_sstable Entry Int Internal_key Iter List Lsm_config Merge_iter Refcounted String Table_file Version

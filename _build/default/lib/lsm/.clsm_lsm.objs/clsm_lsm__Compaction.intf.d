@@ -1,0 +1,1 @@
+lib/lsm/compaction.mli: Clsm_sstable Entry Iter Lsm_config Version

@@ -1,0 +1,1 @@
+lib/lsm/entry.mli:

@@ -1,0 +1,1 @@
+lib/lsm/internal_key.ml: Binary Buffer Char Clsm_sstable Clsm_util Int String

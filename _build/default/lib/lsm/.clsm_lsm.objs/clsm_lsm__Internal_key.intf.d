@@ -1,0 +1,1 @@
+lib/lsm/internal_key.mli: Clsm_sstable

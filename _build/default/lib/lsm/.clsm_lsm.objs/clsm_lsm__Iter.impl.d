@@ -1,0 +1,1 @@
+lib/lsm/iter.ml: Array Clsm_sstable List

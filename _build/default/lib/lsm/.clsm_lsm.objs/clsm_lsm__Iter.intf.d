@@ -1,0 +1,1 @@
+lib/lsm/iter.mli: Clsm_sstable

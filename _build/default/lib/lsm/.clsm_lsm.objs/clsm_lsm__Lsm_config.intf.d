@@ -1,0 +1,1 @@
+lib/lsm/lsm_config.mli:

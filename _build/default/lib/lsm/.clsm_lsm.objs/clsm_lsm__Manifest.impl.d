@@ -1,0 +1,1 @@
+lib/lsm/manifest.ml: Buffer Clsm_util Crc32c List Printf String Sys Table_file Unix

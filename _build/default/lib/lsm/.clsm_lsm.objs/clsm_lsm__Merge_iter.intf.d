@@ -1,0 +1,1 @@
+lib/lsm/merge_iter.mli: Iter

@@ -1,0 +1,1 @@
+lib/lsm/table_file.ml: Atomic Clsm_sstable Filename Internal_key Printf Sys

@@ -1,0 +1,1 @@
+lib/lsm/table_file.mli: Atomic Clsm_sstable

@@ -1,0 +1,1 @@
+lib/lsm/version.ml: Array Clsm_primitives Clsm_sstable Entry Internal_key Iter List Printf Refcounted String Table_file

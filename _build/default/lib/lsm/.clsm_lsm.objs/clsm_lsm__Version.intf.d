@@ -1,0 +1,1 @@
+lib/lsm/version.mli: Clsm_primitives Entry Iter Table_file

@@ -1,0 +1,250 @@
+open Clsm_primitives
+
+type task = {
+  src_level : int;
+  inputs_lo : Version.file list;
+  inputs_hi : Version.file list;
+  target_level : int;
+  drop_tombstones : bool;
+}
+
+let deeper_levels_empty (v : Version.t) target_level =
+  (* levels.(i) is level i+1 *)
+  let deepest = Array.length v.Version.levels in
+  let rec go level =
+    level > deepest
+    || (v.Version.levels.(level - 1) = [] && go (level + 1))
+  in
+  go (target_level + 1)
+
+let pick ~cfg ?(level_pointers = [||]) (v : Version.t) =
+  let mk ~src_level ~inputs_lo ~target_level =
+    let inputs_hi =
+      match Version.files_range inputs_lo with
+      | None -> []
+      | Some (smallest, largest) ->
+          if target_level - 1 < Array.length v.Version.levels then
+            Version.overlapping v.Version.levels.(target_level - 1) ~smallest
+              ~largest
+          else []
+    in
+    {
+      src_level;
+      inputs_lo;
+      inputs_hi;
+      target_level;
+      drop_tombstones = deeper_levels_empty v target_level;
+    }
+  in
+  if List.length v.Version.l0 >= cfg.Lsm_config.l0_compaction_trigger then
+    Some (mk ~src_level:0 ~inputs_lo:v.Version.l0 ~target_level:1)
+  else begin
+    let num_levels = Array.length v.Version.levels + 1 in
+    let rec find level =
+      if level >= num_levels - 1 then None
+        (* the deepest level has no deeper target; let it grow *)
+      else if
+        Version.level_bytes v level > Lsm_config.max_bytes_for_level cfg level
+      then
+        match v.Version.levels.(level - 1) with
+        | [] -> find (level + 1)
+        | (first :: _) as files ->
+            (* round-robin through the level's key space (LevelDB's
+               compact_pointer): resume after the last compacted key. *)
+            let pointer =
+              if level - 1 < Array.length level_pointers then
+                level_pointers.(level - 1)
+              else ""
+            in
+            let chosen =
+              if pointer = "" then first
+              else
+                match
+                  List.find_opt
+                    (fun f ->
+                      Internal_key.compare_encoded
+                        (Clsm_primitives.Refcounted.value f).Table_file.smallest
+                        pointer
+                      > 0)
+                    files
+                with
+                | Some f -> f
+                | None -> first
+            in
+            Some (mk ~src_level:level ~inputs_lo:[ chosen ]
+                    ~target_level:(level + 1))
+      else find (level + 1)
+    in
+    find 1
+  end
+
+let filter_group ~snapshots ~drop_tombstones versions =
+  let arr = Array.of_list versions in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let keep = Array.make n false in
+    (* The newest version is always visible to future reads. *)
+    keep.(n - 1) <- true;
+    (* Each snapshot pins the newest version at or below its timestamp. *)
+    List.iter
+      (fun s ->
+        let rec last_le i best =
+          if i = n then best
+          else if fst arr.(i) <= s then last_le (i + 1) (Some i)
+          else best
+        in
+        match last_le 0 None with
+        | Some i -> keep.(i) <- true
+        | None -> ())
+      snapshots;
+    let kept = ref [] in
+    for i = n - 1 downto 0 do
+      if keep.(i) then kept := arr.(i) :: !kept
+    done;
+    (* With nothing below the target level, a deletion marker that is the
+       oldest surviving entry denotes "never existed" and can go. *)
+    let rec drop_leading = function
+      | (_, Entry.Tombstone) :: rest when drop_tombstones -> drop_leading rest
+      | l -> l
+    in
+    List.map fst (drop_leading !kept)
+  end
+
+(* Accumulates output tables, cutting at the target file size. *)
+type output_state = {
+  cfg : Lsm_config.t;
+  dir : string;
+  cache : Clsm_sstable.Block.t Clsm_sstable.Cache.t option;
+  alloc_number : unit -> int;
+  mutable builder : (int * Clsm_sstable.Table_builder.t) option;
+  mutable files : Version.file list; (* reversed *)
+}
+
+let builder_of st =
+  match st.builder with
+  | Some (_, b) -> b
+  | None ->
+      let number = st.alloc_number () in
+      let b =
+        Clsm_sstable.Table_builder.create
+          ~block_size:st.cfg.Lsm_config.block_size
+          ~bits_per_key:st.cfg.Lsm_config.bits_per_key
+          ~compress:st.cfg.Lsm_config.compress
+          ~filter_key_of:Internal_key.user_key_of ~cmp:Internal_key.comparator
+          ~path:(Table_file.table_path ~dir:st.dir number)
+          ()
+      in
+      st.builder <- Some (number, b);
+      b
+
+let finish_current st =
+  match st.builder with
+  | None -> ()
+  | Some (number, b) ->
+      st.builder <- None;
+      if Clsm_sstable.Table_builder.num_entries b = 0 then
+        Clsm_sstable.Table_builder.abandon b
+      else begin
+        ignore (Clsm_sstable.Table_builder.finish b);
+        let tf = Table_file.open_number ?cache:st.cache ~dir:st.dir number in
+        st.files <-
+          Refcounted.create ~release:Table_file.release tf :: st.files
+      end
+
+let emit st ~key ~value =
+  let b = builder_of st in
+  Clsm_sstable.Table_builder.add b ~key ~value;
+  if
+    Clsm_sstable.Table_builder.estimated_file_size b
+    >= st.cfg.Lsm_config.target_file_size
+  then finish_current st
+
+let write_sorted_run ~cfg ~dir ?cache ~alloc_number ~snapshots ~drop_tombstones
+    iter =
+  let snapshots = List.sort_uniq Int.compare snapshots in
+  let st = { cfg; dir; cache; alloc_number; builder = None; files = [] } in
+  iter.Iter.seek_to_first ();
+  (* Collect one user key's versions (ascending ts), deduplicating exact
+     internal-key ties from merge inputs, then GC and emit. *)
+  let next_group () =
+    if not (iter.Iter.valid ()) then None
+    else begin
+      let first_key = iter.Iter.key () in
+      let user_key = Internal_key.user_key_of first_key in
+      let rec collect acc last_ik =
+        if not (iter.Iter.valid ()) then List.rev acc
+        else
+          let ik = iter.Iter.key () in
+          if not (String.equal (Internal_key.user_key_of ik) user_key) then
+            List.rev acc
+          else begin
+            let v = iter.Iter.value () in
+            iter.Iter.next ();
+            if last_ik <> "" && Internal_key.compare_encoded last_ik ik = 0
+            then collect acc last_ik (* duplicate: first source wins *)
+            else collect ((ik, v) :: acc) ik
+          end
+      in
+      Some (user_key, collect [] "")
+    end
+  in
+  let rec pump () =
+    match next_group () with
+    | None -> ()
+    | Some (_user_key, versions) ->
+        let decoded =
+          List.map (fun (ik, v) -> (Internal_key.ts_of ik, Entry.decode v)) versions
+        in
+        let kept_ts = filter_group ~snapshots ~drop_tombstones decoded in
+        List.iter
+          (fun (ik, v) ->
+            if List.mem (Internal_key.ts_of ik) kept_ts then
+              emit st ~key:ik ~value:v)
+          versions;
+        pump ()
+  in
+  pump ();
+  finish_current st;
+  List.rev st.files
+
+let file_iter f = Iter.of_table (Refcounted.value f).Table_file.table
+
+let run ~cfg ~dir ?cache ~alloc_number ~snapshots task =
+  let inputs = task.inputs_lo @ task.inputs_hi in
+  let merged =
+    Merge_iter.merge ~cmp:Internal_key.compare_encoded
+      (List.map file_iter inputs)
+  in
+  write_sorted_run ~cfg ~dir ?cache ~alloc_number ~snapshots
+    ~drop_tombstones:task.drop_tombstones merged
+
+let same_file a b =
+  (Refcounted.value a).Table_file.number = (Refcounted.value b).Table_file.number
+
+let apply (current : Version.t) task ~outputs =
+  let is_input f =
+    List.exists (same_file f) task.inputs_lo
+    || List.exists (same_file f) task.inputs_hi
+  in
+  let l0 =
+    if task.src_level = 0 then List.filter (fun f -> not (is_input f)) current.Version.l0
+    else current.Version.l0
+  in
+  let levels = Array.copy current.Version.levels in
+  if task.src_level >= 1 then
+    levels.(task.src_level - 1) <-
+      List.filter (fun f -> not (is_input f)) levels.(task.src_level - 1);
+  let target_idx = task.target_level - 1 in
+  let kept_target =
+    List.filter (fun f -> not (is_input f)) levels.(target_idx)
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        Internal_key.compare_encoded (Refcounted.value a).Table_file.smallest
+          (Refcounted.value b).Table_file.smallest)
+      (kept_target @ outputs)
+  in
+  levels.(target_idx) <- sorted;
+  Version.create ~l0 ~levels

@@ -1,0 +1,64 @@
+(** The merge procedure (paper §2.3): memtable flushes and background level
+    compactions, with snapshot-aware garbage collection of obsolete
+    versions — "for every key and every snapshot, the latest version of the
+    key that does not exceed the snapshot's timestamp is kept" (§3.2.1). *)
+
+type task = {
+  src_level : int; (** 0 for an L0→L1 merge *)
+  inputs_lo : Version.file list;
+  inputs_hi : Version.file list; (** overlapping files of [target_level] *)
+  target_level : int;
+  drop_tombstones : bool;
+      (** true when no data can exist below [target_level]: deletion
+          markers that are the oldest surviving entry of their key are
+          elided *)
+}
+
+val pick :
+  cfg:Lsm_config.t -> ?level_pointers:string array -> Version.t -> task option
+(** L0 is compacted when it accumulates [l0_compaction_trigger] files;
+    otherwise the shallowest level over its byte budget contributes one
+    file, chosen round-robin through the level's key space:
+    [level_pointers.(i)] (level i+1's last compacted largest key, "" to
+    start over) selects the first file beyond it — LevelDB's
+    [compact_pointer]. [None] when nothing needs compacting. *)
+
+val filter_group :
+  snapshots:int list ->
+  drop_tombstones:bool ->
+  (int * Entry.t) list ->
+  int list
+(** Pure core of the GC: given the ascending timestamps (with decoded
+    entries) of one user key's versions and the ascending active-snapshot
+    timestamps, return the timestamps to {e keep}. Exposed for direct
+    property testing. *)
+
+val write_sorted_run :
+  cfg:Lsm_config.t ->
+  dir:string ->
+  ?cache:Clsm_sstable.Block.t Clsm_sstable.Cache.t ->
+  alloc_number:(unit -> int) ->
+  snapshots:int list ->
+  drop_tombstones:bool ->
+  Iter.t ->
+  Version.file list
+(** Stream a sorted (by internal key) iterator through GC into one or more
+    table files cut at [target_file_size]. Duplicate internal keys (ties
+    across merge inputs) are deduplicated keeping the first. Returns the
+    new files (each with one owning reference), sorted, possibly empty. *)
+
+val run :
+  cfg:Lsm_config.t ->
+  dir:string ->
+  ?cache:Clsm_sstable.Block.t Clsm_sstable.Cache.t ->
+  alloc_number:(unit -> int) ->
+  snapshots:int list ->
+  task ->
+  Version.file list
+(** Merge the task's inputs and write the target-level output run. *)
+
+val apply : Version.t -> task -> outputs:Version.file list -> Version.t
+(** Build the successor version: inputs removed, outputs installed at
+    [target_level]. The base version may have gained L0 files since the
+    task was picked; they are preserved. The caller retires the old
+    version and marks input files obsolete. *)

@@ -1,0 +1,52 @@
+open Clsm_util
+
+type t = { user_key : string; ts : int }
+
+let ts_size = 8
+let max_ts = max_int
+
+let encode { user_key; ts } =
+  let buf = Buffer.create (String.length user_key + ts_size) in
+  Buffer.add_string buf user_key;
+  Binary.write_fixed64 buf ts;
+  Buffer.contents buf
+
+let check s =
+  if String.length s < ts_size then invalid_arg "Internal_key: too short"
+
+let decode s =
+  check s;
+  let n = String.length s - ts_size in
+  { user_key = String.sub s 0 n; ts = Binary.get_fixed64 s ~pos:n }
+
+let make user_key ts = encode { user_key; ts }
+let probe user_key = make user_key max_ts
+
+let user_key_of s =
+  check s;
+  String.sub s 0 (String.length s - ts_size)
+
+let ts_of s =
+  check s;
+  Binary.get_fixed64 s ~pos:(String.length s - ts_size)
+
+let compare a b =
+  let c = String.compare a.user_key b.user_key in
+  if c <> 0 then c else Int.compare a.ts b.ts
+
+let compare_encoded a b =
+  let la = String.length a - ts_size and lb = String.length b - ts_size in
+  if la < 0 || lb < 0 then invalid_arg "Internal_key.compare_encoded";
+  let n = min la lb in
+  let rec go i =
+    if i = n then
+      if la <> lb then Int.compare la lb
+      else Int.compare (Binary.get_fixed64 a ~pos:la) (Binary.get_fixed64 b ~pos:lb)
+    else
+      let ca = String.unsafe_get a i and cb = String.unsafe_get b i in
+      if Char.equal ca cb then go (i + 1) else Char.compare ca cb
+  in
+  go 0
+
+let comparator =
+  { Clsm_sstable.Comparator.name = "clsm-internal-key"; compare = compare_encoded }

@@ -1,0 +1,39 @@
+(** Internal keys: a user key paired with the cLSM timestamp of the write.
+
+    Multi-versioning (paper §3.2) stores key-timestamp-value triples sorted
+    in lexicographical order of the (key, timestamp) pair — user key
+    ascending, timestamp {e ascending} — so that Algorithm 3 can probe
+    [(k, ∞)] and find the newest version of [k] as the predecessor.
+
+    The encoded form appends the timestamp as 8 little-endian bytes to the
+    user key; ordering of encoded keys is defined by {!compare_encoded}
+    (byte order is not order-preserving across different key lengths, hence
+    the explicit comparator threaded through blocks and tables). *)
+
+type t = { user_key : string; ts : int }
+
+val ts_size : int
+
+val max_ts : int
+(** Probe sentinel standing for [∞]; real timestamps are always below it. *)
+
+val encode : t -> string
+val decode : string -> t
+(** Raises [Invalid_argument] if the input is shorter than {!ts_size}. *)
+
+val make : string -> int -> string
+(** [make k ts] = [encode { user_key = k; ts }]. *)
+
+val probe : string -> string
+(** [probe k] = [make k max_ts] — the Algorithm 3 / get upper bound. *)
+
+val user_key_of : string -> string
+(** User key of an encoded internal key. *)
+
+val ts_of : string -> int
+
+val compare : t -> t -> int
+val compare_encoded : string -> string -> int
+
+val comparator : Clsm_sstable.Comparator.t
+(** {!compare_encoded} packaged for blocks and tables. *)

@@ -1,0 +1,15 @@
+(** Durable description of the store's disk state, rewritten atomically
+    (write-temp + fsync + rename) on every version installation. Together
+    with the write-ahead logs this is everything recovery needs. *)
+
+type t = {
+  next_file_number : int;
+  last_ts : int; (** highest timestamp issued before the save *)
+  wal_number : int; (** active write-ahead log to replay on recovery *)
+  files : (int * int) list; (** (level, table number); level 0 newest first *)
+}
+
+val save : dir:string -> t -> unit
+val load : dir:string -> t option
+(** [None] when no manifest exists (fresh store). Raises [Failure] on a
+    corrupt manifest (CRC mismatch or malformed contents). *)

@@ -1,0 +1,36 @@
+(* Linear-scan minimum over the sub-iterators: the fan-in of an LSM merge
+   is small (a handful of components), so O(k) per step beats heap
+   bookkeeping in both simplicity and constant factor. *)
+
+let merge ~cmp subs =
+  let subs = Array.of_list subs in
+  let n = Array.length subs in
+  let cur = ref (-1) in
+  let recompute () =
+    cur := -1;
+    for i = n - 1 downto 0 do
+      if subs.(i).Iter.valid () then
+        if !cur = -1 || cmp (subs.(i).Iter.key ()) (subs.(!cur).Iter.key ()) <= 0
+        then cur := i
+    done
+  in
+  let valid () = !cur >= 0 && subs.(!cur).Iter.valid () in
+  {
+    Iter.seek_to_first =
+      (fun () ->
+        Array.iter (fun it -> it.Iter.seek_to_first ()) subs;
+        recompute ());
+    seek =
+      (fun target ->
+        Array.iter (fun it -> it.Iter.seek target) subs;
+        recompute ());
+    valid;
+    key = (fun () -> subs.(!cur).Iter.key ());
+    value = (fun () -> subs.(!cur).Iter.value ());
+    next =
+      (fun () ->
+        if valid () then begin
+          subs.(!cur).Iter.next ();
+          recompute ()
+        end);
+  }

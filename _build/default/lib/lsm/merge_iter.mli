@@ -1,0 +1,11 @@
+(** K-way merging iterator — the heart of the merge procedure that
+    "incorporates the contents of the memory component into the disk, and
+    the contents of each component into the next one" (paper §2.3), and of
+    multi-component scans.
+
+    Ties (equal keys across sources) are broken by source order: earlier
+    sources (newer components) win, and the duplicate from the older source
+    is still emitted afterwards — callers that need deduplication (e.g.
+    compaction) skip repeated internal keys. *)
+
+val merge : cmp:(string -> string -> int) -> Iter.t list -> Iter.t

@@ -1,0 +1,28 @@
+(** A numbered, immutable on-disk table plus its metadata, shared between
+    successive versions of the disk component through reference counting.
+    When the last version referencing an obsolete file releases it, the
+    reader is closed and the file deleted. *)
+
+type t = {
+  number : int;
+  table : Clsm_sstable.Table.t;
+  size : int;
+  smallest : string; (** smallest internal key, "" when empty *)
+  largest : string;
+  obsolete : bool Atomic.t;
+}
+
+val table_path : dir:string -> int -> string
+val wal_path : dir:string -> int -> string
+val manifest_path : dir:string -> string
+
+val open_number :
+  ?cache:Clsm_sstable.Block.t Clsm_sstable.Cache.t -> dir:string -> int -> t
+(** Open table file [number] in [dir] with the internal-key comparator. *)
+
+val mark_obsolete : t -> unit
+(** The file will be deleted once its last reference is dropped. *)
+
+val release : t -> unit
+(** Close the reader and delete the file if marked obsolete. Used as the
+    [Refcounted] release hook. *)

@@ -1,0 +1,183 @@
+open Clsm_primitives
+
+type file = Table_file.t Refcounted.t
+
+type t = { l0 : file list; levels : file list array }
+
+let empty ~num_levels =
+  if num_levels < 2 then invalid_arg "Version.empty";
+  { l0 = []; levels = Array.make (num_levels - 1) [] }
+
+let addref file =
+  (* Files listed in a live version always have a positive count: the
+     caller holds a reference while constructing the new version. *)
+  let ok = Refcounted.try_incr file in
+  assert ok
+
+let create ~l0 ~levels =
+  List.iter addref l0;
+  Array.iter (List.iter addref) levels;
+  { l0; levels = Array.copy levels }
+
+let release t =
+  List.iter Refcounted.decr t.l0;
+  Array.iter (List.iter Refcounted.decr) t.levels
+
+let with_new_l0 t file = create ~l0:(file :: t.l0) ~levels:t.levels
+
+let num_files t =
+  List.length t.l0 + Array.fold_left (fun a l -> a + List.length l) 0 t.levels
+
+let level_file_count t level =
+  if level = 0 then List.length t.l0 else List.length t.levels.(level - 1)
+
+let file_bytes files =
+  List.fold_left (fun a f -> a + (Refcounted.value f).Table_file.size) 0 files
+
+let level_bytes t level =
+  if level = 0 then file_bytes t.l0 else file_bytes t.levels.(level - 1)
+
+let total_bytes t =
+  file_bytes t.l0 + Array.fold_left (fun a l -> a + file_bytes l) 0 t.levels
+
+let user_range_contains tf user_key =
+  let open Table_file in
+  tf.smallest <> ""
+  && String.compare (Internal_key.user_key_of tf.smallest) user_key <= 0
+  && String.compare user_key (Internal_key.user_key_of tf.largest) <= 0
+
+(* Newest entry for [user_key] with ts <= probe's ts inside one file. *)
+let search_file file ~user_key ~probe =
+  let tf = Refcounted.value file in
+  if not (user_range_contains tf user_key) then None
+  else if not (Clsm_sstable.Table.may_contain tf.Table_file.table user_key)
+  then None
+  else
+    match Clsm_sstable.Table.find_last_le tf.Table_file.table probe with
+    | Some (ik, v) when String.equal (Internal_key.user_key_of ik) user_key ->
+        Some (Internal_key.ts_of ik, Entry.decode v)
+    | Some _ | None -> None
+
+let get t ~user_key ~snap_ts =
+  let probe = Internal_key.make user_key snap_ts in
+  (* L0 files may overlap, so every file is consulted and the newest
+     matching version wins. *)
+  let best =
+    List.fold_left
+      (fun acc file ->
+        match (search_file file ~user_key ~probe, acc) with
+        | (Some (ts, _) as hit), Some (best_ts, _) when ts > best_ts -> hit
+        | Some _, Some _ -> acc
+        | hit, None -> hit
+        | None, acc -> acc)
+      None t.l0
+  in
+  match best with
+  | Some _ as hit -> hit
+  | None ->
+      (* Deeper levels are disjoint, but versions of one user key can
+         straddle two adjacent files; the later file holds the newer
+         versions, so candidates are scanned newest-range-first. *)
+      let rec search_levels i =
+        if i >= Array.length t.levels then None
+        else
+          let candidates =
+            List.filter
+              (fun f -> user_range_contains (Refcounted.value f) user_key)
+              t.levels.(i)
+          in
+          let rec try_files = function
+            | [] -> search_levels (i + 1)
+            | f :: rest -> (
+                match search_file f ~user_key ~probe with
+                | Some _ as hit -> hit
+                | None -> try_files rest)
+          in
+          try_files (List.rev candidates)
+      in
+      search_levels 0
+
+let iters t =
+  let l0_iters =
+    List.map
+      (fun f -> Iter.of_table (Refcounted.value f).Table_file.table)
+      t.l0
+  in
+  let level_iters =
+    Array.to_list t.levels
+    |> List.filter_map (fun files ->
+           match files with
+           | [] -> None
+           | _ ->
+               Some
+                 (Iter.concat
+                    (List.map
+                       (fun f ->
+                         Iter.of_table (Refcounted.value f).Table_file.table)
+                       files)))
+  in
+  l0_iters @ level_iters
+
+let overlapping files ~smallest ~largest =
+  let cmp = Internal_key.compare_encoded in
+  List.filter
+    (fun f ->
+      let tf = Refcounted.value f in
+      tf.Table_file.smallest <> ""
+      && not
+           (cmp tf.Table_file.largest smallest < 0
+           || cmp tf.Table_file.smallest largest > 0))
+    files
+
+let files_range files =
+  let cmp = Internal_key.compare_encoded in
+  List.fold_left
+    (fun acc f ->
+      let tf = Refcounted.value f in
+      if tf.Table_file.smallest = "" then acc
+      else
+        match acc with
+        | None -> Some (tf.Table_file.smallest, tf.Table_file.largest)
+        | Some (lo, hi) ->
+            let lo =
+              if cmp tf.Table_file.smallest lo < 0 then tf.Table_file.smallest
+              else lo
+            in
+            let hi =
+              if cmp tf.Table_file.largest hi > 0 then tf.Table_file.largest
+              else hi
+            in
+            Some (lo, hi))
+    None files
+
+let validate t =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  let check_file level f =
+    let tf = Refcounted.value f in
+    match Clsm_sstable.Table.verify tf.Table_file.table with
+    | Ok _ -> ()
+    | Error msg ->
+        problem "level %d file %06d: %s" level tf.Table_file.number msg
+  in
+  List.iter (check_file 0) t.l0;
+  Array.iteri
+    (fun i files ->
+      let level = i + 1 in
+      List.iter (check_file level) files;
+      (* sorted and disjoint *)
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+            let ta = Refcounted.value a and tb = Refcounted.value b in
+            if
+              Internal_key.compare_encoded ta.Table_file.largest
+                tb.Table_file.smallest >= 0
+            then
+              problem "level %d files %06d and %06d overlap" level
+                ta.Table_file.number tb.Table_file.number;
+            pairs rest
+        | [ _ ] | [] -> ()
+      in
+      pairs files)
+    t.levels;
+  List.rev !problems

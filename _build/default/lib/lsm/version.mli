@@ -1,0 +1,60 @@
+(** An immutable snapshot of the disk component [Cd]: the set of table
+    files, organized as overlapping level-0 files (memtable flushes, newest
+    first) plus non-overlapping sorted runs for levels 1 and deeper.
+
+    Versions are immutable; flushes and compactions build a {e new} version
+    sharing unchanged files with the old one. Files are reference-counted:
+    {!create} takes a reference on every listed file, {!release} drops
+    them, and a file marked obsolete is closed and deleted when its last
+    version goes away. The current version pointer lives in an
+    {!Clsm_primitives.Rcu_box} at the store layer — this is the paper's
+    [Pd]. *)
+
+type file = Table_file.t Clsm_primitives.Refcounted.t
+
+type t = {
+  l0 : file list; (* newest first *)
+  levels : file list array; (* [levels.(i)] is level [i+1], sorted, disjoint *)
+}
+
+val empty : num_levels:int -> t
+
+val create : l0:file list -> levels:file list array -> t
+(** Takes a reference on every file (the caller keeps its own). *)
+
+val release : t -> unit
+(** Drop this version's references. *)
+
+val with_new_l0 : t -> file -> t
+(** New version with [file] prepended to level 0 (references taken as in
+    {!create}). *)
+
+val num_files : t -> int
+val level_file_count : t -> int -> int
+val level_bytes : t -> int -> int
+(** [level] 0-based ([0] = L0, [i] = level i). *)
+
+val total_bytes : t -> int
+
+val get : t -> user_key:string -> snap_ts:int -> (int * Entry.t) option
+(** Newest version of [user_key] with timestamp [<= snap_ts], searching L0
+    (all files, maximum timestamp wins) and then each deeper level. Returns
+    the timestamp and the stored entry — [Some (_, Tombstone)] means the
+    key was deleted as of [snap_ts] and deeper components must not be
+    consulted. *)
+
+val iters : t -> Iter.t list
+(** One iterator per L0 file (newest first) followed by one concatenated
+    iterator per non-empty level; inputs for merged scans. *)
+
+val overlapping : file list -> smallest:string -> largest:string -> file list
+(** Files of a sorted level whose internal-key range intersects
+    [[smallest, largest]]. *)
+
+val files_range : file list -> (string * string) option
+(** Union internal-key range of the given files. *)
+
+val validate : t -> string list
+(** Structural and content checks of the whole disk component: every table
+    file verifies ({!Clsm_sstable.Table.verify}), and levels 1+ are sorted
+    and disjoint. Returns human-readable problems (empty = healthy). *)

@@ -1,0 +1,1 @@
+lib/primitives/active_set.ml: Array Atomic Backoff Int List

@@ -1,0 +1,1 @@
+lib/primitives/monotonic_counter.mli:

@@ -1,0 +1,1 @@
+lib/primitives/mpmc_queue.ml: Atomic Backoff

@@ -1,0 +1,1 @@
+lib/primitives/rcu_box.mli: Refcounted

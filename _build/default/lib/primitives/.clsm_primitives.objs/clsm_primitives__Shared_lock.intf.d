@@ -1,0 +1,1 @@
+lib/primitives/shared_lock.mli:

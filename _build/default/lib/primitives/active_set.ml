@@ -1,0 +1,60 @@
+type t = { slots : int Atomic.t array }
+type handle = int
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Active_set.create";
+  { slots = Array.init capacity (fun _ -> Atomic.make 0) }
+
+let add t ts =
+  if ts <= 0 then invalid_arg "Active_set.add: timestamp must be positive";
+  let n = Array.length t.slots in
+  let start = (ts * 0x9e3779b1) land max_int mod n in
+  let b = Backoff.create () in
+  let rec probe i tried =
+    if tried = n then begin
+      Backoff.once b;
+      probe start 0
+    end
+    else if Atomic.compare_and_set t.slots.(i) 0 ts then i
+    else probe ((i + 1) mod n) (tried + 1)
+  in
+  probe start 0
+
+let remove t handle =
+  let old = Atomic.exchange t.slots.(handle) 0 in
+  assert (old <> 0)
+
+let remove_value t ts =
+  let n = Array.length t.slots in
+  let rec loop i =
+    if i = n then false
+    else if Atomic.get t.slots.(i) = ts && Atomic.compare_and_set t.slots.(i) ts 0
+    then true
+    else loop (i + 1)
+  in
+  loop 0
+
+let find_min t =
+  let best = ref 0 in
+  Array.iter
+    (fun slot ->
+      let v = Atomic.get slot in
+      if v <> 0 && (!best = 0 || v < !best) then best := v)
+    t.slots;
+  if !best = 0 then None else Some !best
+
+let mem t ts =
+  Array.exists (fun slot -> Atomic.get slot = ts) t.slots
+
+let values t =
+  Array.fold_left
+    (fun acc slot ->
+      let v = Atomic.get slot in
+      if v <> 0 then v :: acc else acc)
+    [] t.slots
+  |> List.sort Int.compare
+
+let cardinal t =
+  Array.fold_left
+    (fun acc slot -> if Atomic.get slot <> 0 then acc + 1 else acc)
+    0 t.slots

@@ -1,0 +1,40 @@
+(** Lock-free set of timestamps with a minimum query — the paper's [Active]
+    set of in-flight put timestamps, also reused as the active-snapshot
+    registry queried by [beforeMerge].
+
+    Implemented as a fixed array of atomic slots (0 = empty). [add] claims a
+    slot with CAS starting from a hashed position; [remove] clears it in
+    O(1) via the returned handle; [find_min] scans all slots. Capacity only
+    needs to exceed the number of concurrently in-flight operations, so the
+    O(capacity) scan is cheap and the structure is non-blocking. *)
+
+type t
+type handle
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 1024 slots. Raises [Invalid_argument] if
+    [capacity < 1]. *)
+
+val add : t -> int -> handle
+(** [add t ts] publishes timestamp [ts] (must be [> 0]) and returns a handle
+    for O(1) removal. Spins with backoff if the set is momentarily full. *)
+
+val remove : t -> handle -> unit
+(** Unpublish the timestamp behind [handle]. A handle must be removed
+    exactly once. *)
+
+val remove_value : t -> int -> bool
+(** [remove_value t ts] removes one occurrence of [ts], returning [false] if
+    not present. O(capacity); for tests and the snapshot-release API. *)
+
+val find_min : t -> int option
+(** Smallest published timestamp, or [None] if the set is empty. *)
+
+val mem : t -> int -> bool
+
+val values : t -> int list
+(** All currently published timestamps, ascending (duplicates preserved).
+    Weakly consistent under concurrency, like {!find_min}. *)
+
+val cardinal : t -> int
+(** Instantaneous count of published timestamps (O(capacity)). *)

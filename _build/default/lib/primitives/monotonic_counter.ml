@@ -1,0 +1,11 @@
+type t = int Atomic.t
+
+let create v0 = Atomic.make v0
+let get = Atomic.get
+let inc_and_get t = Atomic.fetch_and_add t 1 + 1
+
+let rec advance_to t v =
+  let cur = Atomic.get t in
+  if cur >= v then cur
+  else if Atomic.compare_and_set t cur v then v
+  else advance_to t v

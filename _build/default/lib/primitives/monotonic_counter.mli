@@ -1,0 +1,16 @@
+(** Non-blocking monotone counter — the paper's [timeCounter], and (via
+    {!advance_to}) the CAS-max update of [snapTime] in Algorithm 2. *)
+
+type t
+
+val create : int -> t
+(** [create v0] starts the counter at [v0]. *)
+
+val get : t -> int
+
+val inc_and_get : t -> int
+(** Atomically increment and return the new value. *)
+
+val advance_to : t -> int -> int
+(** [advance_to t v] atomically assigns [max v (get t)] (CAS-max loop) and
+    returns the resulting value. The counter never moves backward. *)

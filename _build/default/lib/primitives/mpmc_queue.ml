@@ -1,0 +1,58 @@
+(* Michael & Scott two-pointer queue with a dummy head node. *)
+
+type 'a node = { value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = { head : 'a node Atomic.t; tail : 'a node Atomic.t }
+
+let create () =
+  let dummy = { value = None; next = Atomic.make None } in
+  { head = Atomic.make dummy; tail = Atomic.make dummy }
+
+let push t v =
+  let node = { value = Some v; next = Atomic.make None } in
+  let b = Backoff.create () in
+  let rec loop () =
+    let tail = Atomic.get t.tail in
+    match Atomic.get tail.next with
+    | None ->
+        if Atomic.compare_and_set tail.next None (Some node) then
+          (* Swing the tail; failure means another thread already helped. *)
+          ignore (Atomic.compare_and_set t.tail tail node)
+        else begin
+          Backoff.once b;
+          loop ()
+        end
+    | Some next ->
+        (* Tail is lagging; help advance it and retry. *)
+        ignore (Atomic.compare_and_set t.tail tail next);
+        loop ()
+  in
+  loop ()
+
+let pop t =
+  let b = Backoff.create () in
+  let rec loop () =
+    let head = Atomic.get t.head in
+    match Atomic.get head.next with
+    | None -> None
+    | Some next ->
+        if Atomic.compare_and_set t.head head next then
+          match next.value with
+          | Some _ as v -> v
+          | None -> assert false
+        else begin
+          Backoff.once b;
+          loop ()
+        end
+  in
+  loop ()
+
+let is_empty t = Atomic.get (Atomic.get t.head).next = None
+
+let length t =
+  let rec count node acc =
+    match Atomic.get node.next with
+    | None -> acc
+    | Some next -> count next (acc + 1)
+  in
+  count (Atomic.get t.head) 0

@@ -1,0 +1,19 @@
+(** Lock-free multi-producer multi-consumer FIFO queue (Michael–Scott).
+
+    Used as the asynchronous WAL logging queue (paper §4 harnesses libcds's
+    non-blocking queue for the same purpose). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Enqueue at the tail. Non-blocking (lock-free). *)
+
+val pop : 'a t -> 'a option
+(** Dequeue from the head, or [None] if empty. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Approximate length (racy but consistent when quiescent). *)

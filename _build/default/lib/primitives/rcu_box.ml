@@ -1,0 +1,36 @@
+type 'a t = 'a Refcounted.t Atomic.t
+
+let create cell = Atomic.make cell
+
+let acquire t =
+  let b = Backoff.create () in
+  let rec loop () =
+    let cell = Atomic.get t in
+    if Refcounted.try_incr cell then
+      (* Re-validate: if the pointer moved while we were incrementing, the
+         reference we took may be to a retired component — undo and retry. *)
+      if Atomic.get t == cell then cell
+      else begin
+        Refcounted.decr cell;
+        loop ()
+      end
+    else begin
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let peek t = Atomic.get t
+
+let swap t cell = Atomic.exchange t cell
+
+let with_ref t f =
+  let cell = acquire t in
+  match f (Refcounted.value cell) with
+  | v ->
+      Refcounted.decr cell;
+      v
+  | exception e ->
+      Refcounted.decr cell;
+      raise e

@@ -1,0 +1,31 @@
+(** Per-component reference counting (paper §3.1): components (memtables,
+    disk versions) carry a reference counter so they are not released while
+    a reader still holds them. The OCaml GC reclaims memory, so [release]
+    is only for external resources (file descriptors, recycled buffers) and
+    for test observability.
+
+    A cell is created with one owner reference. Readers take extra
+    references through {!Rcu_box.load}; the owner drops its reference with
+    {!retire}. [release] runs exactly once, when the count reaches zero. *)
+
+type 'a t
+
+val create : ?release:('a -> unit) -> 'a -> 'a t
+
+val value : 'a t -> 'a
+(** The payload. Valid only while holding a reference. *)
+
+val try_incr : 'a t -> bool
+(** Take a reference. Returns [false] if the count had already dropped to
+    zero (the component is being released) — the caller must retry via the
+    enclosing {!Rcu_box} protocol. *)
+
+val decr : 'a t -> unit
+(** Drop a reference, running [release] if this was the last one. *)
+
+val retire : 'a t -> unit
+(** Drop the owner reference (alias of {!decr}, named for call-site
+    clarity). *)
+
+val count : 'a t -> int
+(** Instantaneous reference count (for tests). *)

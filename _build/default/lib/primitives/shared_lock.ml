@@ -1,0 +1,72 @@
+(* State word: 0 = free, 1 = exclusive held, 2k (k>0) = k shared holders.
+   [waiting_exclusive] > 0 makes new shared lockers back off, giving the
+   merge thread priority (required by the paper to avoid merge starvation). *)
+
+type t = { state : int Atomic.t; waiting_exclusive : int Atomic.t }
+
+let create () = { state = Atomic.make 0; waiting_exclusive = Atomic.make 0 }
+
+let lock_shared t =
+  let b = Backoff.create () in
+  let rec loop () =
+    if Atomic.get t.waiting_exclusive > 0 then begin
+      Backoff.once b;
+      loop ()
+    end
+    else
+      let s = Atomic.get t.state in
+      if s land 1 = 1 then begin
+        Backoff.once b;
+        loop ()
+      end
+      else if Atomic.compare_and_set t.state s (s + 2) then ()
+      else loop ()
+  in
+  loop ()
+
+let unlock_shared t =
+  let old = Atomic.fetch_and_add t.state (-2) in
+  assert (old >= 2 && old land 1 = 0)
+
+let lock_exclusive t =
+  Atomic.incr t.waiting_exclusive;
+  let b = Backoff.create () in
+  let rec loop () =
+    if Atomic.compare_and_set t.state 0 1 then ()
+    else begin
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ();
+  Atomic.decr t.waiting_exclusive
+
+let unlock_exclusive t =
+  let ok = Atomic.compare_and_set t.state 1 0 in
+  assert ok
+
+let with_shared t f =
+  lock_shared t;
+  match f () with
+  | v ->
+      unlock_shared t;
+      v
+  | exception e ->
+      unlock_shared t;
+      raise e
+
+let with_exclusive t f =
+  lock_exclusive t;
+  match f () with
+  | v ->
+      unlock_exclusive t;
+      v
+  | exception e ->
+      unlock_exclusive t;
+      raise e
+
+let holders t =
+  match Atomic.get t.state with
+  | 0 -> `Free
+  | 1 -> `Exclusive
+  | s -> `Shared (s lsr 1)

@@ -1,0 +1,29 @@
+(** Writer-preference shared-exclusive lock (paper §3.1).
+
+    Put operations hold the lock in shared mode; [beforeMerge] and
+    [afterMerge] hold it in exclusive mode. Shared acquisition never blocks
+    unless an exclusive locker is active or waiting; exclusive acquisition is
+    preferred over new shared lockers so the merge process cannot starve.
+
+    The implementation is a single atomic word ([1] = exclusive held,
+    [2k] = k shared holders) plus an atomic count of waiting exclusive
+    lockers; all paths are lock-free spins with bounded backoff. *)
+
+type t
+
+val create : unit -> t
+
+val lock_shared : t -> unit
+val unlock_shared : t -> unit
+
+val lock_exclusive : t -> unit
+val unlock_exclusive : t -> unit
+
+val with_shared : t -> (unit -> 'a) -> 'a
+(** [with_shared t f] runs [f ()] holding the lock in shared mode,
+    releasing it even if [f] raises. *)
+
+val with_exclusive : t -> (unit -> 'a) -> 'a
+
+val holders : t -> [ `Free | `Shared of int | `Exclusive ]
+(** Instantaneous state, for tests and stats. *)

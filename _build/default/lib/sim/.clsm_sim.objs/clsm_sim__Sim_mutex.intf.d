@@ -1,0 +1,1 @@
+lib/sim/sim_mutex.mli: Engine Proc

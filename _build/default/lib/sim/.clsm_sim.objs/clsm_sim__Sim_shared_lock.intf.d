@@ -1,0 +1,1 @@
+lib/sim/sim_shared_lock.mli: Engine Proc

@@ -1,0 +1,89 @@
+(* Binary min-heap of (time, seq)-keyed events. *)
+
+type event = { time : float; seq : int; thunk : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.0; seq = 0; thunk = ignore }
+
+let create () = { heap = Array.make 256 dummy; size = 0; clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  sift_down t 0;
+  top
+
+let schedule_at t time thunk =
+  let time = if time < t.clock then t.clock else time in
+  push t { time; seq = t.next_seq; thunk };
+  t.next_seq <- t.next_seq + 1
+
+let schedule_after t delay thunk =
+  schedule_at t (t.clock +. Float.max 0.0 delay) thunk
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue && t.size > 0 do
+    if t.heap.(0).time > horizon then continue := false
+    else begin
+      let ev = pop t in
+      t.clock <- ev.time;
+      ev.thunk ()
+    end
+  done;
+  if t.clock < horizon then t.clock <- horizon
+
+let run_all t =
+  while t.size > 0 do
+    let ev = pop t in
+    t.clock <- ev.time;
+    ev.thunk ()
+  done
+
+let pending t = t.size

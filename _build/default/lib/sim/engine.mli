@@ -1,0 +1,25 @@
+(** Deterministic discrete-event simulation core: a virtual clock and a
+    time-ordered event heap. Events scheduled for the same instant run in
+    schedule order (a monotone sequence number breaks ties), so runs are
+    exactly reproducible. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+(** Current virtual time, seconds. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** Run the thunk at the given absolute virtual time (>= now). *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** Run the thunk [delay] seconds from now. Negative delays clamp to 0. *)
+
+val run_until : t -> float -> unit
+(** Process events in time order until the clock would pass the horizon;
+    the clock finishes at exactly the horizon. *)
+
+val run_all : t -> unit
+(** Drain every event. *)
+
+val pending : t -> int

@@ -1,0 +1,13 @@
+type 'a t = ('a -> unit) -> unit
+
+let return x k = k x
+let bind p f k = p (fun v -> (f v) k)
+let ( let* ) = bind
+let map f p k = p (fun v -> k (f v))
+
+let delay engine d k = Engine.schedule_after engine d (fun () -> k ())
+let spawn p = p ignore
+
+let rec rec_loop body state = (body state) (fun state' -> rec_loop body state')
+
+let yield engine k = Engine.schedule_after engine 0.0 (fun () -> k ())

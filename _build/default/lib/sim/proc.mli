@@ -1,0 +1,33 @@
+(** Simulated processes as a continuation monad: a ['a proc] eventually
+    delivers an ['a] to its continuation, possibly after virtual time has
+    passed. Models read naturally:
+
+    {[
+      let op engine cpu lock =
+        let* () = Sim_mutex.lock lock in
+        let* () = Resource.use cpu 2e-6 in
+        Sim_mutex.unlock lock;
+        Proc.return ()
+    ]} *)
+
+type 'a t = ('a -> unit) -> unit
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val delay : Engine.t -> float -> unit t
+(** Pass virtual time without holding any resource. *)
+
+val spawn : 'a t -> unit
+(** Start a process, discarding its result. *)
+
+val rec_loop : ('a -> 'a t) -> 'a -> unit
+(** Tail-recursive process loop without stack growth: each iteration's
+    continuation is trampolined through the scheduler only when the body
+    suspends; synchronous bodies are bounded by an explicit bounce. *)
+
+val yield : Engine.t -> unit t
+(** Reschedule at the current instant (lets same-time events interleave and
+    bounds the native stack in synchronous loops). *)

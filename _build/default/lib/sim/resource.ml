@@ -1,0 +1,35 @@
+type t = {
+  engine : Engine.t;
+  servers : int;
+  mutable in_service : int;
+  waiters : (float * (unit -> unit)) Queue.t;
+  mutable served_time : float;
+}
+
+let create engine ~servers =
+  if servers < 1 then invalid_arg "Resource.create";
+  { engine; servers; in_service = 0; waiters = Queue.create (); served_time = 0.0 }
+
+let rec start t duration k =
+  t.in_service <- t.in_service + 1;
+  t.served_time <- t.served_time +. duration;
+  Engine.schedule_after t.engine duration (fun () ->
+      t.in_service <- t.in_service - 1;
+      (* Hand the freed server to the next waiter before resuming us, so
+         FIFO order is preserved at equal timestamps. *)
+      (if not (Queue.is_empty t.waiters) then
+         let d, k' = Queue.pop t.waiters in
+         start t d k');
+      k ())
+
+let use t duration k =
+  if t.in_service < t.servers then start t duration k
+  else Queue.push (duration, k) t.waiters
+
+let busy t = t.in_service
+let queue_length t = Queue.length t.waiters
+let busy_time t = t.served_time
+
+let utilization t ~horizon =
+  if horizon <= 0.0 then 0.0
+  else t.served_time /. (float_of_int t.servers *. horizon)

@@ -1,0 +1,20 @@
+(** Multi-server FIFO resource: [servers] units of a hardware capacity
+    (CPU hardware contexts, a disk's channel, the memory bus). A process
+    [use]s the resource for a known service duration; excess demand queues
+    in FIFO order. Utilization statistics feed the experiment reports. *)
+
+type t
+
+val create : Engine.t -> servers:int -> t
+
+val use : t -> float -> unit Proc.t
+(** Occupy one server for the given virtual duration. *)
+
+val busy : t -> int
+val queue_length : t -> int
+
+val busy_time : t -> float
+(** Accumulated server-seconds of service. *)
+
+val utilization : t -> horizon:float -> float
+(** [busy_time / (servers * horizon)]. *)

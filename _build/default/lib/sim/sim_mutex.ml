@@ -1,0 +1,34 @@
+type t = {
+  engine : Engine.t;
+  mutable held : bool;
+  waiters : (float * (unit -> unit)) Queue.t; (* enqueue time, continuation *)
+  mutable acqs : int;
+  mutable wait_time : float;
+}
+
+let create engine =
+  { engine; held = false; waiters = Queue.create (); acqs = 0; wait_time = 0.0 }
+
+let lock t k =
+  if not t.held then begin
+    t.held <- true;
+    t.acqs <- t.acqs + 1;
+    k ()
+  end
+  else Queue.push (Engine.now t.engine, k) t.waiters
+
+let unlock t =
+  if not t.held then invalid_arg "Sim_mutex.unlock: not held";
+  if Queue.is_empty t.waiters then t.held <- false
+  else begin
+    let enqueued, k = Queue.pop t.waiters in
+    t.acqs <- t.acqs + 1;
+    t.wait_time <- t.wait_time +. (Engine.now t.engine -. enqueued);
+    (* Hand-off at the current instant. *)
+    Engine.schedule_after t.engine 0.0 k
+  end
+
+let acquisitions t = t.acqs
+let total_wait t = t.wait_time
+
+let waiting t = Queue.length t.waiters

@@ -1,0 +1,15 @@
+(** FIFO mutex in virtual time — the model of LevelDB's global mutex and
+    of lock stripes. Tracks contention statistics (total wait time,
+    acquisitions) so experiments can report where time went. *)
+
+type t
+
+val create : Engine.t -> t
+val lock : t -> unit Proc.t
+val unlock : t -> unit
+val acquisitions : t -> int
+val total_wait : t -> float
+(** Summed virtual seconds processes spent queued. *)
+
+val waiting : t -> int
+(** Processes currently queued (for convoy-cost models). *)

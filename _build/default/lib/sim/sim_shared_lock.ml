@@ -1,0 +1,68 @@
+type t = {
+  engine : Engine.t;
+  mutable shared_holders : int;
+  mutable exclusive_held : bool;
+  mutable exclusive_waiting : int;
+  shared_waiters : (float * (unit -> unit)) Queue.t;
+  exclusive_waiters : (unit -> unit) Queue.t;
+  mutable shared_wait : float;
+}
+
+let create engine =
+  {
+    engine;
+    shared_holders = 0;
+    exclusive_held = false;
+    exclusive_waiting = 0;
+    shared_waiters = Queue.create ();
+    exclusive_waiters = Queue.create ();
+    shared_wait = 0.0;
+  }
+
+let grant_exclusive t k =
+  t.exclusive_held <- true;
+  Engine.schedule_after t.engine 0.0 k
+
+let drain_shared t =
+  while not (Queue.is_empty t.shared_waiters) do
+    let enqueued, k = Queue.pop t.shared_waiters in
+    t.shared_wait <- t.shared_wait +. (Engine.now t.engine -. enqueued);
+    t.shared_holders <- t.shared_holders + 1;
+    Engine.schedule_after t.engine 0.0 k
+  done
+
+let lock_shared t k =
+  if (not t.exclusive_held) && t.exclusive_waiting = 0 then begin
+    t.shared_holders <- t.shared_holders + 1;
+    k ()
+  end
+  else Queue.push (Engine.now t.engine, k) t.shared_waiters
+
+let unlock_shared t =
+  if t.shared_holders <= 0 then invalid_arg "Sim_shared_lock.unlock_shared";
+  t.shared_holders <- t.shared_holders - 1;
+  if t.shared_holders = 0 && not (Queue.is_empty t.exclusive_waiters) then begin
+    t.exclusive_waiting <- t.exclusive_waiting - 1;
+    grant_exclusive t (Queue.pop t.exclusive_waiters)
+  end
+
+let lock_exclusive t k =
+  if (not t.exclusive_held) && t.shared_holders = 0 then begin
+    t.exclusive_held <- true;
+    k ()
+  end
+  else begin
+    t.exclusive_waiting <- t.exclusive_waiting + 1;
+    Queue.push k t.exclusive_waiters
+  end
+
+let unlock_exclusive t =
+  if not t.exclusive_held then invalid_arg "Sim_shared_lock.unlock_exclusive";
+  t.exclusive_held <- false;
+  if not (Queue.is_empty t.exclusive_waiters) then begin
+    t.exclusive_waiting <- t.exclusive_waiting - 1;
+    grant_exclusive t (Queue.pop t.exclusive_waiters)
+  end
+  else drain_shared t
+
+let shared_wait_time t = t.shared_wait

@@ -1,0 +1,16 @@
+(** Writer-preference shared-exclusive lock in virtual time — the model of
+    cLSM's put/merge synchronization. Shared acquisition is immediate
+    unless an exclusive holder or waiter exists (the paper's
+    merge-starvation-avoidance rule); exclusive acquisition waits for all
+    shared holders to drain. *)
+
+type t
+
+val create : Engine.t -> t
+val lock_shared : t -> unit Proc.t
+val unlock_shared : t -> unit
+val lock_exclusive : t -> unit Proc.t
+val unlock_exclusive : t -> unit
+val shared_wait_time : t -> float
+(** Summed virtual seconds shared lockers (puts) spent blocked — the cost
+    the merge's exclusive sections impose on writers. *)

@@ -1,0 +1,1 @@
+lib/sim_lsm/experiment.ml: Clsm_sim Clsm_workload Costs Engine Histogram List Rng Sim_store System Workload_spec

@@ -1,0 +1,1 @@
+lib/sim_lsm/experiment.mli: Clsm_workload Costs System Workload_spec

@@ -1,0 +1,1 @@
+lib/sim_lsm/sim_store.ml: Clsm_sim Clsm_workload Costs Engine Float Key_dist Option Proc Queue Resource Rng Sim_mutex Sim_shared_lock System Workload_spec

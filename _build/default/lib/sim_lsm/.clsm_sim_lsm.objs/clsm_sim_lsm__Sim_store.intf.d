@@ -1,0 +1,1 @@
+lib/sim_lsm/sim_store.mli: Clsm_sim Clsm_workload Costs Engine Proc Resource System Workload_spec

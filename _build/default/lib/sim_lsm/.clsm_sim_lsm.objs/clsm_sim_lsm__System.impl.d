@@ -1,0 +1,1 @@
+lib/sim_lsm/system.ml: String

@@ -1,0 +1,63 @@
+type t = {
+  hw_threads : int;
+  physical_cores : int;
+  ht_factor : float;
+  cross_chip_factor : float;
+  mem_read : float;
+  mem_write : float;
+  scan_next : float;
+  snapshot_overhead : float;
+  mem_write_log_factor : float;
+  bus_fixed_write : float;
+  bus_fixed_read : float;
+  bus_per_byte : float;
+  leveldb_read_cs : float;
+  leveldb_write_extra : float;
+  hyper_write_cs : float;
+  rocksdb_write_cost : float;
+  rocksdb_read_factor : float;
+  blsm_write_cost : float;
+  handoff_penalty : float;
+  clsm_cas_retry : float;
+  clsm_mv_per_byte : float;
+  merge_cs : float;
+  disk_read : float;
+  disk_write_bw : float;
+  write_amplification : float;
+  throttle_delay : float;
+  debt_threshold : float;
+}
+
+(* Fitted to the paper's single-thread rates: ~160K writes/s and ~150K
+   reads/s for the LevelDB family, 65K writes/s for RocksDB, 40K for bLSM
+   (Figures 5a/6a, leftmost points). *)
+let default =
+  {
+    hw_threads = 16;
+    physical_cores = 8;
+    ht_factor = 1.4;
+    cross_chip_factor = 1.2;
+    mem_read = 5.4e-6;
+    mem_write = 4.6e-6;
+    scan_next = 0.7e-6;
+    snapshot_overhead = 1.2e-6;
+    mem_write_log_factor = 0.25e-6;
+    bus_fixed_write = 0.7e-6;
+    bus_fixed_read = 0.35e-6;
+    bus_per_byte = 1.2e-9;
+    leveldb_read_cs = 1.15e-6;
+    leveldb_write_extra = 0.6e-6;
+    hyper_write_cs = 4.1e-6;
+    rocksdb_write_cost = 14.5e-6;
+    rocksdb_read_factor = 1.9;
+    blsm_write_cost = 24.0e-6;
+    handoff_penalty = 0.12e-6;
+    clsm_cas_retry = 1.9e-6;
+    clsm_mv_per_byte = 2.0e-9;
+    merge_cs = 12.0e-6;
+    disk_read = 80.0e-6;
+    disk_write_bw = 420.0e6;
+    write_amplification = 10.0;
+    throttle_delay = 330.0e-6;
+    debt_threshold = 512.0 *. 1024.0 *. 1024.0;
+  }

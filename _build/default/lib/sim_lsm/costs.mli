@@ -1,0 +1,53 @@
+(** Calibration constants of the simulator (all times in seconds).
+
+    The machine model mirrors the paper's testbed (§5): a 2-chip Xeon with
+    8 physical cores / 16 hardware threads and an SSD RAID. Service times
+    are fitted to the paper's single-thread rates and to microbenchmarks of
+    this repository's real OCaml implementation ([bench/main.exe
+    --calibrate]); what the models {e derive} (scaling knees, who wins,
+    crossovers) comes from the disciplines, not from these numbers. *)
+
+type t = {
+  (* machine *)
+  hw_threads : int;  (** CPU hardware contexts (16) *)
+  physical_cores : int;  (** cores before hyperthread sharing (8) *)
+  ht_factor : float;  (** compute-time multiplier when runnable > cores *)
+  cross_chip_factor : float;
+      (** memory-op multiplier when worker count spans both chips (> 8) *)
+  (* in-memory operation service times (single-thread) *)
+  mem_read : float;  (** skip-list / memtable search incl. Bloom checks *)
+  mem_write : float;  (** skip-list insert + WAL enqueue *)
+  scan_next : float;  (** per-key cost of iterator next *)
+  snapshot_overhead : float;  (** getSnap bookkeeping *)
+  mem_write_log_factor : float;
+      (** added insert cost per doubling of memtable entries beyond 2^18 *)
+  (* memory-system serialization: the part of each op that contends on the
+     shared memory bus / allocator (per op + per value byte) *)
+  bus_fixed_write : float;
+  bus_fixed_read : float;
+  bus_per_byte : float;
+  (* synchronization *)
+  leveldb_read_cs : float;  (** LevelDB read-path critical section *)
+  leveldb_write_extra : float;  (** non-memtable work inside the writer CS *)
+  hyper_write_cs : float;  (** HyperLevelDB residual serialized section *)
+  rocksdb_write_cost : float;  (** RocksDB write-path service time *)
+  rocksdb_read_factor : float;  (** RocksDB read slowdown vs LevelDB *)
+  blsm_write_cost : float;
+  handoff_penalty : float;  (** convoy cost per waiter on a mutex handoff *)
+  clsm_cas_retry : float;
+      (** per-concurrent-writer memory-system contention on the lock-free
+          insert path (CAS retries, cache-line transfers, allocator) *)
+  clsm_mv_per_byte : float;
+      (** cLSM's multi-version bookkeeping cost per value byte (timestamped
+          copies, version filtering) — why cLSM starts slightly behind the
+          competition on large-value production workloads (Figure 10) *)
+  merge_cs : float;  (** beforeMerge/afterMerge exclusive section *)
+  (* storage *)
+  disk_read : float;  (** one block-cache miss (SSD read) *)
+  disk_write_bw : float;  (** sequential write bandwidth, bytes/s *)
+  write_amplification : float;  (** long-run compaction bytes per flushed byte *)
+  throttle_delay : float;  (** per-write delay under heavy compaction debt *)
+  debt_threshold : float;  (** bytes of compaction debt that trigger throttling *)
+}
+
+val default : t

@@ -1,0 +1,58 @@
+(** Run one simulated benchmark: N worker processes driving a system model
+    with a workload for a span of virtual time, reporting throughput and
+    latency percentiles — one data point of a paper figure. *)
+
+open Clsm_workload
+
+type config = {
+  system : System.t;
+  threads : int;
+  workload : Workload_spec.t;
+  costs : Costs.t;
+  memtable_bytes : int;
+  duration : float;  (** virtual seconds *)
+  compaction_threads : int;
+  write_amplification : float option;  (** None: costs default *)
+  throttle : bool;  (** RocksDB-style debt throttling (Figure 11) *)
+  prefill : float;  (** initial memtable fill fraction *)
+  initial_l0 : int;
+  seed : int;
+}
+
+val config :
+  ?costs:Costs.t ->
+  ?memtable_bytes:int ->
+  ?duration:float ->
+  ?compaction_threads:int ->
+  ?write_amplification:float ->
+  ?throttle:bool ->
+  ?prefill:float ->
+  ?initial_l0:int ->
+  ?seed:int ->
+  system:System.t ->
+  threads:int ->
+  Workload_spec.t ->
+  config
+(** Defaults: 128 MB memtable (the paper's standard configuration), 2
+    virtual seconds, 1 compaction thread, no throttling, seed 1. *)
+
+type outcome = {
+  system : System.t;
+  threads : int;
+  ops : int;
+  keys : int;
+  throughput : float;  (** ops per virtual second *)
+  keys_per_sec : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  stalls : int;
+  rotations : int;
+}
+
+val run : config -> outcome
+
+val run_partitioned : partitions:int -> config -> outcome
+(** Figure 1's resource-isolated setup: [partitions] independent store
+    instances on the same machine, each served by [threads / partitions]
+    dedicated workers; reports the aggregate. *)

@@ -1,0 +1,411 @@
+open Clsm_sim
+open Clsm_workload
+open Proc
+
+type machine = {
+  engine : Engine.t;
+  cpu : Resource.t;
+  bus : Resource.t;
+  disk : Resource.t;
+}
+
+let machine_of (costs : Costs.t) engine =
+  {
+    engine;
+    cpu = Resource.create engine ~servers:costs.Costs.hw_threads;
+    bus = Resource.create engine ~servers:1;
+    (* four channels: the paper's SSD RAID of four drives — this is what
+       multi-threaded compaction (RocksDB, Figure 11) exploits *)
+    disk = Resource.create engine ~servers:4;
+  }
+
+type t = {
+  m : machine;
+  c : Costs.t;
+  system : System.t;
+  threads : int;
+  machine_threads : int; (* total workers on the machine (partitioned runs) *)
+  per_op_overhead : float; (* request routing / partition metadata cost *)
+  spec : Workload_spec.t;
+  memtable_limit : float;
+  compaction_threads : int;
+  write_amplification : float;
+  throttle : bool;
+  stop_at : float;
+  rng : Rng.t;
+  lock : Sim_shared_lock.t; (* cLSM *)
+  gmutex : Sim_mutex.t; (* single-writer systems; LevelDB read CS *)
+  mutable mem_bytes : float;
+  mutable mem_entries : float;
+  mutable imm_busy : bool;
+  mutable l0 : int;
+  mutable writers_inside : int;
+  stall_q : (unit -> unit) Queue.t;
+  mutable stall_count : int;
+  mutable rotation_count : int;
+}
+
+let l0_compaction_trigger = 4
+let l0_stall_limit = 12
+
+let create ~machine ~costs ~system ~threads ?machine_threads
+    ?(per_op_overhead = 0.0) ~workload ~memtable_bytes ?(compaction_threads = 1)
+    ?(write_amplification = costs.Costs.write_amplification)
+    ?(throttle = false) ?(stop_at = infinity) ?(prefill = 0.5) ?(initial_l0 = 0)
+    ~seed () =
+  let machine_threads = Option.value machine_threads ~default:threads in
+  let record_size =
+    float_of_int
+      (workload.Workload_spec.value_len + workload.Workload_spec.key_len + 64)
+  in
+  let start_bytes = float_of_int memtable_bytes *. prefill in
+  {
+    m = machine;
+    c = costs;
+    system;
+    threads;
+    machine_threads;
+    per_op_overhead;
+    spec = workload;
+    memtable_limit = float_of_int memtable_bytes;
+    compaction_threads;
+    write_amplification;
+    throttle;
+    stop_at;
+    rng = Rng.create seed;
+    lock = Sim_shared_lock.create machine.engine;
+    gmutex = Sim_mutex.create machine.engine;
+    mem_bytes = start_bytes;
+    mem_entries = start_bytes /. record_size;
+    imm_busy = false;
+    l0 = initial_l0;
+    writers_inside = 0;
+    stall_q = Queue.create ();
+    stall_count = 0;
+    rotation_count = 0;
+  }
+
+(* ---------- machine-level adjustments ---------- *)
+
+(* Hyperthread sharing: with more runnable workers than physical cores,
+   per-op compute stretches. *)
+let cpu_time t d =
+  if t.machine_threads > t.c.Costs.physical_cores then d *. t.c.Costs.ht_factor
+  else d
+
+(* Cross-chip penalty on memory-system operations once workers span both
+   sockets (paper: only the 16-thread run crosses chips). *)
+let bus_time t d =
+  if t.machine_threads > t.c.Costs.physical_cores then
+    d *. t.c.Costs.cross_chip_factor
+  else d
+
+let compute t d = Resource.use t.m.cpu (cpu_time t d)
+let bus t d = Resource.use t.m.bus (bus_time t d)
+
+let write_bus_cost t =
+  t.c.Costs.bus_fixed_write
+  +. (t.c.Costs.bus_per_byte
+      *. float_of_int (t.spec.Workload_spec.value_len + t.spec.Workload_spec.key_len))
+
+let read_bus_cost t =
+  t.c.Costs.bus_fixed_read
+  +. (t.c.Costs.bus_per_byte *. 0.25
+      *. float_of_int t.spec.Workload_spec.value_len)
+
+(* Insert cost grows with skip-list depth (Figure 8's slower in-memory
+   operations at large memtables). *)
+let insert_cost t =
+  let base = t.c.Costs.mem_write in
+  let entries = Float.max t.mem_entries 1.0 in
+  let extra_levels = Float.max 0.0 (Float.log2 entries -. 18.0) in
+  base +. (t.c.Costs.mem_write_log_factor *. extra_levels)
+
+let read_cost t =
+  let base = t.c.Costs.mem_read in
+  let entries = Float.max t.mem_entries 1.0 in
+  let extra_levels = Float.max 0.0 (Float.log2 entries -. 18.0) in
+  base +. (t.c.Costs.mem_write_log_factor *. 0.5 *. extra_levels)
+
+(* Block-cache miss probability, from the workload's locality (§5.1: the
+   skewed read workload is "amenable to caching"; §5.2 production traces
+   similar). *)
+let miss_prob t =
+  match Key_dist.kind t.spec.Workload_spec.keys with
+  | `Uniform -> 0.55
+  | `Skewed_blocks -> 0.045
+  | `Zipf -> 0.06
+  | `Heavy_tail -> 0.065
+  | `Sequential -> 0.01
+
+(* ---------- LSM state machine ---------- *)
+
+let release_stalled t =
+  while not (Queue.is_empty t.stall_q) do
+    Engine.schedule_after t.m.engine 0.0 (Queue.pop t.stall_q)
+  done
+
+(* The merge of C'm into the disk component, with the discipline's
+   critical sections around the pointer swaps. *)
+let merge_critical t body =
+  match t.system with
+  | System.Clsm ->
+      let* () = Sim_shared_lock.lock_exclusive t.lock in
+      let* () = body in
+      Sim_shared_lock.unlock_exclusive t.lock;
+      return ()
+  | System.Leveldb | System.Hyperleveldb | System.Rocksdb | System.Blsm
+  | System.Striped_rmw ->
+      let* () = Sim_mutex.lock t.gmutex in
+      let* () = body in
+      Sim_mutex.unlock t.gmutex;
+      return ()
+
+let start_merge t =
+  t.imm_busy <- true;
+  t.rotation_count <- t.rotation_count + 1;
+  let frozen = t.mem_bytes in
+  t.mem_bytes <- 0.0;
+  t.mem_entries <- 0.0;
+  Proc.spawn
+    ((* beforeMerge *)
+     let* () = merge_critical t (compute t t.c.Costs.merge_cs) in
+     (* flush C'm sequentially *)
+     let* () = Resource.use t.m.disk (frozen /. t.c.Costs.disk_write_bw) in
+     (* afterMerge *)
+     let* () = merge_critical t (compute t t.c.Costs.merge_cs) in
+     t.l0 <- t.l0 + 1;
+     t.imm_busy <- false;
+     release_stalled t;
+     return ())
+
+let account_write t =
+  t.mem_bytes <-
+    t.mem_bytes
+    +. float_of_int
+         (t.spec.Workload_spec.value_len + t.spec.Workload_spec.key_len + 64);
+  t.mem_entries <- t.mem_entries +. 1.0;
+  if t.mem_bytes >= t.memtable_limit && not t.imm_busy then start_merge t
+
+(* Background compaction: each L0 file costs (size * WA) of sequential
+   disk I/O to ripple down the levels. *)
+let start_background t =
+  let rec worker () =
+    if Engine.now t.m.engine >= t.stop_at then ()
+    else if t.l0 > 0 then
+      Proc.spawn
+        (let* () =
+           Resource.use t.m.disk
+             (t.memtable_limit *. t.write_amplification
+             /. t.c.Costs.disk_write_bw)
+         in
+         t.l0 <- max 0 (t.l0 - 1);
+         release_stalled t;
+         worker ();
+         return ())
+    else
+      Proc.spawn
+        (let* () = Proc.delay t.m.engine 0.5e-3 in
+         worker ();
+         return ())
+  in
+  for _ = 1 to t.compaction_threads do
+    worker ()
+  done
+
+(* ---------- write-path building blocks ---------- *)
+
+let maybe_stall t k =
+  if
+    t.l0 >= l0_stall_limit
+    || (t.mem_bytes >= t.memtable_limit && t.imm_busy)
+  then begin
+    t.stall_count <- t.stall_count + 1;
+    Queue.push k t.stall_q
+  end
+  else k ()
+
+let maybe_throttle t =
+  if t.throttle && t.l0 >= l0_compaction_trigger then
+    (* RocksDB-style delayed writes: the per-write delay grows with the
+       compaction backlog, so configurations that drain faster (more
+       compaction threads) throttle less. *)
+    let backlog = float_of_int (t.l0 - l0_compaction_trigger + 1) in
+    Proc.delay t.m.engine
+      (t.c.Costs.throttle_delay *. (1.0 +. (backlog /. 10.0)))
+  else return ()
+
+let convoy t =
+  t.c.Costs.handoff_penalty
+  *. float_of_int (min 6 (Sim_mutex.waiting t.gmutex))
+
+let clsm_mv_overhead t =
+  t.c.Costs.clsm_mv_per_byte *. float_of_int t.spec.Workload_spec.value_len
+
+let clsm_write t =
+  let* () = maybe_stall t in
+  let* () = maybe_throttle t in
+  let* () = Sim_shared_lock.lock_shared t.lock in
+  t.writers_inside <- t.writers_inside + 1;
+  let contention =
+    t.c.Costs.clsm_cas_retry *. float_of_int (max 0 (t.writers_inside - 1))
+  in
+  let* () = compute t (insert_cost t +. clsm_mv_overhead t +. contention) in
+  let* () = bus t (write_bus_cost t) in
+  t.writers_inside <- t.writers_inside - 1;
+  Sim_shared_lock.unlock_shared t.lock;
+  account_write t;
+  return ()
+
+let leveldb_write t =
+  let* () = maybe_stall t in
+  let* () = maybe_throttle t in
+  let* () = Sim_mutex.lock t.gmutex in
+  let* () =
+    compute t (insert_cost t +. t.c.Costs.leveldb_write_extra +. convoy t)
+  in
+  let* () = bus t (write_bus_cost t) in
+  Sim_mutex.unlock t.gmutex;
+  account_write t;
+  return ()
+
+let hyper_write t =
+  let* () = maybe_stall t in
+  let* () = maybe_throttle t in
+  (* Fine-grained locking parallelizes roughly half of the write path; the
+     rest (version bookkeeping, log sequencing) still serializes. *)
+  let* () = compute t (insert_cost t *. 0.5) in
+  let* () = bus t (write_bus_cost t) in
+  let* () = Sim_mutex.lock t.gmutex in
+  let* () = compute t (t.c.Costs.hyper_write_cs +. convoy t) in
+  Sim_mutex.unlock t.gmutex;
+  account_write t;
+  return ()
+
+let single_writer_write t op_cost =
+  let* () = maybe_stall t in
+  let* () = maybe_throttle t in
+  let* () = Sim_mutex.lock t.gmutex in
+  let* () = compute t (op_cost +. convoy t) in
+  let* () = bus t (write_bus_cost t) in
+  Sim_mutex.unlock t.gmutex;
+  account_write t;
+  return ()
+
+let write_op t =
+  match t.system with
+  | System.Clsm -> clsm_write t
+  | System.Leveldb | System.Striped_rmw -> leveldb_write t
+  | System.Hyperleveldb -> hyper_write t
+  | System.Rocksdb -> single_writer_write t t.c.Costs.rocksdb_write_cost
+  | System.Blsm -> single_writer_write t t.c.Costs.blsm_write_cost
+
+(* ---------- read paths ---------- *)
+
+let maybe_miss t =
+  if Rng.bool t.rng (miss_prob t) then
+    (* SSD random read: pure latency, does not occupy a CPU context *)
+    Proc.delay t.m.engine t.c.Costs.disk_read
+  else return ()
+
+let clsm_read t =
+  let* () = compute t (read_cost t +. clsm_mv_overhead t) in
+  let* () = bus t (read_bus_cost t) in
+  maybe_miss t
+
+let leveldb_read t =
+  (* "read operations block even when data is available in memory" *)
+  let* () = Sim_mutex.lock t.gmutex in
+  let* () = compute t (t.c.Costs.leveldb_read_cs +. (convoy t /. 3.0)) in
+  Sim_mutex.unlock t.gmutex;
+  let* () = compute t (read_cost t) in
+  let* () = bus t (read_bus_cost t) in
+  maybe_miss t
+
+let rocksdb_read t =
+  let* () = compute t (read_cost t *. t.c.Costs.rocksdb_read_factor) in
+  let* () = bus t (read_bus_cost t) in
+  maybe_miss t
+
+let blsm_read t =
+  (* bLSM's B-tree-ish in-memory structures are a bit slower to search than
+     the LevelDB family's skip list. *)
+  let* () = Sim_mutex.lock t.gmutex in
+  let* () = compute t (t.c.Costs.leveldb_read_cs +. (convoy t /. 3.0)) in
+  Sim_mutex.unlock t.gmutex;
+  let* () = compute t (read_cost t *. 1.18) in
+  let* () = bus t (read_bus_cost t) in
+  maybe_miss t
+
+let read_op t =
+  match t.system with
+  | System.Clsm -> clsm_read t
+  | System.Leveldb | System.Hyperleveldb | System.Striped_rmw -> leveldb_read t
+  | System.Rocksdb -> rocksdb_read t
+  | System.Blsm -> blsm_read t
+
+(* ---------- scans ---------- *)
+
+let scan_op t len =
+  let* () =
+    match t.system with
+    | System.Clsm ->
+        compute t t.c.Costs.snapshot_overhead
+    | System.Leveldb | System.Hyperleveldb | System.Blsm | System.Striped_rmw ->
+        let* () = Sim_mutex.lock t.gmutex in
+        let* () = compute t (t.c.Costs.snapshot_overhead +. convoy t) in
+        Sim_mutex.unlock t.gmutex;
+        return ()
+    | System.Rocksdb -> compute t t.c.Costs.snapshot_overhead
+  in
+  let* () = compute t (float_of_int len *. t.c.Costs.scan_next) in
+  let* () = bus t (read_bus_cost t) in
+  maybe_miss t
+
+(* ---------- read-modify-write ---------- *)
+
+let rmw_op t =
+  match t.system with
+  | System.Clsm ->
+      (* Algorithm 3: optimistic read + CAS-published write, all
+         non-blocking. *)
+      let* () = clsm_read t in
+      clsm_write t
+  | System.Striped_rmw | System.Leveldb ->
+      (* Figure 9 baseline: per-key stripe lock held across a LevelDB read
+         and a single-writer put. Stripe conflicts are rare; the write's
+         global mutex is the bottleneck. *)
+      let* () = leveldb_read t in
+      leveldb_write t
+  | System.Hyperleveldb ->
+      let* () = leveldb_read t in
+      hyper_write t
+  | System.Rocksdb ->
+      let* () = rocksdb_read t in
+      single_writer_write t t.c.Costs.rocksdb_write_cost
+  | System.Blsm ->
+      let* () = leveldb_read t in
+      single_writer_write t t.c.Costs.blsm_write_cost
+
+let do_op t op =
+  let* () =
+    if t.per_op_overhead > 0.0 then compute t t.per_op_overhead else return ()
+  in
+  match op with
+  | Workload_spec.Read ->
+      let* () = read_op t in
+      return 1
+  | Workload_spec.Write ->
+      let* () = write_op t in
+      return 1
+  | Workload_spec.Scan ->
+      let len = Workload_spec.scan_len t.spec t.rng in
+      let* () = scan_op t len in
+      return len
+  | Workload_spec.Rmw ->
+      let* () = rmw_op t in
+      return 1
+
+let stalls t = t.stall_count
+let rotations t = t.rotation_count
+let l0_files t = t.l0

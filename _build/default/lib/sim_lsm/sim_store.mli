@@ -1,0 +1,60 @@
+(** Virtual-time model of one LSM store instance under a given
+    concurrency discipline.
+
+    The model executes, per operation, exactly the serialization structure
+    of the system (which lock is held around what, for how long) over the
+    shared machine resources, and maintains the LSM state machine: memtable
+    fill → rotation (with the discipline's critical sections) → flush
+    consuming disk bandwidth → L0 accumulation → background compaction,
+    with write stalls and (optionally) RocksDB-style debt throttling. *)
+
+open Clsm_sim
+open Clsm_workload
+
+type machine = {
+  engine : Engine.t;
+  cpu : Resource.t;  (** hardware contexts *)
+  bus : Resource.t;  (** serialized memory-system slice *)
+  disk : Resource.t;  (** sequential write channel (flush + compaction) *)
+}
+
+val machine_of : Costs.t -> Engine.t -> machine
+
+type t
+
+val create :
+  machine:machine ->
+  costs:Costs.t ->
+  system:System.t ->
+  threads:int ->
+  ?machine_threads:int ->
+  ?per_op_overhead:float ->
+  workload:Workload_spec.t ->
+  memtable_bytes:int ->
+  ?compaction_threads:int ->
+  ?write_amplification:float ->
+  ?throttle:bool ->
+  ?stop_at:float ->
+  ?prefill:float ->
+  ?initial_l0:int ->
+  seed:int ->
+  unit ->
+  t
+(** [prefill] starts the memtable at that fraction of its limit (steady
+    state for short simulations); [initial_l0] seeds pre-existing level-0
+    files (heavy-compaction scenarios, Figure 11); [machine_threads] is the
+    total worker count on the machine when several partitioned stores share
+    it (drives the hyperthreading/cross-chip factors; defaults to
+    [threads]); [per_op_overhead] charges each operation a fixed routing /
+    partition-metadata cost (the §2.2 penalty of running many partitions). *)
+
+val do_op : t -> Workload_spec.op -> int Proc.t
+(** Execute one operation in virtual time; returns the number of keys it
+    touched (scan length for scans, 1 otherwise). *)
+
+val start_background : t -> unit
+(** Spawn the compaction worker process(es). *)
+
+val stalls : t -> int
+val rotations : t -> int
+val l0_files : t -> int

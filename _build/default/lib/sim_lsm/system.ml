@@ -1,0 +1,21 @@
+type t = Clsm | Leveldb | Hyperleveldb | Rocksdb | Blsm | Striped_rmw
+
+let name = function
+  | Clsm -> "cLSM"
+  | Leveldb -> "LevelDB"
+  | Hyperleveldb -> "HyperLevelDB"
+  | Rocksdb -> "RocksDB"
+  | Blsm -> "bLSM"
+  | Striped_rmw -> "LevelDB+striping"
+
+let all = [ Rocksdb; Blsm; Leveldb; Hyperleveldb; Clsm ]
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "clsm" -> Some Clsm
+  | "leveldb" -> Some Leveldb
+  | "hyperleveldb" | "hyper" -> Some Hyperleveldb
+  | "rocksdb" -> Some Rocksdb
+  | "blsm" -> Some Blsm
+  | "striped" | "striped_rmw" -> Some Striped_rmw
+  | _ -> None

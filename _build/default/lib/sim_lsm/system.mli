@@ -1,0 +1,16 @@
+(** The systems compared in the paper's evaluation (§5), reduced to their
+    published concurrency disciplines. *)
+
+type t =
+  | Clsm  (** shared-exclusive lock, lock-free memtable, non-blocking reads *)
+  | Leveldb  (** global mutex, single writer, reads lock briefly *)
+  | Hyperleveldb  (** fine-grained write locking, LevelDB-style reads *)
+  | Rocksdb
+      (** single writer, lock-free reads via thread-local version caching,
+          multi-threaded compaction *)
+  | Blsm  (** single writer with merge scheduling *)
+  | Striped_rmw  (** Figure 9 baseline: LevelDB + per-key lock striping *)
+
+val name : t -> string
+val all : t list
+val of_name : string -> t option

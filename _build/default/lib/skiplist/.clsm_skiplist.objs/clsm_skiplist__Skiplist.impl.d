@@ -1,0 +1,1 @@
+lib/skiplist/skiplist.ml: Array Atomic Clsm_util List

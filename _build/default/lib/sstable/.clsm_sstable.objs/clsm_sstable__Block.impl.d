@@ -1,0 +1,1 @@
+lib/sstable/block.ml: Binary Clsm_util Comparator String Varint

@@ -1,0 +1,1 @@
+lib/sstable/block.mli: Comparator

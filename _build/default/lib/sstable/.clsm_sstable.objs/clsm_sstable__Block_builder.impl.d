@@ -1,0 +1,1 @@
+lib/sstable/block_builder.ml: Binary Buffer Clsm_util List String Varint

@@ -1,0 +1,1 @@
+lib/sstable/block_handle.ml: Clsm_util Varint

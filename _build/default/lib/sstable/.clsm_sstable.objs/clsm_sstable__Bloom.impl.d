@@ -1,0 +1,1 @@
+lib/sstable/bloom.ml: Bytes Char Clsm_util Hashing List String

@@ -1,0 +1,1 @@
+lib/sstable/bloom.mli:

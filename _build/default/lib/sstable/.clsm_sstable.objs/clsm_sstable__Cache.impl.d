@@ -1,0 +1,1 @@
+lib/sstable/cache.ml: Array Clsm_util Hashtbl Mutex

@@ -1,0 +1,1 @@
+lib/sstable/cache.mli:

@@ -1,0 +1,1 @@
+lib/sstable/mmap_file.ml: Bigarray Bytes Unix

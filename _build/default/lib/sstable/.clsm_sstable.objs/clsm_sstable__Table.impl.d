@@ -1,0 +1,1 @@
+lib/sstable/table.ml: Atomic Binary Block Block_handle Bloom Cache Clsm_util Comparator Crc32c List Mmap_file Printf Simple_compress String Table_format Varint

@@ -1,0 +1,1 @@
+lib/sstable/table.mli: Block Cache Comparator Table_format

@@ -1,0 +1,1 @@
+lib/sstable/table_builder.ml: Binary Block_builder Block_handle Bloom Buffer Clsm_util Comparator Crc32c Fun Simple_compress String Sys Table_format Unix

@@ -1,0 +1,1 @@
+lib/sstable/table_builder.mli: Comparator Table_format

@@ -1,0 +1,1 @@
+lib/sstable/table_format.ml: Binary Block_handle Buffer Clsm_util String Varint

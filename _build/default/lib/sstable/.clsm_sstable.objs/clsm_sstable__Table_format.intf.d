@@ -1,0 +1,1 @@
+lib/sstable/table_format.mli: Block_handle

@@ -1,0 +1,178 @@
+open Clsm_util
+
+exception Corrupt of string
+
+type t = {
+  data : string;
+  limit : int; (* end of entry region / start of restart array *)
+  num_restarts : int;
+  cmp : Comparator.t;
+}
+
+let parse cmp data =
+  let n = String.length data in
+  if n < 4 then raise (Corrupt "block too small");
+  let num_restarts = Binary.get_fixed32 data ~pos:(n - 4) in
+  let trailer = 4 + (4 * num_restarts) in
+  if num_restarts < 1 || trailer > n then raise (Corrupt "bad restart count");
+  { data; limit = n - trailer; num_restarts; cmp }
+
+let num_restarts t = t.num_restarts
+let size_bytes t = String.length t.data
+
+let restart_offset t i =
+  Binary.get_fixed32 t.data ~pos:(String.length t.data - 4 - (4 * (t.num_restarts - i)))
+
+module Iter = struct
+  type iter = {
+    block : t;
+    mutable offset : int; (* start of current entry, or limit when done *)
+    mutable next_offset : int;
+    mutable cur_key : string;
+    mutable cur_value_pos : int;
+    mutable cur_value_len : int;
+    mutable is_valid : bool;
+  }
+
+  let make block =
+    {
+      block;
+      offset = block.limit;
+      next_offset = block.limit;
+      cur_key = "";
+      cur_value_pos = 0;
+      cur_value_len = 0;
+      is_valid = false;
+    }
+
+  let valid it = it.is_valid
+
+  let key it =
+    if not it.is_valid then invalid_arg "Block.Iter.key: invalid iterator";
+    it.cur_key
+
+  let value it =
+    if not it.is_valid then invalid_arg "Block.Iter.value: invalid iterator";
+    String.sub it.block.data it.cur_value_pos it.cur_value_len
+
+  (* Decode the entry at [it.next_offset], using [it.cur_key] as the prefix
+     source. *)
+  let decode_next it =
+    let b = it.block in
+    if it.next_offset >= b.limit then it.is_valid <- false
+    else begin
+      let pos = it.next_offset in
+      let shared, pos =
+        try Varint.read b.data ~pos with Varint.Corrupt m -> raise (Corrupt m)
+      in
+      let non_shared, pos = Varint.read b.data ~pos in
+      let value_len, pos = Varint.read b.data ~pos in
+      if pos + non_shared + value_len > b.limit then
+        raise (Corrupt "entry overruns block");
+      if shared > String.length it.cur_key then
+        raise (Corrupt "shared prefix longer than previous key");
+      it.cur_key <-
+        String.sub it.cur_key 0 shared ^ String.sub b.data pos non_shared;
+      it.cur_value_pos <- pos + non_shared;
+      it.cur_value_len <- value_len;
+      it.offset <- it.next_offset;
+      it.next_offset <- it.cur_value_pos + value_len;
+      it.is_valid <- true
+    end
+
+  let seek_to_restart it i =
+    it.next_offset <- restart_offset it.block i;
+    it.cur_key <- "";
+    it.is_valid <- false
+
+  let seek_to_first it =
+    seek_to_restart it 0;
+    decode_next it
+
+  let next it = if it.is_valid then decode_next it
+
+  (* Key at a restart point (always stored in full). *)
+  let restart_key b i =
+    let pos = restart_offset b i in
+    let shared, pos = Varint.read b.data ~pos in
+    if shared <> 0 then raise (Corrupt "restart entry has shared bytes");
+    let non_shared, pos = Varint.read b.data ~pos in
+    let _value_len, pos = Varint.read b.data ~pos in
+    String.sub b.data pos non_shared
+
+  let seek it target =
+    let b = it.block in
+    let cmp = b.cmp.Comparator.compare in
+    (* Binary search: greatest restart i whose key is < target. *)
+    let lo = ref 0 and hi = ref (b.num_restarts - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if cmp (restart_key b mid) target < 0 then lo := mid else hi := mid - 1
+    done;
+    seek_to_restart it !lo;
+    decode_next it;
+    while it.is_valid && cmp it.cur_key target < 0 do
+      decode_next it
+    done
+
+  (* Starting from the current position, keep advancing while [keep] holds
+     for the decoded entry, leaving the iterator on the last entry that
+     satisfied it (invalid if none did). *)
+  let scan_keeping_last it keep =
+    if not (it.is_valid && keep it.cur_key) then it.is_valid <- false
+    else
+      (* Invariant: the current entry satisfies [keep]. Step forward until
+         the next entry does not, then restore the last accepted one. *)
+      let rec go () =
+        let offset = it.offset
+        and next_offset = it.next_offset
+        and key = it.cur_key
+        and vpos = it.cur_value_pos
+        and vlen = it.cur_value_len in
+        decode_next it;
+        if it.is_valid && keep it.cur_key then go ()
+        else begin
+          it.offset <- offset;
+          it.next_offset <- next_offset;
+          it.cur_key <- key;
+          it.cur_value_pos <- vpos;
+          it.cur_value_len <- vlen;
+          it.is_valid <- true
+        end
+      in
+      go ()
+
+  let seek_le it target =
+    let b = it.block in
+    let cmp = b.cmp.Comparator.compare in
+    (* Greatest restart i whose key is <= target. *)
+    if cmp (restart_key b 0) target > 0 then it.is_valid <- false
+    else begin
+      let lo = ref 0 and hi = ref (b.num_restarts - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if cmp (restart_key b mid) target <= 0 then lo := mid else hi := mid - 1
+      done;
+      seek_to_restart it !lo;
+      decode_next it;
+      scan_keeping_last it (fun k -> cmp k target <= 0)
+    end
+
+  let seek_last it =
+    seek_to_restart it (it.block.num_restarts - 1);
+    decode_next it;
+    scan_keeping_last it (fun _ -> true)
+
+  let fold f block acc =
+    let it = make block in
+    seek_to_first it;
+    let rec go acc =
+      if it.is_valid then begin
+        let k = key it and v = value it in
+        next it;
+        go (f k v acc)
+      end
+      else acc
+    in
+    go acc
+end

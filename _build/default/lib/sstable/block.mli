@@ -1,0 +1,45 @@
+(** Reader for blocks produced by {!Block_builder}: in-memory parse plus a
+    seekable iterator that binary-searches the restart array and then scans
+    forward, reconstructing prefix-compressed keys. *)
+
+exception Corrupt of string
+
+type t
+
+val parse : Comparator.t -> string -> t
+(** Validate the trailer and wrap the serialized block.
+    Raises {!Corrupt} if the restart array is malformed. *)
+
+val num_restarts : t -> int
+val size_bytes : t -> int
+
+module Iter : sig
+  type iter
+
+  val make : t -> iter
+  (** Fresh iterator, initially invalid. *)
+
+  val seek_to_first : iter -> unit
+
+  val seek : iter -> string -> unit
+  (** Position at the first entry with key [>= target] under the block's
+      comparator (invalid if none). *)
+
+  val seek_le : iter -> string -> unit
+  (** Position at the {e last} entry with key [<= target] (invalid if
+      none). Used for newest-version-not-exceeding-a-snapshot lookups when
+      versions are ordered by ascending timestamp. *)
+
+  val seek_last : iter -> unit
+  (** Position at the last entry of the block (invalid if empty). *)
+
+  val valid : iter -> bool
+  val key : iter -> string
+  (** Raises [Invalid_argument] if not {!valid}. *)
+
+  val value : iter -> string
+  val next : iter -> unit
+
+  val fold : (string -> string -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+  (** Fold over all entries in order. *)
+end

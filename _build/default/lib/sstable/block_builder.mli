@@ -1,0 +1,38 @@
+(** Builder for a sorted key-value block (LevelDB block format).
+
+    Entries are prefix-compressed against their predecessor; every
+    [restart_interval]-th entry stores its key in full and its offset is
+    recorded in a trailing restart array, enabling binary search at read
+    time. Layout:
+
+    {v
+    entry*   :=  shared(varint) non_shared(varint) value_len(varint)
+                 key_suffix value
+    trailer  :=  restart_offset(fixed32)* num_restarts(fixed32)
+    v} *)
+
+type t
+
+val create : ?restart_interval:int -> unit -> t
+(** Default restart interval: 16 entries (LevelDB's default). *)
+
+val add : t -> key:string -> value:string -> unit
+(** Keys must be added in strictly increasing order (asserted against the
+    previous key bytewise only when prefix compression applies; callers are
+    responsible for global ordering under their comparator). *)
+
+val finish : t -> string
+(** Serialize. The builder must not be reused afterwards. *)
+
+val num_entries : t -> int
+
+val estimated_size : t -> int
+(** Current serialized size estimate, for block-size targeting. *)
+
+val is_empty : t -> bool
+
+val reset : t -> unit
+(** Clear for building the next block. *)
+
+val last_key : t -> string option
+(** The most recently added key (used for index separators). *)

@@ -1,0 +1,14 @@
+open Clsm_util
+
+type t = { offset : int; size : int }
+
+let encode buf t =
+  Varint.write buf t.offset;
+  Varint.write buf t.size
+
+let decode s ~pos =
+  let offset, pos = Varint.read s ~pos in
+  let size, pos = Varint.read s ~pos in
+  ({ offset; size }, pos)
+
+let max_encoded_length = 2 * Varint.max_length

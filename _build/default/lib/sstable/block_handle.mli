@@ -1,0 +1,11 @@
+(** Pointer to a block within a table file: offset and (payload) size,
+    varint-encoded. Stored in index entries and the footer. *)
+
+type t = { offset : int; size : int }
+
+val encode : Buffer.t -> t -> unit
+val decode : string -> pos:int -> t * int
+(** Returns the handle and the position past it. Raises
+    [Clsm_util.Varint.Corrupt] on malformed input. *)
+
+val max_encoded_length : int

@@ -1,0 +1,22 @@
+(** Bloom filters, LevelDB-style: [k] probes derived from a single 32-bit
+    hash by repeated rotation (double hashing), [bits_per_key] bits of space
+    per key. Used to skip disk blocks for absent keys (paper §4 inherits
+    LevelDB's Bloom filters). *)
+
+type t
+
+val create : ?bits_per_key:int -> string list -> t
+(** Build a filter over the given keys. Default [bits_per_key] is 10
+    (≈1 % false positives). *)
+
+val mem : t -> string -> bool
+(** No false negatives: [mem (create keys) k] is [true] for every
+    [k ∈ keys]; for other keys it is [true] with low probability. *)
+
+val encode : t -> string
+(** Serialized form: bit array followed by a 1-byte probe count. *)
+
+val decode : string -> t
+(** Inverse of {!encode}. Raises [Invalid_argument] on empty input. *)
+
+val size_bytes : t -> int

@@ -1,0 +1,165 @@
+(* Each shard: Hashtbl + doubly-linked LRU list under a private mutex. *)
+
+type 'a node = {
+  key : string;
+  value : 'a;
+  w : int;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a shard = {
+  mutex : Mutex.t;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option; (* most recently used *)
+  mutable tail : 'a node option; (* least recently used *)
+  mutable used : int;
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type 'a t = { shards : 'a shard array; weight_of : 'a -> int }
+
+type stats = { hits : int; misses : int; evictions : int; weight : int }
+
+let create ?(shards = 16) ~capacity ~weight () =
+  if shards < 1 || capacity < 0 then invalid_arg "Cache.create";
+  let per_shard = max 1 (capacity / shards) in
+  let make_shard _ =
+    {
+      mutex = Mutex.create ();
+      table = Hashtbl.create 64;
+      head = None;
+      tail = None;
+      used = 0;
+      capacity = per_shard;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+  in
+  { shards = Array.init shards make_shard; weight_of = weight }
+
+let shard_of t key =
+  t.shards.(Clsm_util.Hashing.hash ~seed:0x5bd1e995 key
+            mod Array.length t.shards)
+
+let unlink sh node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> sh.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> sh.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front sh node =
+  node.next <- sh.head;
+  node.prev <- None;
+  (match sh.head with Some h -> h.prev <- Some node | None -> sh.tail <- Some node);
+  sh.head <- Some node
+
+let evict_until_fits sh =
+  while sh.used > sh.capacity && sh.tail <> None do
+    match sh.tail with
+    | Some lru ->
+        unlink sh lru;
+        Hashtbl.remove sh.table lru.key;
+        sh.used <- sh.used - lru.w;
+        sh.evictions <- sh.evictions + 1
+    | None -> ()
+  done
+
+let with_shard t key f =
+  let sh = shard_of t key in
+  Mutex.lock sh.mutex;
+  match f sh with
+  | v ->
+      Mutex.unlock sh.mutex;
+      v
+  | exception e ->
+      Mutex.unlock sh.mutex;
+      raise e
+
+let find t key =
+  with_shard t key (fun sh ->
+      match Hashtbl.find_opt sh.table key with
+      | Some node ->
+          sh.hits <- sh.hits + 1;
+          unlink sh node;
+          push_front sh node;
+          Some node.value
+      | None ->
+          sh.misses <- sh.misses + 1;
+          None)
+
+let insert_locked t sh key value =
+  (match Hashtbl.find_opt sh.table key with
+  | Some old ->
+      unlink sh old;
+      Hashtbl.remove sh.table key;
+      sh.used <- sh.used - old.w
+  | None -> ());
+  let w = t.weight_of value in
+  if w <= sh.capacity then begin
+    let node = { key; value; w; prev = None; next = None } in
+    Hashtbl.replace sh.table key node;
+    push_front sh node;
+    sh.used <- sh.used + w;
+    evict_until_fits sh
+  end
+
+let insert t key value =
+  with_shard t key (fun sh -> insert_locked t sh key value)
+
+let find_or_add t key f =
+  match find t key with
+  | Some v -> v
+  | None ->
+      (* Compute outside the shard lock: block decode can be slow and must
+         not serialize unrelated lookups. *)
+      let v = f () in
+      with_shard t key (fun sh ->
+          match Hashtbl.find_opt sh.table key with
+          | Some node -> node.value
+          | None ->
+              insert_locked t sh key v;
+              v)
+
+let remove t key =
+  with_shard t key (fun sh ->
+      match Hashtbl.find_opt sh.table key with
+      | Some node ->
+          unlink sh node;
+          Hashtbl.remove sh.table key;
+          sh.used <- sh.used - node.w
+      | None -> ())
+
+let clear t =
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.mutex;
+      Hashtbl.reset sh.table;
+      sh.head <- None;
+      sh.tail <- None;
+      sh.used <- 0;
+      Mutex.unlock sh.mutex)
+    t.shards
+
+let stats t =
+  Array.fold_left
+    (fun acc (sh : _ shard) ->
+      {
+        hits = acc.hits + sh.hits;
+        misses = acc.misses + sh.misses;
+        evictions = acc.evictions + sh.evictions;
+        weight = acc.weight + sh.used;
+      })
+    { hits = 0; misses = 0; evictions = 0; weight = 0 }
+    t.shards
+
+let cardinal t =
+  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.table) 0 t.shards

@@ -1,0 +1,29 @@
+(** Sharded LRU cache for decoded table blocks.
+
+    The disk component of an LSM-DS "utilizes a large RAM cache" (paper
+    §2.3); with locality most reads that reach the disk component are served
+    from here. Shards each have their own mutex, so concurrent readers only
+    contend within a shard. *)
+
+type 'a t
+
+type stats = { hits : int; misses : int; evictions : int; weight : int }
+
+val create : ?shards:int -> capacity:int -> weight:('a -> int) -> unit -> 'a t
+(** [capacity] is the total weight budget across all shards (e.g. bytes);
+    [weight] measures each entry. Default [shards] is 16. *)
+
+val find : 'a t -> string -> 'a option
+val insert : 'a t -> string -> 'a -> unit
+(** Insert or refresh; evicts least-recently-used entries of the shard
+    until it fits. Entries heavier than a whole shard are not cached. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_add t k f] returns the cached value or computes, caches and
+    returns [f ()]. [f] may run more than once across racing callers; the
+    cache keeps whichever lands last. *)
+
+val remove : 'a t -> string -> unit
+val clear : 'a t -> unit
+val stats : 'a t -> stats
+val cardinal : 'a t -> int

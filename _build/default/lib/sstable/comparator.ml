@@ -1,0 +1,3 @@
+type t = { name : string; compare : string -> string -> int }
+
+let bytewise = { name = "bytewise"; compare = String.compare }

@@ -1,0 +1,11 @@
+(** Key ordering used by blocks, tables and the LSM layer.
+
+    Like LevelDB's [Comparator] option: the disk format stores opaque byte
+    strings; ordering is supplied by the caller so the LSM layer can order
+    internal keys (user key ascending, timestamp ascending) without an
+    order-preserving byte encoding. *)
+
+type t = { name : string; compare : string -> string -> int }
+
+val bytewise : t
+(** Plain [String.compare]. *)

@@ -1,0 +1,35 @@
+type map = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { mutable map : map option; len : int }
+
+let open_ro path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  let result =
+    if len = 0 then { map = None; len = 0 }
+    else
+      let ga =
+        Unix.map_file fd Bigarray.char Bigarray.c_layout false [| len |]
+      in
+      { map = Some (Bigarray.array1_of_genarray ga); len }
+  in
+  Unix.close fd;
+  result
+
+let length t = t.len
+
+let read t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Mmap_file.read: out of bounds";
+  if len = 0 then ""
+  else
+    match t.map with
+    | None -> invalid_arg "Mmap_file.read: file closed or empty"
+    | Some map ->
+        let b = Bytes.create len in
+        for i = 0 to len - 1 do
+          Bytes.unsafe_set b i (Bigarray.Array1.unsafe_get map (pos + i))
+        done;
+        Bytes.unsafe_to_string b
+
+let close t = t.map <- None

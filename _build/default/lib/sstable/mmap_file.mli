@@ -1,0 +1,19 @@
+(** Read-only random-access file via [mmap] — the paper's cLSM inherits
+    LevelDB's memory-mapped I/O for table reads; mapping also makes reads
+    naturally thread-safe (no shared file offset). *)
+
+type t
+
+val open_ro : string -> t
+(** Map an existing file read-only. Raises [Unix.Unix_error] on failure.
+    The file descriptor is closed immediately after mapping. *)
+
+val length : t -> int
+
+val read : t -> pos:int -> len:int -> string
+(** Copy [len] bytes starting at [pos]. Raises [Invalid_argument] if the
+    range is out of bounds. *)
+
+val close : t -> unit
+(** Releases the mapping reference; actual unmap happens at GC. Safe to
+    call more than once. *)

@@ -1,0 +1,248 @@
+open Clsm_util
+
+exception Corrupt of string
+
+let next_table_id = Atomic.make 0
+
+type t = {
+  id : int;
+  path : string;
+  file : Mmap_file.t;
+  cmp : Comparator.t;
+  cache : Block.t Cache.t option;
+  index : Block.t;
+  filter : Bloom.t;
+  props : Table_format.properties;
+}
+
+(* Read a block payload at [handle], verifying the CRC trailer. *)
+let read_block_raw file handle =
+  let { Block_handle.offset; size } = handle in
+  let raw =
+    try
+      Mmap_file.read file ~pos:offset
+        ~len:(size + Table_format.block_trailer_length)
+    with Invalid_argument _ -> raise (Corrupt "block handle out of bounds")
+  in
+  let payload = String.sub raw 0 size in
+  let block_type = raw.[size] in
+  let stored = Crc32c.unmask (Binary.get_fixed32 raw ~pos:(size + 1)) in
+  let actual = Crc32c.sub ~init:(Crc32c.string payload) raw ~pos:size ~len:1 in
+  if stored <> actual then raise (Corrupt "block checksum mismatch");
+  match block_type with
+  | '\000' -> payload
+  | '\001' -> (
+      try Simple_compress.decompress payload
+      with Invalid_argument m -> raise (Corrupt m))
+  | _ -> raise (Corrupt "unknown block type")
+
+let open_file ?cache ~cmp path =
+  let file = Mmap_file.open_ro path in
+  let len = Mmap_file.length file in
+  if len < Table_format.footer_length then raise (Corrupt "file too short");
+  let footer_str =
+    Mmap_file.read file
+      ~pos:(len - Table_format.footer_length)
+      ~len:Table_format.footer_length
+  in
+  let footer =
+    try Table_format.decode_footer footer_str
+    with Failure m -> raise (Corrupt m)
+  in
+  let index =
+    try Block.parse cmp (read_block_raw file footer.Table_format.index_handle)
+    with Block.Corrupt m -> raise (Corrupt m)
+  in
+  let filter =
+    try Bloom.decode (read_block_raw file footer.Table_format.filter_handle)
+    with Invalid_argument m -> raise (Corrupt m)
+  in
+  let props =
+    try
+      Table_format.decode_properties
+        (read_block_raw file footer.Table_format.props_handle)
+    with Varint.Corrupt m | Invalid_argument m -> raise (Corrupt m)
+  in
+  {
+    id = Atomic.fetch_and_add next_table_id 1;
+    path;
+    file;
+    cmp;
+    cache;
+    index;
+    filter;
+    props;
+  }
+
+let close t = Mmap_file.close t.file
+let path t = t.path
+let properties t = t.props
+let file_size t = Mmap_file.length t.file
+let may_contain t filter_key = Bloom.mem t.filter filter_key
+
+let load_block t handle =
+  let decode () =
+    try Block.parse t.cmp (read_block_raw t.file handle)
+    with Block.Corrupt m -> raise (Corrupt m)
+  in
+  match t.cache with
+  | None -> decode ()
+  | Some cache ->
+      let key = Printf.sprintf "%d:%d" t.id handle.Block_handle.offset in
+      Cache.find_or_add cache key decode
+
+let handle_of_index_value v =
+  let handle, _ = Block_handle.decode v ~pos:0 in
+  handle
+
+module Iter = struct
+  type iter = {
+    table : t;
+    index_iter : Block.Iter.iter;
+    mutable data_iter : Block.Iter.iter option;
+  }
+
+  let make table =
+    { table; index_iter = Block.Iter.make table.index; data_iter = None }
+
+  let load_data_block it =
+    if Block.Iter.valid it.index_iter then begin
+      let handle = handle_of_index_value (Block.Iter.value it.index_iter) in
+      it.data_iter <- Some (Block.Iter.make (load_block it.table handle))
+    end
+    else it.data_iter <- None
+
+  (* Advance to the first valid entry at or after the current position,
+     skipping exhausted data blocks. *)
+  let rec skip_exhausted it =
+    match it.data_iter with
+    | Some di when Block.Iter.valid di -> ()
+    | Some _ | None ->
+        Block.Iter.next it.index_iter;
+        if Block.Iter.valid it.index_iter then begin
+          load_data_block it;
+          (match it.data_iter with
+          | Some di -> Block.Iter.seek_to_first di
+          | None -> ());
+          skip_exhausted it
+        end
+        else it.data_iter <- None
+
+  let seek_to_first it =
+    Block.Iter.seek_to_first it.index_iter;
+    load_data_block it;
+    (match it.data_iter with
+    | Some di -> Block.Iter.seek_to_first di
+    | None -> ());
+    skip_exhausted it
+
+  let seek it target =
+    (* Index keys are the last key of each block, so the first index entry
+       >= target points at the only block that can contain it. *)
+    Block.Iter.seek it.index_iter target;
+    load_data_block it;
+    (match it.data_iter with
+    | Some di -> Block.Iter.seek di target
+    | None -> ());
+    skip_exhausted it
+
+  let valid it =
+    match it.data_iter with Some di -> Block.Iter.valid di | None -> false
+
+  let key it =
+    match it.data_iter with
+    | Some di -> Block.Iter.key di
+    | None -> invalid_arg "Table.Iter.key: invalid iterator"
+
+  let value it =
+    match it.data_iter with
+    | Some di -> Block.Iter.value di
+    | None -> invalid_arg "Table.Iter.value: invalid iterator"
+
+  let next it =
+    match it.data_iter with
+    | Some di ->
+        Block.Iter.next di;
+        skip_exhausted it
+    | None -> ()
+end
+
+let find_first_ge t probe =
+  let it = Iter.make t in
+  Iter.seek it probe;
+  if Iter.valid it then Some (Iter.key it, Iter.value it) else None
+
+let find_last_le t probe =
+  let index_it = Block.Iter.make t.index in
+  let last_entry_of handle =
+    let di = Block.Iter.make (load_block t handle) in
+    Block.Iter.seek_last di;
+    if Block.Iter.valid di then Some (Block.Iter.key di, Block.Iter.value di)
+    else None
+  in
+  (* The first block whose last key >= probe is the only one that can hold
+     entries in (prev_block.last, probe]; if it holds nothing <= probe, the
+     answer is the last entry of the latest block entirely <= probe. *)
+  Block.Iter.seek index_it probe;
+  if Block.Iter.valid index_it then begin
+    let handle = handle_of_index_value (Block.Iter.value index_it) in
+    let di = Block.Iter.make (load_block t handle) in
+    Block.Iter.seek_le di probe;
+    if Block.Iter.valid di then Some (Block.Iter.key di, Block.Iter.value di)
+    else begin
+      (* Every entry of that block is > probe: fall back to the preceding
+         block, i.e. the greatest index key <= probe. *)
+      Block.Iter.seek_le index_it probe;
+      if Block.Iter.valid index_it then
+        last_entry_of (handle_of_index_value (Block.Iter.value index_it))
+      else None
+    end
+  end
+  else begin
+    (* probe is past every block: answer is the last entry of the table. *)
+    Block.Iter.seek_last index_it;
+    if Block.Iter.valid index_it then
+      last_entry_of (handle_of_index_value (Block.Iter.value index_it))
+    else None
+  end
+
+let fold f t acc =
+  let it = Iter.make t in
+  Iter.seek_to_first it;
+  let rec go acc =
+    if Iter.valid it then begin
+      let k = Iter.key it and v = Iter.value it in
+      Iter.next it;
+      go (f k v acc)
+    end
+    else acc
+  in
+  go acc
+
+let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
+
+let verify t =
+  let cmp = t.cmp.Comparator.compare in
+  match
+    fold
+      (fun k _ state ->
+        match state with
+        | Error _ as e -> e
+        | Ok (count, prev) -> (
+            match prev with
+            | Some p when cmp p k >= 0 ->
+                Error (Printf.sprintf "key order violation after %S" p)
+            | Some _ | None -> Ok (count + 1, Some k)))
+      t
+      (Ok (0, None))
+  with
+  | exception Corrupt msg -> Error msg
+  | Error _ as e -> e
+  | Ok (count, last) ->
+      if count <> t.props.Table_format.num_entries then
+        Error
+          (Printf.sprintf "entry count %d does not match properties %d" count
+             t.props.Table_format.num_entries)
+      else if count > 0 && Some t.props.Table_format.largest <> last then
+        Error "largest key does not match properties"
+      else Ok count

@@ -1,0 +1,56 @@
+(** Reader for table files written by {!Table_builder}: footer → index →
+    Bloom-filtered, cache-backed block reads, with a seekable two-level
+    iterator. Open tables are immutable and safe to share across domains. *)
+
+exception Corrupt of string
+
+type t
+
+val open_file :
+  ?cache:Block.t Cache.t ->
+  cmp:Comparator.t ->
+  string ->
+  t
+(** Open and validate a table file. The index, filter and properties blocks
+    are loaded eagerly; data blocks are read on demand (through [cache] when
+    provided). Raises {!Corrupt} or [Unix.Unix_error]. *)
+
+val close : t -> unit
+val path : t -> string
+val properties : t -> Table_format.properties
+val file_size : t -> int
+
+val may_contain : t -> string -> bool
+(** Bloom-filter check. The argument is the {e filter key} (the value
+    [filter_key_of] produced at build time, e.g. the user key). *)
+
+val find_first_ge : t -> string -> (string * string) option
+(** First binding with key [>= probe] under the table's comparator.
+    Does not consult the Bloom filter (probe keys and filter keys differ);
+    callers gate with {!may_contain}. *)
+
+val find_last_le : t -> string -> (string * string) option
+(** Last binding with key [<= probe] — the newest version not exceeding a
+    snapshot timestamp when internal keys order timestamps ascending.
+    Like {!find_first_ge}, not Bloom-gated. *)
+
+module Iter : sig
+  type iter
+
+  val make : t -> iter
+  val seek_to_first : iter -> unit
+  val seek : iter -> string -> unit
+  val valid : iter -> bool
+  val key : iter -> string
+  val value : iter -> string
+  val next : iter -> unit
+end
+
+val fold : (string -> string -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+val to_list : t -> (string * string) list
+
+val verify : t -> (int, string) result
+(** Full integrity pass: decode every block (checksums are validated on
+    read), check strict key ordering under the comparator, and check the
+    entry count and key range against the properties block. Returns the
+    number of entries, or a description of the first inconsistency. *)

@@ -1,0 +1,151 @@
+open Clsm_util
+
+type t = {
+  cmp : Comparator.t;
+  block_size : int;
+  bits_per_key : int;
+  compress : bool;
+  filter_key_of : string -> string;
+  path : string;
+  fd : Unix.file_descr;
+  oc : out_channel;
+  data : Block_builder.t;
+  index : Block_builder.t;
+  mutable offset : int;
+  mutable pending_index : (string * Block_handle.t) option;
+  mutable filter_keys : string list; (* reversed, consecutive-deduped *)
+  mutable entries : int;
+  mutable smallest : string;
+  mutable largest : string;
+  mutable last_key : string option;
+  mutable finished : bool;
+}
+
+let create ?(block_size = 4096) ?(restart_interval = 16) ?(bits_per_key = 10)
+    ?(compress = false) ?(filter_key_of = Fun.id) ~cmp ~path () =
+  if block_size < 64 then invalid_arg "Table_builder.create: block_size";
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  {
+    cmp;
+    block_size;
+    bits_per_key;
+    compress;
+    filter_key_of;
+    path;
+    fd;
+    oc = Unix.out_channel_of_descr fd;
+    data = Block_builder.create ~restart_interval ();
+    index = Block_builder.create ~restart_interval:1 ();
+    offset = 0;
+    pending_index = None;
+    filter_keys = [];
+    entries = 0;
+    smallest = "";
+    largest = "";
+    last_key = None;
+    finished = false;
+  }
+
+(* Write [payload] followed by the 5-byte trailer (compression type byte +
+   masked CRC over payload+type); return its handle. Compression is applied
+   only when it actually shrinks the block. *)
+let emit_block ?(try_compress = false) t payload =
+  let payload, block_type =
+    if try_compress then begin
+      let packed = Simple_compress.compress payload in
+      if String.length packed < String.length payload then (packed, '\001')
+      else (payload, '\000')
+    end
+    else (payload, '\000')
+  in
+  let handle = { Block_handle.offset = t.offset; size = String.length payload } in
+  output_string t.oc payload;
+  let trailer = Buffer.create Table_format.block_trailer_length in
+  Buffer.add_char trailer block_type;
+  let crc =
+    Crc32c.string ~init:(Crc32c.string payload) (String.make 1 block_type)
+  in
+  Binary.write_fixed32 trailer (Crc32c.mask crc);
+  output_string t.oc (Buffer.contents trailer);
+  t.offset <-
+    t.offset + String.length payload + Table_format.block_trailer_length;
+  handle
+
+let flush_data_block t =
+  if not (Block_builder.is_empty t.data) then begin
+    let last =
+      match Block_builder.last_key t.data with
+      | Some k -> k
+      | None -> assert false
+    in
+    let payload = Block_builder.finish t.data in
+    let handle = emit_block ~try_compress:t.compress t payload in
+    Block_builder.reset t.data;
+    t.pending_index <- Some (last, handle)
+  end
+
+let write_pending_index t =
+  match t.pending_index with
+  | None -> ()
+  | Some (last, handle) ->
+      let buf = Buffer.create 16 in
+      Block_handle.encode buf handle;
+      Block_builder.add t.index ~key:last ~value:(Buffer.contents buf);
+      t.pending_index <- None
+
+let add t ~key ~value =
+  if t.finished then invalid_arg "Table_builder.add: finished";
+  (match t.last_key with
+  | Some last when t.cmp.Comparator.compare last key >= 0 ->
+      invalid_arg "Table_builder.add: keys not strictly increasing"
+  | Some _ | None -> ());
+  write_pending_index t;
+  if t.entries = 0 then t.smallest <- key;
+  t.largest <- key;
+  t.last_key <- Some key;
+  t.entries <- t.entries + 1;
+  let fkey = t.filter_key_of key in
+  (match t.filter_keys with
+  | prev :: _ when String.equal prev fkey -> ()
+  | _ -> t.filter_keys <- fkey :: t.filter_keys);
+  Block_builder.add t.data ~key ~value;
+  if Block_builder.estimated_size t.data >= t.block_size then
+    flush_data_block t
+
+let num_entries t = t.entries
+
+let estimated_file_size t =
+  t.offset + Block_builder.estimated_size t.data
+
+let finish t =
+  if t.finished then invalid_arg "Table_builder.finish: already finished";
+  t.finished <- true;
+  flush_data_block t;
+  write_pending_index t;
+  let data_bytes = t.offset in
+  let filter = Bloom.create ~bits_per_key:t.bits_per_key t.filter_keys in
+  let filter_handle = emit_block t (Bloom.encode filter) in
+  let props =
+    {
+      Table_format.num_entries = t.entries;
+      data_bytes;
+      smallest = t.smallest;
+      largest = t.largest;
+    }
+  in
+  let props_handle = emit_block t (Table_format.encode_properties props) in
+  let index_handle = emit_block t (Block_builder.finish t.index) in
+  output_string t.oc
+    (Table_format.encode_footer
+       { Table_format.filter_handle; props_handle; index_handle });
+  flush t.oc;
+  Unix.fsync t.fd;
+  close_out t.oc;
+  props
+
+let abandon t =
+  t.finished <- true;
+  close_out_noerr t.oc;
+  try Sys.remove t.path with Sys_error _ -> ()

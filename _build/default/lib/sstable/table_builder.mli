@@ -1,0 +1,38 @@
+(** Streaming writer of sorted table files (the SSTables forming the disk
+    component). Keys must be added in strictly increasing comparator order;
+    data blocks are cut at [block_size], an index entry records the last key
+    of each block, and one Bloom filter covers the whole table. *)
+
+type t
+
+val create :
+  ?block_size:int ->
+  ?restart_interval:int ->
+  ?bits_per_key:int ->
+  ?compress:bool ->
+  ?filter_key_of:(string -> string) ->
+  cmp:Comparator.t ->
+  path:string ->
+  unit ->
+  t
+(** Defaults: [block_size] 4096 bytes, [restart_interval] 16,
+    [bits_per_key] 10, [compress] false (data blocks LZSS-compressed when it
+    shrinks them), [filter_key_of] identity. [filter_key_of] maps each
+    stored key to the key the Bloom filter indexes — the LSM layer passes
+    the user-key extractor so probes by user key work across versions. *)
+
+val add : t -> key:string -> value:string -> unit
+(** Raises [Invalid_argument] if keys are not strictly increasing. *)
+
+val num_entries : t -> int
+
+val estimated_file_size : t -> int
+(** Bytes written so far plus the pending block: used by compactions to cut
+    output files at the target size. *)
+
+val finish : t -> Table_format.properties
+(** Flush all blocks, write filter/props/index/footer, fsync and close.
+    Returns the table's properties. The builder must not be reused. *)
+
+val abandon : t -> unit
+(** Close and delete the partially written file. *)

@@ -1,0 +1,57 @@
+open Clsm_util
+
+let magic = 0x1db4775c7fba9e57
+let footer_length = 70
+let block_trailer_length = 5
+
+type footer = {
+  filter_handle : Block_handle.t;
+  props_handle : Block_handle.t;
+  index_handle : Block_handle.t;
+}
+
+let encode_footer f =
+  let buf = Buffer.create footer_length in
+  Block_handle.encode buf f.filter_handle;
+  Block_handle.encode buf f.props_handle;
+  Block_handle.encode buf f.index_handle;
+  if Buffer.length buf > footer_length - 8 then failwith "footer overflow";
+  Buffer.add_string buf (String.make (footer_length - 8 - Buffer.length buf) '\000');
+  Binary.write_fixed64 buf magic;
+  Buffer.contents buf
+
+let decode_footer s =
+  if String.length s <> footer_length then failwith "footer: bad length";
+  if Binary.get_fixed64 s ~pos:(footer_length - 8) <> magic then
+    failwith "footer: bad magic";
+  let filter_handle, pos = Block_handle.decode s ~pos:0 in
+  let props_handle, pos = Block_handle.decode s ~pos in
+  let index_handle, _ = Block_handle.decode s ~pos in
+  { filter_handle; props_handle; index_handle }
+
+type properties = {
+  num_entries : int;
+  data_bytes : int;
+  smallest : string;
+  largest : string;
+}
+
+let encode_properties p =
+  let buf = Buffer.create 64 in
+  Varint.write buf p.num_entries;
+  Varint.write buf p.data_bytes;
+  Varint.write buf (String.length p.smallest);
+  Buffer.add_string buf p.smallest;
+  Varint.write buf (String.length p.largest);
+  Buffer.add_string buf p.largest;
+  Buffer.contents buf
+
+let decode_properties s =
+  let num_entries, pos = Varint.read s ~pos:0 in
+  let data_bytes, pos = Varint.read s ~pos in
+  let slen, pos = Varint.read s ~pos in
+  let smallest = String.sub s pos slen in
+  let pos = pos + slen in
+  let llen, pos = Varint.read s ~pos in
+  let largest = String.sub s pos llen in
+  { num_entries; data_bytes; smallest; largest }

@@ -1,0 +1,31 @@
+(** Shared constants and record codecs of the table file format.
+
+    {v
+    file   := (block trailer)*  filter  props  index  footer
+    trailer:= type(1B, 0 = raw) crc32c(masked, fixed32) over payload+type
+    footer := filter_handle props_handle index_handle pad-to-62 magic(8B)
+    v} *)
+
+val magic : int
+val footer_length : int
+val block_trailer_length : int
+
+type footer = {
+  filter_handle : Block_handle.t;
+  props_handle : Block_handle.t;
+  index_handle : Block_handle.t;
+}
+
+val encode_footer : footer -> string
+val decode_footer : string -> footer
+(** Raises [Failure] on bad magic or malformed handles. *)
+
+type properties = {
+  num_entries : int;
+  data_bytes : int;
+  smallest : string; (** first key in the table ("" when empty) *)
+  largest : string; (** last key in the table ("" when empty) *)
+}
+
+val encode_properties : properties -> string
+val decode_properties : string -> properties

@@ -1,0 +1,1 @@
+lib/util/binary.ml: Buffer Bytes Char String

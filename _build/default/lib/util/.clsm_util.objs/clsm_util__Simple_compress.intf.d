@@ -1,0 +1,1 @@
+lib/util/simple_compress.mli:

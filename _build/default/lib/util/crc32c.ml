@@ -1,0 +1,33 @@
+(* Table-driven CRC-32C, reflected polynomial 0x82F63B78. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      if !c land 1 = 1 then c := 0x82F63B78 lxor (!c lsr 1) else c := !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let sub ?(init = 0) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32c.sub";
+  let crc = ref (init lxor 0xffffffff) in
+  for i = pos to pos + len - 1 do
+    crc := table.((!crc lxor Char.code s.[i]) land 0xff) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xffffffff
+
+let string ?init s = sub ?init s ~pos:0 ~len:(String.length s)
+
+let mask_delta = 0xa282ead8
+
+let mask crc =
+  let rotated = ((crc lsr 15) lor (crc lsl 17)) land 0xffffffff in
+  (rotated + mask_delta) land 0xffffffff
+
+let unmask masked =
+  let rotated = (masked - mask_delta) land 0xffffffff in
+  ((rotated lsr 17) lor (rotated lsl 15)) land 0xffffffff

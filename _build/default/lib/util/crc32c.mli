@@ -1,0 +1,16 @@
+(** CRC-32C (Castagnoli) checksums, as used by LevelDB/RocksDB for WAL
+    records and table blocks, including LevelDB's "masked" form that makes
+    CRCs of CRC-bearing payloads robust. *)
+
+val string : ?init:int -> string -> int
+(** [string s] is the CRC-32C of [s] (a 32-bit value in an int).
+    [init] continues a previous computation (default: fresh). *)
+
+val sub : ?init:int -> string -> pos:int -> len:int -> int
+(** CRC of the substring [s.[pos .. pos+len-1]]. *)
+
+val mask : int -> int
+(** LevelDB CRC masking: rotate right 15 bits and add a constant. *)
+
+val unmask : int -> int
+(** Inverse of {!mask}. *)

@@ -1,0 +1,38 @@
+(* Port of LevelDB's Hash(): a Murmur-style mix over 4-byte words. *)
+
+let hash ?(seed = 0xbc9f1d34) s =
+  let m = 0xc6a4a793 in
+  let r = 24 in
+  let n = String.length s in
+  let mask32 v = v land 0xffffffff in
+  let h = ref (mask32 (seed lxor mask32 (n * m))) in
+  let pos = ref 0 in
+  while n - !pos >= 4 do
+    let w = Binary.get_fixed32 s ~pos:!pos in
+    h := mask32 (!h + w);
+    h := mask32 (!h * m);
+    h := !h lxor (!h lsr 16);
+    pos := !pos + 4
+  done;
+  let rest = n - !pos in
+  if rest >= 3 then h := mask32 (!h + (Char.code s.[!pos + 2] lsl 16));
+  if rest >= 2 then h := mask32 (!h + (Char.code s.[!pos + 1] lsl 8));
+  if rest >= 1 then begin
+    h := mask32 (!h + Char.code s.[!pos]);
+    h := mask32 (!h * m);
+    h := !h lxor (!h lsr r)
+  end;
+  !h
+
+let hash64 ?(seed = 0) s =
+  let h1 = hash ~seed:(seed lxor 0xbc9f1d34) s in
+  let h2 = hash ~seed:(seed lxor 0x34f1d3bc) s in
+  (h1 lor (h2 lsl 31)) land max_int
+
+let mix64 v =
+  let mask = (1 lsl 62) - 1 in
+  (* splitmix64 constants truncated to the OCaml int domain *)
+  let v = v land mask in
+  let v = (v lxor (v lsr 30)) * 0x1b87c4e3d9b2ca5 land mask in
+  let v = (v lxor (v lsr 27)) * 0x19d49cb5618be91 land mask in
+  v lxor (v lsr 31)

@@ -1,0 +1,13 @@
+(** Non-cryptographic string hashes for Bloom filters, cache sharding and
+    lock striping. *)
+
+val hash : ?seed:int -> string -> int
+(** LevelDB-style Murmur-like hash of a string to a 32-bit value. *)
+
+val hash64 : ?seed:int -> string -> int
+(** 63-bit hash obtained by mixing two 32-bit hashes; suitable for
+    partitioning across many shards. *)
+
+val mix64 : int -> int
+(** A splitmix64-style finalizer over 63-bit ints (top bit dropped).
+    Deterministic; used for synthetic key generation. *)

@@ -1,0 +1,102 @@
+let min_match = 4
+let max_match = 67 (* 4 + 63 *)
+let max_offset = 0xffff
+let hash_bits = 14
+let hash_size = 1 lsl hash_bits
+
+let hash4 s i =
+  let v =
+    Char.code (String.unsafe_get s i)
+    lor (Char.code (String.unsafe_get s (i + 1)) lsl 8)
+    lor (Char.code (String.unsafe_get s (i + 2)) lsl 16)
+    lor (Char.code (String.unsafe_get s (i + 3)) lsl 24)
+  in
+  (v * 0x9e3779b1) lsr (30 - hash_bits) land (hash_size - 1)
+
+let compress input =
+  let n = String.length input in
+  let out = Buffer.create (n / 2) in
+  let table = Array.make hash_size (-1) in
+  (* literals pending emission: [lit_start, pos) *)
+  let flush_literals lit_start pos =
+    let rec emit start =
+      let remaining = pos - start in
+      if remaining > 0 then begin
+        let run = min remaining 128 in
+        Buffer.add_char out (Char.chr (run - 1));
+        Buffer.add_substring out input start run;
+        emit (start + run)
+      end
+    in
+    emit lit_start
+  in
+  let rec step pos lit_start =
+    if pos + min_match > n then flush_literals lit_start n
+    else begin
+      let h = hash4 input pos in
+      let candidate = table.(h) in
+      table.(h) <- pos;
+      let match_len =
+        if
+          candidate >= 0
+          && pos - candidate <= max_offset
+          && String.unsafe_get input candidate = String.unsafe_get input pos
+        then begin
+          let limit = min max_match (n - pos) in
+          let rec extend l =
+            if
+              l < limit
+              && String.unsafe_get input (candidate + l)
+                 = String.unsafe_get input (pos + l)
+            then extend (l + 1)
+            else l
+          in
+          extend 0
+        end
+        else 0
+      in
+      if match_len >= min_match then begin
+        flush_literals lit_start pos;
+        let offset = pos - candidate in
+        Buffer.add_char out (Char.chr (0x80 lor (match_len - min_match)));
+        Buffer.add_char out (Char.chr (offset land 0xff));
+        Buffer.add_char out (Char.chr (offset lsr 8));
+        step (pos + match_len) (pos + match_len)
+      end
+      else step (pos + 1) lit_start
+    end
+  in
+  step 0 0;
+  Buffer.contents out
+
+let decompress input =
+  let n = String.length input in
+  let out = Buffer.create (n * 3) in
+  let rec go pos =
+    if pos = n then Buffer.contents out
+    else begin
+      let token = Char.code input.[pos] in
+      if token < 0x80 then begin
+        let run = token + 1 in
+        if pos + 1 + run > n then invalid_arg "Simple_compress: truncated run";
+        Buffer.add_substring out input (pos + 1) run;
+        go (pos + 1 + run)
+      end
+      else begin
+        if pos + 3 > n then invalid_arg "Simple_compress: truncated match";
+        let len = (token land 0x3f) + min_match in
+        let offset =
+          Char.code input.[pos + 1] lor (Char.code input.[pos + 2] lsl 8)
+        in
+        let produced = Buffer.length out in
+        if offset = 0 || offset > produced then
+          invalid_arg "Simple_compress: bad offset";
+        (* byte-by-byte so overlapping matches replicate correctly *)
+        for i = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (produced - offset + i))
+        done;
+        go (pos + 3)
+      end
+    end
+  in
+  go 0

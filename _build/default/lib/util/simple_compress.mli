@@ -1,0 +1,16 @@
+(** Small self-contained LZSS compressor for table blocks — standing in
+    for the Snappy compression LevelDB applies per block (no external
+    codecs in this build). Greedy matching over a 64 KB window with a
+    4-byte hash table; format:
+
+    {v
+    token := 0x00-0x7f  literal run of (token+1) bytes, bytes follow
+           | 0x80|L     match: length L+4 (4..67), 2-byte LE offset follows
+    v} *)
+
+val compress : string -> string
+(** Never fails; output may be larger than the input for incompressible
+    data (callers compare sizes and keep the original in that case). *)
+
+val decompress : string -> string
+(** Raises [Invalid_argument] on malformed input. *)

@@ -1,0 +1,1 @@
+lib/wal/wal_reader.ml: List Wal_record

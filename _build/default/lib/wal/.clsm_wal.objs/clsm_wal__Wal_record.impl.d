@@ -1,0 +1,1 @@
+lib/wal/wal_record.ml: Binary Buffer Clsm_util Crc32c String

@@ -1,0 +1,1 @@
+lib/wal/wal_record.mli: Buffer

@@ -1,0 +1,1 @@
+lib/wal/wal_writer.ml: Buffer Clsm_primitives Mpmc_queue Mutex Stdlib String Unix Wal_record

@@ -1,0 +1,14 @@
+type outcome = Clean | Torn_tail
+
+let read_records path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  let rec go pos acc =
+    match Wal_record.decode contents ~pos with
+    | `End -> (List.rev acc, Clean)
+    | `Torn -> (List.rev acc, Torn_tail)
+    | `Record (payload, next) -> go next (payload :: acc)
+  in
+  go 0 []

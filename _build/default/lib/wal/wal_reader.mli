@@ -1,0 +1,10 @@
+(** Recovery-side reader: returns all intact records in file order and
+    whether the log ended cleanly. cLSM relaxes the single-writer constraint
+    so records may be out of timestamp order on disk (paper §4); callers
+    restore the correct order from the timestamps embedded in the
+    payloads. *)
+
+type outcome = Clean | Torn_tail
+
+val read_records : string -> string list * outcome
+(** Raises [Sys_error] if the file cannot be read. *)

@@ -1,0 +1,16 @@
+(** Framing of write-ahead-log records:
+
+    {v record := crc32c(masked, fixed32) length(fixed32) payload v}
+
+    The CRC covers the payload. A torn tail (crash mid-write) is detected by
+    a short read or CRC mismatch and treated as end-of-log. *)
+
+val header_length : int
+
+val encode : Buffer.t -> string -> unit
+(** Append one framed record to [buf]. *)
+
+val decode : string -> pos:int -> [ `Record of string * int | `End | `Torn ]
+(** [decode s ~pos] reads the record starting at [pos]. [`Record (payload,
+    next_pos)] on success; [`End] exactly at end of input; [`Torn] on a
+    truncated or corrupt record (recovery stops there). *)

@@ -1,0 +1,87 @@
+open Clsm_primitives
+
+type mode = Sync | Async
+
+type t = {
+  mode : mode;
+  file_path : string;
+  fd : Unix.file_descr;
+  oc : out_channel;
+  queue : string Mpmc_queue.t;
+  io_mutex : Mutex.t; (* serializes the drain/write path *)
+  mutable closed : bool;
+}
+
+let create ?(mode = Async) file_path =
+  let fd =
+    Unix.openfile file_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  {
+    mode;
+    file_path;
+    fd;
+    oc = Unix.out_channel_of_descr fd;
+    queue = Mpmc_queue.create ();
+    io_mutex = Mutex.create ();
+    closed = false;
+  }
+
+(* Must hold [io_mutex]. *)
+let drain_locked t =
+  let buf = Buffer.create 4096 in
+  let rec pump () =
+    match Mpmc_queue.pop t.queue with
+    | Some payload ->
+        Wal_record.encode buf payload;
+        pump ()
+    | None -> ()
+  in
+  pump ();
+  if Buffer.length buf > 0 then begin
+    output_string t.oc (Buffer.contents buf);
+    flush t.oc
+  end
+
+let append t payload =
+  if t.closed then invalid_arg "Wal_writer.append: closed";
+  match t.mode with
+  | Sync ->
+      Mutex.lock t.io_mutex;
+      let buf = Buffer.create (String.length payload + Wal_record.header_length) in
+      Wal_record.encode buf payload;
+      output_string t.oc (Buffer.contents buf);
+      flush t.oc;
+      Unix.fsync t.fd;
+      Mutex.unlock t.io_mutex
+  | Async ->
+      Mpmc_queue.push t.queue payload;
+      (* Opportunistic group commit: whoever gets the lock drains for all. *)
+      if Mutex.try_lock t.io_mutex then begin
+        drain_locked t;
+        Mutex.unlock t.io_mutex
+      end
+
+let flush t =
+  Mutex.lock t.io_mutex;
+  drain_locked t;
+  (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+  Mutex.unlock t.io_mutex
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    t.closed <- true;
+    close_out_noerr t.oc
+  end
+
+let abandon t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* flush OCaml's channel buffer (bytes the OS already had in a real
+       crash would be a superset; dropping the queue models the loss) *)
+    (try Stdlib.flush t.oc with Sys_error _ -> ());
+    close_out_noerr t.oc
+  end
+
+let path t = t.file_path
+let queued t = Mpmc_queue.length t.queue

@@ -1,0 +1,35 @@
+(** Write-ahead-log writer.
+
+    In [Async] mode (the common configuration, paper §2.3/§4) [append] only
+    pushes the record onto a non-blocking queue — "a write only queues the
+    request for logging" — so writes proceed at memory speed and a handful
+    of recent writes may be lost on a crash. Queued records are drained to
+    the file opportunistically by whichever appender wins a try-lock (group
+    commit), or synchronously by {!flush}.
+
+    In [Sync] mode every [append] writes and fsyncs before returning. *)
+
+type t
+type mode = Sync | Async
+
+val create : ?mode:mode -> string -> t
+(** Open (create/truncate) the log file at the given path.
+    Default mode: [Async]. *)
+
+val append : t -> string -> unit
+(** Log one record. Thread-safe; non-blocking in [Async] mode except for an
+    opportunistic drain attempt. *)
+
+val flush : t -> unit
+(** Drain the queue, write everything out and [fsync]. *)
+
+val close : t -> unit
+(** {!flush} then close the file. *)
+
+val path : t -> string
+val queued : t -> int
+(** Records still in the in-memory queue (test/stats). *)
+
+val abandon : t -> unit
+(** Close the file without draining the queue or syncing — test hook that
+    leaves the file exactly as a crash would. *)

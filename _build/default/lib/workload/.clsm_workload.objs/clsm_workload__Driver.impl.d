@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Atomic Domain Format Histogram Key_dist List Rng Store_ops Unix Workload_spec

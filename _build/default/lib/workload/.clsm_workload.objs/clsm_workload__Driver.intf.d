@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Format Store_ops Workload_spec

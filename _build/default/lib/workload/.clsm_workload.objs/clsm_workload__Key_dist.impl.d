@@ -1,0 +1,1 @@
+lib/workload/key_dist.ml: Atomic Clsm_util Float Printf Rng String

@@ -1,0 +1,1 @@
+lib/workload/rng.ml: Clsm_util

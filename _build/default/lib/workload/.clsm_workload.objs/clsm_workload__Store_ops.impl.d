@@ -1,0 +1,1 @@
+lib/workload/store_ops.ml: Clsm_baselines Clsm_core Mutex

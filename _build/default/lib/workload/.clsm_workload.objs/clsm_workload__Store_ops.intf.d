@@ -1,0 +1,1 @@
+lib/workload/store_ops.mli: Clsm_baselines Clsm_core

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Char Clsm_util Driver Format Hashtbl Histogram List Option Printf Rng Store_ops String Unix Workload_spec

@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Driver Format Store_ops Workload_spec

@@ -1,0 +1,1 @@
+lib/workload/workload_spec.ml: Bytes Char Key_dist Printf Rng

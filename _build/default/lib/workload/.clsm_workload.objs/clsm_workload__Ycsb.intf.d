@@ -1,0 +1,1 @@
+lib/workload/ycsb.mli: Workload_spec

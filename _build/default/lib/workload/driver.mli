@@ -1,0 +1,31 @@
+(** Multi-domain benchmark driver: real concurrent execution of a
+    workload against a store (this is the "measured" mode; the paper-shape
+    figures come from the simulator, calibrated by these numbers). *)
+
+type result = {
+  ops : int;
+  keys_touched : int;  (** scans count every key they return *)
+  elapsed : float;
+  throughput : float;  (** ops/s *)
+  keys_per_sec : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  mean_latency : float;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val preload : ?seed:int -> Store_ops.t -> Workload_spec.t -> count:int -> unit
+(** Sequentially insert [count] keys drawn from the spec's distribution
+    indices 0.. so reads have something to hit; compacts afterwards. *)
+
+val run :
+  ?seed:int ->
+  threads:int ->
+  ops_per_thread:int ->
+  Store_ops.t ->
+  Workload_spec.t ->
+  result
+(** Spawn [threads] domains each executing [ops_per_thread] operations
+    drawn from the spec, recording per-op latency. *)

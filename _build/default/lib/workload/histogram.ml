@@ -1,0 +1,69 @@
+(* Buckets: latency in nanoseconds mapped to floor(log2(ns) * 8) — eight
+   sub-buckets per octave, ~9 % resolution, range 1 ns .. ~8 s. *)
+
+let per_octave = 8.0
+let bucket_count = 264 (* 33 octaves * 8 *)
+
+type t = {
+  buckets : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable max_seen : float;
+}
+
+let create () =
+  { buckets = Array.make bucket_count 0; total = 0; sum = 0.0; max_seen = 0.0 }
+
+let bucket_of_ns ns =
+  if ns <= 1 then 0
+  else
+    min (bucket_count - 1)
+      (int_of_float (Float.log2 (float_of_int ns) *. per_octave))
+
+(* Upper edge of the bucket, in seconds. *)
+let seconds_of_bucket b =
+  Float.pow 2.0 (float_of_int (b + 1) /. per_octave) *. 1e-9
+
+let record t seconds =
+  let ns = int_of_float (seconds *. 1e9) in
+  let b = bucket_of_ns ns in
+  t.buckets.(b) <- t.buckets.(b) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. seconds;
+  if seconds > t.max_seen then t.max_seen <- seconds
+
+let count t = t.total
+
+let merge hs =
+  let out = create () in
+  List.iter
+    (fun h ->
+      Array.iteri (fun i c -> out.buckets.(i) <- out.buckets.(i) + c) h.buckets;
+      out.total <- out.total + h.total;
+      out.sum <- out.sum +. h.sum;
+      if h.max_seen > out.max_seen then out.max_seen <- h.max_seen)
+    hs;
+  out
+
+let percentile t p =
+  if t.total = 0 then 0.0
+  else begin
+    let threshold =
+      max 1 (int_of_float (Float.ceil (float_of_int t.total *. p /. 100.0)))
+    in
+    let acc = ref 0 and result = ref 0.0 and found = ref false in
+    Array.iteri
+      (fun i c ->
+        if not !found then begin
+          acc := !acc + c;
+          if !acc >= threshold then begin
+            result := seconds_of_bucket i;
+            found := true
+          end
+        end)
+      t.buckets;
+    !result
+  end
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let max_value t = t.max_seen

@@ -1,0 +1,19 @@
+(** Log-bucketed latency histogram (HdrHistogram-style, ~4 % bucket
+    resolution). Recording is single-writer; use one histogram per worker
+    domain and {!merge} afterwards. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> float -> unit
+(** Record one latency in seconds. *)
+
+val count : t -> int
+val merge : t list -> t
+
+val percentile : t -> float -> float
+(** [percentile t 90.0] in seconds; 0 when empty. *)
+
+val mean : t -> float
+val max_value : t -> float

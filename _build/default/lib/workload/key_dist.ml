@@ -1,0 +1,117 @@
+type shape =
+  | Uniform
+  | Skewed_blocks of { hot_fraction : float; hot_probability : float }
+  | Zipf of { theta : float; zeta_n : float }
+  | Sequential of int Atomic.t
+  | Heavy_tail
+
+type t = { shape : shape; space : int }
+
+let uniform space =
+  if space <= 0 then invalid_arg "Key_dist.uniform";
+  { shape = Uniform; space }
+
+let skewed_blocks ?(hot_fraction = 0.1) ?(hot_probability = 0.9) space =
+  if space <= 0 then invalid_arg "Key_dist.skewed_blocks";
+  { shape = Skewed_blocks { hot_fraction; hot_probability }; space }
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let zipf ?(theta = 0.99) space =
+  if space <= 0 then invalid_arg "Key_dist.zipf";
+  (* Exact zeta for small spaces; sampled approximation for large ones. *)
+  let zeta_n =
+    if space <= 1_000_000 then zeta space theta
+    else
+      (* Harmonic-style approximation: zeta(n) ≈ zeta(10^6) + integral tail. *)
+      let base = zeta 1_000_000 theta in
+      base
+      +. (Float.pow (float_of_int space) (1.0 -. theta)
+          -. Float.pow 1e6 (1.0 -. theta))
+         /. (1.0 -. theta)
+  in
+  { shape = Zipf { theta; zeta_n }; space }
+
+let sequential space = { shape = Sequential (Atomic.make 0); space }
+let heavy_tail space =
+  if space <= 0 then invalid_arg "Key_dist.heavy_tail";
+  { shape = Heavy_tail; space }
+
+let space t = t.space
+
+(* Scramble so that "popular" indices are spread over the key space rather
+   than clustered at the low end (popularity should not correlate with
+   sort order). *)
+let scramble t i = Clsm_util.Hashing.mix64 (i * 2654435761) mod t.space
+
+(* Contiguous popular blocks (paper: "popular blocks that comprise 10% of
+   the database") so hot traffic also exhibits block/cache locality. *)
+let block_size = 256
+
+let next_index t rng =
+  match t.shape with
+  | Uniform -> Rng.int rng t.space
+  | Skewed_blocks { hot_fraction; hot_probability } ->
+      if t.space <= block_size then Rng.int rng t.space
+      else if Rng.bool rng hot_probability then begin
+        let blocks = t.space / block_size in
+        let stride = max 1 (int_of_float (1.0 /. hot_fraction)) in
+        let hot_blocks = max 1 (blocks / stride) in
+        let b = (Rng.int rng hot_blocks * stride) + (stride / 2) in
+        min (t.space - 1) ((b * block_size) + Rng.int rng block_size)
+      end
+      else Rng.int rng t.space
+  | Zipf { theta; zeta_n } ->
+      (* YCSB's zipfian generator (Gray et al. CDF inversion). *)
+      let n = float_of_int t.space in
+      let alpha = 1.0 /. (1.0 -. theta) in
+      let zeta2 = zeta 2 theta in
+      let eta =
+        (1.0 -. Float.pow (2.0 /. n) (1.0 -. theta))
+        /. (1.0 -. (zeta2 /. zeta_n))
+      in
+      let u = Rng.float rng in
+      let uz = u *. zeta_n in
+      let rank =
+        if uz < 1.0 then 0
+        else if uz < 1.0 +. Float.pow 0.5 theta then 1
+        else int_of_float (n *. Float.pow ((eta *. u) -. eta +. 1.0) alpha)
+      in
+      scramble t (min rank (t.space - 1))
+  | Sequential c -> Atomic.fetch_and_add c 1 mod t.space
+  | Heavy_tail ->
+      (* Three-band mixture matching §5.2:
+         - 50% of requests hit the hottest 1.5% of keys
+         - a further 27% hit the next 8.5% (top 10% ≥ 75%? 50+27=77%)
+         - 13% hit the warm 30%
+         - 10% hit cold keys, approximating the once-seen tail. *)
+      let r = Rng.float rng in
+      let band_start, band_frac =
+        if r < 0.50 then (0.0, 0.015)
+        else if r < 0.77 then (0.015, 0.085)
+        else if r < 0.90 then (0.10, 0.30)
+        else (0.40, 0.60)
+      in
+      let lo = int_of_float (float_of_int t.space *. band_start) in
+      let width = max 1 (int_of_float (float_of_int t.space *. band_frac)) in
+      scramble t (lo + Rng.int rng width)
+
+let key_of_index ?(key_len = 8) i =
+  let base = Printf.sprintf "%0*d" key_len i in
+  if String.length base >= key_len then base
+  else base ^ String.make (key_len - String.length base) '0'
+
+let next_key ?key_len t rng = key_of_index ?key_len (next_index t rng)
+
+let kind t =
+  match t.shape with
+  | Uniform -> `Uniform
+  | Skewed_blocks _ -> `Skewed_blocks
+  | Zipf _ -> `Zipf
+  | Sequential _ -> `Sequential
+  | Heavy_tail -> `Heavy_tail

@@ -1,0 +1,36 @@
+(** Key distributions used across the paper's experiments (§5.1–5.2). *)
+
+type t
+
+val uniform : int -> t
+(** Keys drawn uniformly from [0, space): the write benchmark of Fig. 5
+    ("keys are drawn uniformly at random from the entire range"). *)
+
+val skewed_blocks : ?hot_fraction:float -> ?hot_probability:float -> int -> t
+(** The read benchmark of Fig. 6: [hot_probability] (default 0.9) of keys
+    come from "popular" blocks covering [hot_fraction] (default 0.1) of the
+    space; the rest are uniform over the whole range. *)
+
+val zipf : ?theta:float -> int -> t
+(** Zipf(θ) over the space (default θ = 0.99, YCSB's default). *)
+
+val sequential : int -> t
+(** Monotonically increasing (bulk load). *)
+
+val heavy_tail : int -> t
+(** §5.2 production profile: ≈10 % of keys draw ≥75 % of requests, the top
+    1–2 % draw ≥50 %, and ≈10 % of the space is touched once. *)
+
+val next_index : t -> Rng.t -> int
+(** Draw a key index in [0, space). *)
+
+val space : t -> int
+
+val key_of_index : ?key_len:int -> int -> string
+(** Stable, sortable encoding of an index (zero-padded decimal, then
+    repeated to [key_len] bytes — default 8, paper's synthetic key size). *)
+
+val next_key : ?key_len:int -> t -> Rng.t -> string
+
+val kind : t -> [ `Uniform | `Skewed_blocks | `Zipf | `Sequential | `Heavy_tail ]
+(** Shape tag (used by the simulator's cache model). *)

@@ -1,0 +1,19 @@
+type t = { mutable state : int }
+
+let golden = 0x1e3779b97f4a7c15
+
+let create seed = { state = (seed * 2 + 1) land max_int }
+
+let next t =
+  t.state <- (t.state + golden) land max_int;
+  Clsm_util.Hashing.mix64 t.state
+
+let split t = create (next t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  next t mod bound
+
+let float t = float_of_int (next t land ((1 lsl 52) - 1)) /. float_of_int (1 lsl 52)
+
+let bool t p = float t < p

@@ -1,0 +1,21 @@
+(** Deterministic splittable PRNG (splitmix-style over OCaml's 63-bit
+    ints). Every generator in the benchmark harness derives from explicit
+    seeds so runs are reproducible. *)
+
+type t
+
+val create : int -> t
+val split : t -> t
+(** An independent stream (for per-domain generators). *)
+
+val next : t -> int
+(** Uniform non-negative int. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises for [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)

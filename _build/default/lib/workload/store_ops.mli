@@ -1,0 +1,26 @@
+(** Uniform store interface for benchmarks and examples: the paper's
+    key-value API (§2.1) as a record of closures, so cLSM and the baseline
+    stores are interchangeable in the harness. *)
+
+type t = {
+  name : string;
+  put : key:string -> value:string -> unit;
+  get : string -> string option;
+  delete : key:string -> unit;
+  scan : start:string -> limit:int -> (string * string) list;
+      (** snapshot range query of [limit] keys from [start] *)
+  put_if_absent : key:string -> value:string -> bool;
+      (** atomic RMW (put-if-absent flavor, Figure 9) *)
+  compact : unit -> unit;
+  close : unit -> unit;
+}
+
+val of_clsm : Clsm_core.Db.t -> t
+val of_single_writer : Clsm_baselines.Single_writer_store.t -> t
+
+val of_striped : Clsm_baselines.Striped_rmw.t -> t
+(** Lock-striped writes/RMW over the single-writer store. *)
+
+val open_clsm : Clsm_core.Options.t -> t
+val open_single_writer : Clsm_core.Options.t -> t
+val open_striped : Clsm_core.Options.t -> t

@@ -1,0 +1,53 @@
+(** Operation traces: the paper's production evaluation (§5.2) replays
+    "logs captured in a production key-value store". This module defines a
+    portable trace file format, a synthesizer that writes traces with the
+    published production statistics, and a replayer.
+
+    Format: one operation per line —
+    {v
+    G <key>               get
+    P <key> <value_len>   put
+    D <key>               delete
+    S <key> <scan_len>    snapshot range scan
+    M <key> <value_len>   read-modify-write (put-if-absent)
+    v}
+    Values are regenerated deterministically from the key at replay time,
+    so traces stay compact (keys and shapes, not payloads). *)
+
+type op =
+  | Get of string
+  | Put of string * int
+  | Delete of string
+  | Scan of string * int
+  | Rmw of string * int
+
+val op_to_line : op -> string
+val op_of_line : string -> op option
+(** [None] on blank/comment lines; raises [Failure] on malformed lines. *)
+
+val synthesize :
+  ?seed:int -> spec:Workload_spec.t -> count:int -> string -> unit
+(** Write a [count]-operation trace drawn from [spec] to the given path. *)
+
+val load : string -> op list
+
+type stats = {
+  total : int;
+  reads : int;
+  writes : int;
+  deletes : int;
+  scans : int;
+  rmws : int;
+  distinct_keys : int;
+  top_decile_share : float;
+      (** fraction of key references going to the most popular 10 % of
+          distinct keys — the §5.2 locality statistic *)
+}
+
+val stats_of : op list -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val replay :
+  ?value_seed:int -> Store_ops.t -> op list -> Driver.result
+(** Single-threaded replay in trace order (a trace is one partition's
+    request log), measuring latency per operation. *)

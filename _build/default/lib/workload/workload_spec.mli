@@ -1,0 +1,48 @@
+(** Specification of an operation mix plus key/value shapes — one per
+    paper experiment. *)
+
+type op = Read | Write | Scan | Rmw
+
+type t = {
+  name : string;
+  read_ratio : float;
+  write_ratio : float;
+  scan_ratio : float;
+  rmw_ratio : float;  (** ratios sum to 1 *)
+  keys : Key_dist.t;
+  key_len : int;
+  value_len : int;
+  scan_min : int;
+  scan_max : int;  (** scan length uniform in [scan_min, scan_max] *)
+}
+
+val make :
+  ?read:float ->
+  ?write:float ->
+  ?scan:float ->
+  ?rmw:float ->
+  ?key_len:int ->
+  ?value_len:int ->
+  ?scan_min:int ->
+  ?scan_max:int ->
+  name:string ->
+  Key_dist.t ->
+  t
+(** Ratios are normalized; defaults give a 100 % read workload with the
+    paper's synthetic sizes (8-byte keys, 256-byte values, scans of
+    10–20 keys). *)
+
+val next_op : t -> Rng.t -> op
+val next_key : t -> Rng.t -> string
+val value_for : t -> Rng.t -> string
+val scan_len : t -> Rng.t -> int
+
+(** The paper's named workloads (§5). *)
+
+val write_only : space:int -> t (* Figure 5 *)
+val read_only_skewed : space:int -> t (* Figure 6 *)
+val mixed_read_write : space:int -> t (* Figures 7a, 8 *)
+val mixed_scan_write : space:int -> t (* Figure 7b *)
+val rmw_only : space:int -> t (* Figure 9 *)
+val production : read_ratio:float -> space:int -> t (* Figures 1, 10 *)
+val disk_heavy : space:int -> t (* Figure 11 *)

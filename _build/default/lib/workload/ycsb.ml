@@ -1,0 +1,28 @@
+let zipf ~space = Key_dist.zipf space
+let value_len = 1024 (* YCSB default: 10 fields x 100 bytes, rounded *)
+let key_len = 23 (* "user" + 19-digit hash in YCSB; width only *)
+
+let make ~name ?(read = 0.0) ?(write = 0.0) ?(scan = 0.0) ?(rmw = 0.0)
+    ?(scan_min = 1) ?(scan_max = 100) dist =
+  Workload_spec.make ~name ~read ~write ~scan ~rmw ~key_len ~value_len
+    ~scan_min ~scan_max dist
+
+let workload_a ~space = make ~name:"ycsb-a" ~read:0.5 ~write:0.5 (zipf ~space)
+let workload_b ~space = make ~name:"ycsb-b" ~read:0.95 ~write:0.05 (zipf ~space)
+let workload_c ~space = make ~name:"ycsb-c" ~read:1.0 (zipf ~space)
+let workload_d ~space = make ~name:"ycsb-d" ~read:0.95 ~write:0.05 (zipf ~space)
+
+let workload_e ~space =
+  make ~name:"ycsb-e" ~scan:0.95 ~write:0.05 (zipf ~space)
+
+let workload_f ~space = make ~name:"ycsb-f" ~read:0.5 ~rmw:0.5 (zipf ~space)
+
+let all ~space =
+  [
+    ("A (update heavy)", workload_a ~space);
+    ("B (read mostly)", workload_b ~space);
+    ("C (read only)", workload_c ~space);
+    ("D (read latest)", workload_d ~space);
+    ("E (short ranges)", workload_e ~space);
+    ("F (read-modify-write)", workload_f ~space);
+  ]

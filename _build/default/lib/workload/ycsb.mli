@@ -1,0 +1,26 @@
+(** The standard YCSB core workloads as {!Workload_spec} values — the
+    community benchmark suite for key-value stores, handy alongside the
+    paper's own workloads. All use Zipf(0.99) request popularity (except D
+    and E per the YCSB definitions, approximated here) with YCSB's default
+    1 KB values. *)
+
+val workload_a : space:int -> Workload_spec.t
+(** Update heavy: 50 % reads / 50 % updates. *)
+
+val workload_b : space:int -> Workload_spec.t
+(** Read mostly: 95 % reads / 5 % updates. *)
+
+val workload_c : space:int -> Workload_spec.t
+(** Read only. *)
+
+val workload_d : space:int -> Workload_spec.t
+(** Read latest: 95 % reads / 5 % inserts (recency-skewed reads
+    approximated with the Zipf distribution over a growing space). *)
+
+val workload_e : space:int -> Workload_spec.t
+(** Short ranges: 95 % scans (length ≤ 100) / 5 % inserts. *)
+
+val workload_f : space:int -> Workload_spec.t
+(** Read-modify-write: 50 % reads / 50 % RMW. *)
+
+val all : space:int -> (string * Workload_spec.t) list

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Clsm_baselines Clsm_core Clsm_lsm Clsm_workload Domain Filename List Printf Single_writer_store String Striped_rmw Unix

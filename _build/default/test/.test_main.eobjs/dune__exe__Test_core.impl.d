@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Atomic Buffer Clsm_core Clsm_lsm Clsm_wal Db Domain Entry Filename In_channel List Log_record Lsm_config Memtable Options Out_channel Printf Stats String Sys Unix

@@ -1,0 +1,1 @@
+test/test_cow_store.ml: Alcotest Clsm_core Clsm_lsm Clsm_workload Cow_memtable Cow_store Db Domain Entry Filename Internal_key List Options Printf Unix

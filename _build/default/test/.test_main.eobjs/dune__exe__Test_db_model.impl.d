@@ -1,0 +1,1 @@
+test/test_db_model.ml: Alcotest Clsm_core Clsm_lsm Clsm_workload Db Filename List Map Options Printf String Unix

@@ -1,0 +1,1 @@
+test/test_lsm.ml: Alcotest Clsm_lsm Compaction Entry Filename Gen In_channel Internal_key Iter List Lsm_config Manifest Merge_iter Out_channel QCheck QCheck_alcotest String Sys Table_file Unix

@@ -1,0 +1,1 @@
+test/test_primitives.ml: Active_set Alcotest Atomic Backoff Clsm_primitives Domain Fun Hashtbl List Monotonic_counter Mpmc_queue Rcu_box Refcounted Shared_lock Unix

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Clsm_sim Clsm_sim_lsm Clsm_workload Engine Experiment List Printf Proc QCheck QCheck_alcotest Resource Sim_mutex Sim_shared_lock System

@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Atomic Clsm_skiplist Domain Gen List Map Option Printf QCheck QCheck_alcotest String

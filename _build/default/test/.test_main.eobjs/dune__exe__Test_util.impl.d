@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Binary Buffer Bytes Clsm_util Crc32c Gen Hashing List QCheck QCheck_alcotest String Varint

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Buffer Bytes Clsm_wal Domain Filename Gen List Printf QCheck QCheck_alcotest String Unix Wal_reader Wal_record Wal_writer

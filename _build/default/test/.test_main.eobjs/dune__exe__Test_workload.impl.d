@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Clsm_core Clsm_workload Driver Filename Hashtbl Histogram Key_dist List Option Printf Rng Store_ops String Unix Workload_spec

@@ -1,0 +1,218 @@
+(* The generic-algorithm demonstration: the identical store logic over the
+   copy-on-write map component must pass the same behavioural checks as
+   the skip-list cLSM. *)
+
+open Clsm_core
+module S = Cow_store
+
+let spawn_all fns = List.map Domain.spawn fns |> List.map Domain.join
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "clsm_test_cow_%d_%d" (Unix.getpid ()) !counter)
+
+let small_opts dir =
+  let base = Options.default ~dir in
+  {
+    base with
+    Options.memtable_bytes = 16 * 1024;
+    cache_bytes = 1 lsl 20;
+    lsm =
+      {
+        base.Options.lsm with
+        Clsm_lsm.Lsm_config.level1_max_bytes = 64 * 1024;
+        target_file_size = 16 * 1024;
+        block_size = 1024;
+      };
+  }
+
+let with_store f =
+  let dir = fresh_dir () in
+  let db = S.open_store (small_opts dir) in
+  match f db dir with
+  | r ->
+      S.close db;
+      r
+  | exception e ->
+      S.close db;
+      raise e
+
+(* ---------- Cow_memtable unit behaviour ---------- *)
+
+let cow_memtable_versions () =
+  let open Clsm_lsm in
+  let m = Cow_memtable.create () in
+  Cow_memtable.add m ~user_key:"k" ~ts:5 (Entry.Value "v5");
+  Cow_memtable.add m ~user_key:"k" ~ts:9 (Entry.Value "v9");
+  Alcotest.(check bool) "snap 7 sees v5" true
+    (Cow_memtable.get m ~user_key:"k" ~snap_ts:7 = Some (5, Entry.Value "v5"));
+  Alcotest.(check bool) "snap max sees v9" true
+    (Cow_memtable.get m ~user_key:"k" ~snap_ts:Internal_key.max_ts
+    = Some (9, Entry.Value "v9"));
+  Alcotest.(check (option int)) "latest" (Some 9)
+    (Cow_memtable.latest_ts m ~user_key:"k");
+  (* duplicate ts ignored *)
+  let bytes = Cow_memtable.approximate_bytes m in
+  Cow_memtable.add m ~user_key:"k" ~ts:9 (Entry.Value "replayed");
+  Alcotest.(check int) "duplicate ignored" bytes (Cow_memtable.approximate_bytes m)
+
+let cow_memtable_rmw_conflict () =
+  let open Clsm_lsm in
+  let m = Cow_memtable.create () in
+  Cow_memtable.add m ~user_key:"k" ~ts:1 (Entry.Value "a");
+  let prev, loc = Cow_memtable.locate_rmw m ~user_key:"k" in
+  Alcotest.(check (option int)) "prev" (Some 1) prev;
+  (* any intervening write invalidates the location *)
+  Cow_memtable.add m ~user_key:"other" ~ts:2 (Entry.Value "x");
+  Alcotest.(check bool) "stale install rejected" false
+    (Cow_memtable.try_install m loc ~user_key:"k" ~ts:3 (Entry.Value "b"));
+  let _, loc = Cow_memtable.locate_rmw m ~user_key:"k" in
+  Alcotest.(check bool) "fresh install ok" true
+    (Cow_memtable.try_install m loc ~user_key:"k" ~ts:3 (Entry.Value "b"))
+
+(* ---------- full-store behaviour over the alternative component ---------- *)
+
+let basic_roundtrip () =
+  with_store (fun db _ ->
+      S.put db ~key:"a" ~value:"1";
+      S.put db ~key:"b" ~value:"2";
+      S.delete db ~key:"a";
+      Alcotest.(check (option string)) "deleted" None (S.get db "a");
+      Alcotest.(check (option string)) "kept" (Some "2") (S.get db "b"))
+
+let through_disk_and_recovery () =
+  let dir = fresh_dir () in
+  let opts = small_opts dir in
+  let db = S.open_store opts in
+  for i = 0 to 499 do
+    S.put db ~key:(Printf.sprintf "k%04d" i) ~value:(string_of_int i)
+  done;
+  S.compact_now db;
+  Alcotest.(check (option string)) "from disk" (Some "123") (S.get db "k0123");
+  S.put db ~key:"wal-only" ~value:"recovered";
+  S.flush_wal db;
+  S.close db;
+  let db = S.open_store opts in
+  Alcotest.(check (option string)) "disk survives" (Some "321") (S.get db "k0321");
+  Alcotest.(check (option string)) "wal replayed" (Some "recovered")
+    (S.get db "wal-only");
+  Alcotest.(check (list string)) "verifies" [] (S.verify_integrity db);
+  S.close db
+
+let snapshots_and_scans () =
+  with_store (fun db _ ->
+      List.iter (fun (k, v) -> S.put db ~key:k ~value:v)
+        [ ("a", "1"); ("b", "2"); ("c", "3") ];
+      let snap = S.get_snap db in
+      S.put db ~key:"b" ~value:"2x";
+      S.delete db ~key:"c";
+      Alcotest.(check (list (pair string string)))
+        "snapshot view"
+        [ ("a", "1"); ("b", "2"); ("c", "3") ]
+        (S.range ~snapshot:snap db);
+      Alcotest.(check (list (pair string string)))
+        "live view"
+        [ ("a", "1"); ("b", "2x") ]
+        (S.range db);
+      S.release_snapshot db snap)
+
+let rmw_counter_concurrent () =
+  with_store (fun db _ ->
+      let per = 500 in
+      let worker () =
+        for _ = 1 to per do
+          ignore
+            (S.rmw db ~key:"ctr" (fun v ->
+                 let n = match v with Some s -> int_of_string s | None -> 0 in
+                 S.Set (string_of_int (n + 1))))
+        done;
+        0
+      in
+      ignore (spawn_all [ worker; worker; worker ]);
+      Alcotest.(check (option string)) "no lost updates"
+        (Some (string_of_int (3 * per)))
+        (S.get db "ctr"))
+
+let concurrent_reads_during_writes () =
+  with_store (fun db _ ->
+      let n = 1_000 in
+      let writer () =
+        for i = 0 to n - 1 do
+          S.put db ~key:(Printf.sprintf "w%05d" i) ~value:(string_of_int i)
+        done;
+        0
+      in
+      let reader () =
+        let wrong = ref 0 in
+        for _ = 1 to 3 do
+          for i = 0 to n - 1 do
+            match S.get db (Printf.sprintf "w%05d" i) with
+            | Some v when v <> string_of_int i -> incr wrong
+            | Some _ | None -> ()
+          done
+        done;
+        !wrong
+      in
+      let results = spawn_all [ writer; reader ] in
+      Alcotest.(check int) "reads never wrong" 0 (List.nth results 1))
+
+let batches_and_multi_get () =
+  with_store (fun db _ ->
+      S.write_batch db
+        [ S.Batch_put ("x", "1"); S.Batch_put ("y", "2"); S.Batch_delete "x" ];
+      Alcotest.(check (list (pair string (option string))))
+        "multi_get"
+        [ ("x", None); ("y", Some "2") ]
+        (S.multi_get db [ "x"; "y" ]))
+
+let agrees_with_skiplist_store () =
+  (* Both instantiations of the generic store must compute identical
+     contents for the same random history. *)
+  let dir1 = fresh_dir () and dir2 = fresh_dir () in
+  let a = Db.open_store (small_opts dir1) in
+  let b = S.open_store (small_opts dir2) in
+  let rng = Clsm_workload.Rng.create 77 in
+  for _ = 1 to 2_000 do
+    let key = Printf.sprintf "k%03d" (Clsm_workload.Rng.int rng 150) in
+    if Clsm_workload.Rng.bool rng 0.25 then begin
+      Db.delete a ~key;
+      S.delete b ~key
+    end
+    else begin
+      let value = Printf.sprintf "v%d" (Clsm_workload.Rng.int rng 100_000) in
+      Db.put a ~key ~value;
+      S.put b ~key ~value
+    end
+  done;
+  Db.compact_now a;
+  S.compact_now b;
+  Alcotest.(check (list (pair string string)))
+    "identical contents" (Db.range a) (S.range b);
+  Db.close a;
+  S.close b
+
+let suites =
+  [
+    ( "cow.memtable",
+      [
+        Alcotest.test_case "multi-version get" `Quick cow_memtable_versions;
+        Alcotest.test_case "rmw conflict detection" `Quick
+          cow_memtable_rmw_conflict;
+      ] );
+    ( "cow.store",
+      [
+        Alcotest.test_case "roundtrip" `Quick basic_roundtrip;
+        Alcotest.test_case "disk + recovery" `Quick through_disk_and_recovery;
+        Alcotest.test_case "snapshots and scans" `Quick snapshots_and_scans;
+        Alcotest.test_case "concurrent rmw counter" `Quick rmw_counter_concurrent;
+        Alcotest.test_case "reads during writes" `Quick
+          concurrent_reads_during_writes;
+        Alcotest.test_case "batches and multi_get" `Quick batches_and_multi_get;
+        Alcotest.test_case "agrees with skip-list store" `Quick
+          agrees_with_skiplist_store;
+      ] );
+  ]

@@ -1,0 +1,291 @@
+open Clsm_lsm
+
+let qtests = List.map QCheck_alcotest.to_alcotest
+
+(* ---------- Internal_key ---------- *)
+
+let ikey_roundtrip () =
+  List.iter
+    (fun (k, ts) ->
+      let enc = Internal_key.make k ts in
+      Alcotest.(check string) "user key" k (Internal_key.user_key_of enc);
+      Alcotest.(check int) "ts" ts (Internal_key.ts_of enc);
+      let d = Internal_key.decode enc in
+      Alcotest.(check string) "decode uk" k d.Internal_key.user_key;
+      Alcotest.(check int) "decode ts" ts d.Internal_key.ts)
+    [ ("", 0); ("a", 1); ("key", 123456789); ("\x00\xff", Internal_key.max_ts) ]
+
+let ikey_ordering () =
+  let le a b = Internal_key.compare_encoded a b < 0 in
+  (* user key dominates *)
+  Alcotest.(check bool) "a < b" true
+    (le (Internal_key.make "a" 100) (Internal_key.make "b" 1));
+  (* same user key: ts ascending *)
+  Alcotest.(check bool) "ts asc" true
+    (le (Internal_key.make "k" 1) (Internal_key.make "k" 2));
+  (* prefix keys: "a" < "ab" regardless of ts bytes *)
+  Alcotest.(check bool) "prefix" true
+    (le (Internal_key.make "a" Internal_key.max_ts) (Internal_key.make "ab" 1));
+  (* probe is the supremum of a key's versions *)
+  Alcotest.(check bool) "probe above" true
+    (le (Internal_key.make "k" 999999) (Internal_key.probe "k"));
+  Alcotest.(check bool) "probe below next key" true
+    (le (Internal_key.probe "k") (Internal_key.make "k\x00" 1))
+
+let prop_ikey_order_matches_pairs =
+  QCheck.Test.make ~name:"encoded order = (user_key, ts) order" ~count:500
+    QCheck.(
+      pair
+        (pair (string_of_size Gen.(0 -- 6)) (map abs small_int))
+        (pair (string_of_size Gen.(0 -- 6)) (map abs small_int)))
+    (fun ((k1, t1), (k2, t2)) ->
+      let c_enc =
+        Internal_key.compare_encoded (Internal_key.make k1 t1)
+          (Internal_key.make k2 t2)
+      in
+      let c_pair = compare (k1, t1) (k2, t2) in
+      compare c_enc 0 = compare c_pair 0)
+
+(* ---------- Entry ---------- *)
+
+let entry_roundtrip () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "roundtrip" true (Entry.decode (Entry.encode e) = e))
+    [ Entry.Value ""; Entry.Value "hello"; Entry.Tombstone ];
+  Alcotest.(check bool) "tombstone" true (Entry.is_tombstone Entry.Tombstone);
+  Alcotest.(check (option string)) "to_option" (Some "x")
+    (Entry.to_option (Entry.Value "x"));
+  match Entry.decode "\x07bad" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad tag accepted"
+
+(* ---------- Iter / Merge_iter ---------- *)
+
+let sorted l = List.sort compare l
+
+let iter_concat () =
+  let a = Iter.of_sorted_list ~cmp:String.compare [ ("a", "1"); ("b", "2") ] in
+  let b = Iter.of_sorted_list ~cmp:String.compare [] in
+  let c = Iter.of_sorted_list ~cmp:String.compare [ ("x", "3"); ("y", "4") ] in
+  let it = Iter.concat [ a; b; c ] in
+  Alcotest.(check (list (pair string string)))
+    "all entries"
+    [ ("a", "1"); ("b", "2"); ("x", "3"); ("y", "4") ]
+    (Iter.to_list it);
+  it.Iter.seek "c";
+  Alcotest.(check string) "seek across gap" "x" (it.Iter.key ());
+  it.Iter.seek "y";
+  Alcotest.(check string) "seek into last" "y" (it.Iter.key ());
+  it.Iter.seek "z";
+  Alcotest.(check bool) "seek past end" false (it.Iter.valid ())
+
+let merge_basic () =
+  let a = Iter.of_sorted_list ~cmp:String.compare [ ("a", "A"); ("c", "C") ] in
+  let b = Iter.of_sorted_list ~cmp:String.compare [ ("b", "B"); ("d", "D") ] in
+  let m = Merge_iter.merge ~cmp:String.compare [ a; b ] in
+  Alcotest.(check (list (pair string string)))
+    "interleaved"
+    [ ("a", "A"); ("b", "B"); ("c", "C"); ("d", "D") ]
+    (Iter.to_list m)
+
+let merge_tie_break () =
+  (* Equal keys: the earlier (newer) source is emitted first. *)
+  let newer = Iter.of_sorted_list ~cmp:String.compare [ ("k", "new") ] in
+  let older = Iter.of_sorted_list ~cmp:String.compare [ ("k", "old") ] in
+  let m = Merge_iter.merge ~cmp:String.compare [ newer; older ] in
+  Alcotest.(check (list (pair string string)))
+    "newer first"
+    [ ("k", "new"); ("k", "old") ]
+    (Iter.to_list m)
+
+let prop_merge_equals_sort =
+  QCheck.Test.make ~name:"merge = sorted union" ~count:200
+    QCheck.(
+      list_of_size
+        Gen.(0 -- 8)
+        (list_of_size Gen.(0 -- 30) (string_of_size Gen.(1 -- 4))))
+    (fun keylists ->
+      let lists =
+        List.map
+          (fun keys ->
+            List.sort_uniq compare (List.map (fun k -> (k, k)) keys))
+          keylists
+      in
+      let iters = List.map (Iter.of_sorted_list ~cmp:String.compare) lists in
+      let merged = Iter.to_list (Merge_iter.merge ~cmp:String.compare iters) in
+      sorted merged = sorted (List.concat lists))
+
+let prop_merge_seek =
+  QCheck.Test.make ~name:"merge seek = first >= target" ~count:200
+    QCheck.(
+      pair
+        (list_of_size
+           Gen.(0 -- 6)
+           (list_of_size Gen.(0 -- 20) (string_of_size Gen.(1 -- 3))))
+        (string_of_size Gen.(1 -- 3)))
+    (fun (keylists, target) ->
+      let lists =
+        List.map
+          (fun keys -> List.sort_uniq compare (List.map (fun k -> (k, k)) keys))
+          keylists
+      in
+      let m =
+        Merge_iter.merge ~cmp:String.compare
+          (List.map (Iter.of_sorted_list ~cmp:String.compare) lists)
+      in
+      m.Iter.seek target;
+      let got = if m.Iter.valid () then Some (m.Iter.key ()) else None in
+      let all = sorted (List.concat_map (List.map fst) lists) in
+      let expected = List.find_opt (fun k -> k >= target) all in
+      got = expected)
+
+(* ---------- Compaction.filter_group (GC policy) ---------- *)
+
+let v ts = (ts, Entry.Value (string_of_int ts))
+let tomb ts = (ts, Entry.Tombstone)
+
+let check_filter name ~snapshots ~drop versions expected =
+  Alcotest.(check (list int))
+    name expected
+    (Compaction.filter_group ~snapshots ~drop_tombstones:drop versions)
+
+let gc_no_snapshots () =
+  (* Only the newest survives. *)
+  check_filter "plain" ~snapshots:[] ~drop:false [ v 1; v 5; v 9 ] [ 9 ];
+  check_filter "single" ~snapshots:[] ~drop:false [ v 3 ] [ 3 ];
+  check_filter "empty" ~snapshots:[] ~drop:false [] []
+
+let gc_snapshot_pins () =
+  (* Snapshot 5 pins version 5; snapshot 6 pins version 5 too. *)
+  check_filter "pin exact" ~snapshots:[ 5 ] ~drop:false [ v 1; v 5; v 9 ] [ 5; 9 ];
+  check_filter "pin between" ~snapshots:[ 6 ] ~drop:false [ v 1; v 5; v 9 ] [ 5; 9 ];
+  check_filter "pin old" ~snapshots:[ 2 ] ~drop:false [ v 1; v 5; v 9 ] [ 1; 9 ];
+  check_filter "pin below all" ~snapshots:[ 0 ] ~drop:false [ v 1; v 5 ] [ 5 ];
+  check_filter "two snapshots" ~snapshots:[ 2; 6 ] ~drop:false
+    [ v 1; v 5; v 9 ] [ 1; 5; 9 ];
+  check_filter "same window" ~snapshots:[ 5; 6; 7 ] ~drop:false
+    [ v 1; v 5; v 9 ] [ 5; 9 ]
+
+let gc_tombstones () =
+  (* Newest tombstone dropped at the bottom only when oldest survivor. *)
+  check_filter "kept off bottom" ~snapshots:[] ~drop:false [ v 1; tomb 9 ] [ 9 ];
+  check_filter "dropped at bottom" ~snapshots:[] ~drop:true [ v 1; tomb 9 ] [];
+  (* A pinned older value blocks elision of nothing — the tombstone is not
+     the oldest survivor, so it must stay to shadow the value. *)
+  check_filter "value pinned, tombstone stays" ~snapshots:[ 1 ] ~drop:true
+    [ v 1; tomb 9 ] [ 1; 9 ];
+  (* Leading tombstones all go. *)
+  check_filter "leading chain" ~snapshots:[ 3 ] ~drop:true
+    [ tomb 2; tomb 3; v 9 ]
+    [ 9 ];
+  check_filter "tomb then value kept off bottom" ~snapshots:[ 3 ] ~drop:false
+    [ tomb 2; tomb 3; v 9 ]
+    [ 3; 9 ]
+
+let prop_gc_keeps_snapshot_views =
+  (* For every snapshot, the visible version before and after GC match. *)
+  let gen =
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 8) (pair (int_range 1 30) bool))
+        (list_of_size Gen.(0 -- 4) (int_range 0 35)))
+  in
+  QCheck.Test.make ~name:"GC preserves snapshot-visible versions" ~count:500 gen
+    (fun (raw_versions, snapshots) ->
+      let versions =
+        List.sort_uniq (fun a b -> compare (fst a) (fst b)) raw_versions
+        |> List.map (fun (ts, is_tomb) ->
+               if is_tomb then tomb ts else v ts)
+      in
+      QCheck.assume (versions <> []);
+      let kept =
+        Compaction.filter_group ~snapshots ~drop_tombstones:false versions
+      in
+      let visible vs snap =
+        List.fold_left
+          (fun acc (ts, e) -> if ts <= snap then Some (ts, e) else acc)
+          None vs
+      in
+      let kept_versions = List.filter (fun (ts, _) -> List.mem ts kept) versions in
+      List.for_all
+        (fun snap -> visible versions snap = visible kept_versions snap)
+        (Internal_key.max_ts :: snapshots))
+
+(* ---------- Manifest ---------- *)
+
+let tmp_dir =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) "clsm_test_lsm" in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let manifest_roundtrip () =
+  let m =
+    {
+      Manifest.next_file_number = 42;
+      last_ts = 99999;
+      wal_number = 17;
+      files = [ (0, 5); (0, 3); (1, 2); (2, 1) ];
+    }
+  in
+  Manifest.save ~dir:tmp_dir m;
+  (match Manifest.load ~dir:tmp_dir with
+  | Some m' ->
+      Alcotest.(check int) "next_file" 42 m'.Manifest.next_file_number;
+      Alcotest.(check int) "last_ts" 99999 m'.Manifest.last_ts;
+      Alcotest.(check int) "wal" 17 m'.Manifest.wal_number;
+      Alcotest.(check (list (pair int int))) "files (order preserved)"
+        m.Manifest.files m'.Manifest.files
+  | None -> Alcotest.fail "manifest missing");
+  (* corruption detected *)
+  let path = Table_file.manifest_path ~dir:tmp_dir in
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let tampered = String.map (fun c -> if c = '4' then '5' else c) contents in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc tampered);
+  (match Manifest.load ~dir:tmp_dir with
+  | exception Failure _ -> ()
+  | Some _ -> Alcotest.fail "tampered manifest accepted"
+  | None -> Alcotest.fail "tampered manifest vanished");
+  Sys.remove path;
+  Alcotest.(check bool) "absent manifest" true (Manifest.load ~dir:tmp_dir = None)
+
+(* ---------- Lsm_config ---------- *)
+
+let level_budgets () =
+  let cfg = Lsm_config.default in
+  Alcotest.(check int) "L1" cfg.Lsm_config.level1_max_bytes
+    (Lsm_config.max_bytes_for_level cfg 1);
+  Alcotest.(check int) "L2"
+    (cfg.Lsm_config.level1_max_bytes * cfg.Lsm_config.level_size_multiplier)
+    (Lsm_config.max_bytes_for_level cfg 2);
+  Alcotest.(check int) "L3"
+    (cfg.Lsm_config.level1_max_bytes * 100)
+    (Lsm_config.max_bytes_for_level cfg 3)
+
+let suites =
+  [
+    ( "lsm.internal_key",
+      [
+        Alcotest.test_case "roundtrip" `Quick ikey_roundtrip;
+        Alcotest.test_case "ordering" `Quick ikey_ordering;
+      ] );
+    ("lsm.internal_key.props", qtests [ prop_ikey_order_matches_pairs ]);
+    ("lsm.entry", [ Alcotest.test_case "roundtrip" `Quick entry_roundtrip ]);
+    ( "lsm.iter",
+      [
+        Alcotest.test_case "concat" `Quick iter_concat;
+        Alcotest.test_case "merge basic" `Quick merge_basic;
+        Alcotest.test_case "merge tie-break" `Quick merge_tie_break;
+      ] );
+    ("lsm.iter.props", qtests [ prop_merge_equals_sort; prop_merge_seek ]);
+    ( "lsm.gc",
+      [
+        Alcotest.test_case "no snapshots" `Quick gc_no_snapshots;
+        Alcotest.test_case "snapshot pinning" `Quick gc_snapshot_pins;
+        Alcotest.test_case "tombstone elision" `Quick gc_tombstones;
+      ] );
+    ("lsm.gc.props", qtests [ prop_gc_keeps_snapshot_views ]);
+    ( "lsm.manifest",
+      [ Alcotest.test_case "roundtrip + corruption" `Quick manifest_roundtrip ] );
+    ("lsm.config", [ Alcotest.test_case "level budgets" `Quick level_budgets ]);
+  ]

@@ -1,0 +1,320 @@
+open Clsm_primitives
+
+let spawn_all fns = List.map Domain.spawn fns |> List.map Domain.join
+
+(* ---------- Shared_lock ---------- *)
+
+let lock_basic () =
+  let l = Shared_lock.create () in
+  Alcotest.(check bool) "free" true (Shared_lock.holders l = `Free);
+  Shared_lock.lock_shared l;
+  Shared_lock.lock_shared l;
+  Alcotest.(check bool) "two shared" true (Shared_lock.holders l = `Shared 2);
+  Shared_lock.unlock_shared l;
+  Shared_lock.unlock_shared l;
+  Shared_lock.lock_exclusive l;
+  Alcotest.(check bool) "exclusive" true (Shared_lock.holders l = `Exclusive);
+  Shared_lock.unlock_exclusive l;
+  Alcotest.(check bool) "free again" true (Shared_lock.holders l = `Free)
+
+let lock_mutual_exclusion () =
+  (* Exclusive sections must never overlap with each other or with shared
+     sections: a plain (non-atomic) counter stays consistent iff exclusion
+     holds. *)
+  let l = Shared_lock.create () in
+  let counter = ref 0 in
+  let iterations = 5_000 in
+  let writer () =
+    for _ = 1 to iterations do
+      Shared_lock.with_exclusive l (fun () ->
+          let v = !counter in
+          counter := v + 1)
+    done
+  in
+  let reader () =
+    let bad = ref 0 in
+    for _ = 1 to iterations do
+      Shared_lock.with_shared l (fun () ->
+          let a = !counter in
+          let b = !counter in
+          if a <> b then incr bad)
+    done;
+    !bad
+  in
+  let results =
+    spawn_all
+      [
+        (fun () -> writer (); 0);
+        (fun () -> writer (); 0);
+        (fun () -> reader ());
+        (fun () -> reader ());
+      ]
+  in
+  Alcotest.(check int) "counter" (2 * iterations) !counter;
+  List.iter (fun bad -> Alcotest.(check int) "no torn read" 0 bad) results
+
+let lock_writer_preference () =
+  (* With an exclusive locker waiting, new shared acquisitions must hold
+     back until it runs — the merge-starvation rule of §3.1. *)
+  let l = Shared_lock.create () in
+  Shared_lock.lock_shared l;
+  let writer_acquired = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        Shared_lock.lock_exclusive l;
+        Atomic.set writer_acquired true;
+        Shared_lock.unlock_exclusive l)
+  in
+  (* Give the writer time to enqueue, then try a shared acquisition from
+     another domain: it must not complete before the writer does. *)
+  let reader =
+    Domain.spawn (fun () ->
+        (* wait until the writer is visibly waiting *)
+        let b = Backoff.create () in
+        while Shared_lock.holders l <> `Shared 1 || Atomic.get writer_acquired do
+          Backoff.once b
+        done;
+        Unix.sleepf 0.01;
+        Shared_lock.lock_shared l;
+        let writer_done = Atomic.get writer_acquired in
+        Shared_lock.unlock_shared l;
+        writer_done)
+  in
+  Unix.sleepf 0.05;
+  Shared_lock.unlock_shared l;
+  let reader_saw_writer_done = Domain.join reader in
+  Domain.join writer;
+  Alcotest.(check bool) "late reader ran after the waiting writer" true
+    reader_saw_writer_done
+
+let lock_exception_safety () =
+  let l = Shared_lock.create () in
+  (try Shared_lock.with_shared l (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  Alcotest.(check bool) "released after raise" true
+    (Shared_lock.holders l = `Free);
+  (try Shared_lock.with_exclusive l (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  Alcotest.(check bool) "released after raise (excl)" true
+    (Shared_lock.holders l = `Free)
+
+(* ---------- Monotonic_counter ---------- *)
+
+let counter_concurrent_unique () =
+  let c = Monotonic_counter.create 0 in
+  let per_domain = 10_000 in
+  let grab () =
+    let acc = ref [] in
+    for _ = 1 to per_domain do
+      acc := Monotonic_counter.inc_and_get c :: !acc
+    done;
+    !acc
+  in
+  let all = spawn_all [ grab; grab; grab ] |> List.concat in
+  let sorted = List.sort_uniq compare all in
+  Alcotest.(check int) "all distinct" (3 * per_domain) (List.length sorted);
+  Alcotest.(check int) "final value" (3 * per_domain) (Monotonic_counter.get c)
+
+let counter_advance_to () =
+  let c = Monotonic_counter.create 5 in
+  Alcotest.(check int) "advance up" 10 (Monotonic_counter.advance_to c 10);
+  Alcotest.(check int) "no backward" 10 (Monotonic_counter.advance_to c 3);
+  Alcotest.(check int) "get" 10 (Monotonic_counter.get c)
+
+(* ---------- Active_set ---------- *)
+
+let active_set_basic () =
+  let s = Active_set.create ~capacity:8 () in
+  Alcotest.(check (option int)) "empty min" None (Active_set.find_min s);
+  let h5 = Active_set.add s 5 in
+  let _h3 = Active_set.add s 3 in
+  let _h9 = Active_set.add s 9 in
+  Alcotest.(check (option int)) "min 3" (Some 3) (Active_set.find_min s);
+  Alcotest.(check bool) "mem 5" true (Active_set.mem s 5);
+  Active_set.remove s h5;
+  Alcotest.(check bool) "removed 5" false (Active_set.mem s 5);
+  Alcotest.(check bool) "remove_value 3" true (Active_set.remove_value s 3);
+  Alcotest.(check (option int)) "min 9" (Some 9) (Active_set.find_min s);
+  Alcotest.(check int) "cardinal" 1 (Active_set.cardinal s);
+  Alcotest.(check bool) "remove_value missing" false
+    (Active_set.remove_value s 3)
+
+let active_set_stress () =
+  (* Concurrent add/remove; the set must end empty and find_min must never
+     return a timestamp below one that is still published. *)
+  let s = Active_set.create ~capacity:64 () in
+  let worker seed () =
+    let bad = ref 0 in
+    for i = 1 to 2_000 do
+      let ts = (seed * 100_000) + i in
+      let h = Active_set.add s ts in
+      (match Active_set.find_min s with
+      | Some m when m > ts -> incr bad
+      | Some _ | None -> ());
+      Active_set.remove s h
+    done;
+    !bad
+  in
+  let bads = spawn_all [ worker 1; worker 2; worker 3; worker 4 ] in
+  List.iter (fun b -> Alcotest.(check int) "min bound respected" 0 b) bads;
+  Alcotest.(check int) "empty at end" 0 (Active_set.cardinal s)
+
+let active_set_fills_and_drains () =
+  let s = Active_set.create ~capacity:4 () in
+  let hs = List.map (Active_set.add s) [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "full" 4 (Active_set.cardinal s);
+  List.iter (Active_set.remove s) hs;
+  Alcotest.(check int) "drained" 0 (Active_set.cardinal s)
+
+(* ---------- Mpmc_queue ---------- *)
+
+let queue_fifo () =
+  let q = Mpmc_queue.create () in
+  Alcotest.(check bool) "empty" true (Mpmc_queue.is_empty q);
+  for i = 1 to 100 do Mpmc_queue.push q i done;
+  Alcotest.(check int) "length" 100 (Mpmc_queue.length q);
+  for i = 1 to 100 do
+    Alcotest.(check (option int)) "fifo order" (Some i) (Mpmc_queue.pop q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Mpmc_queue.pop q)
+
+let queue_concurrent_sum () =
+  let q = Mpmc_queue.create () in
+  let n = 20_000 in
+  let producer lo () =
+    for i = lo to lo + n - 1 do Mpmc_queue.push q i done;
+    0
+  in
+  let consumer () =
+    let sum = ref 0 in
+    let seen = ref 0 in
+    while !seen < n do
+      match Mpmc_queue.pop q with
+      | Some v ->
+          sum := !sum + v;
+          incr seen
+      | None -> Domain.cpu_relax ()
+    done;
+    !sum
+  in
+  let results = spawn_all [ producer 0; producer n; consumer; consumer ] in
+  let total = List.fold_left ( + ) 0 results in
+  let expected = (2 * n * (2 * n - 1)) / 2 in
+  Alcotest.(check int) "sum preserved" expected total;
+  Alcotest.(check bool) "empty at end" true (Mpmc_queue.is_empty q)
+
+let queue_per_producer_order () =
+  let q = Mpmc_queue.create () in
+  let n = 5_000 in
+  let producer tag () =
+    for i = 0 to n - 1 do Mpmc_queue.push q (tag, i) done;
+    true
+  in
+  let watcher () =
+    let last = Hashtbl.create 4 in
+    let seen = ref 0 in
+    let ok = ref true in
+    while !seen < 2 * n do
+      match Mpmc_queue.pop q with
+      | Some (tag, i) ->
+          (match Hashtbl.find_opt last tag with
+          | Some prev when prev >= i -> ok := false
+          | Some _ | None -> ());
+          Hashtbl.replace last tag i;
+          incr seen
+      | None -> Domain.cpu_relax ()
+    done;
+    !ok
+  in
+  let results = spawn_all [ producer 1; producer 2; watcher ] in
+  List.iter (fun ok -> Alcotest.(check bool) "per-producer FIFO" true ok) results
+
+(* ---------- Refcounted / Rcu_box ---------- *)
+
+let refcount_release_once () =
+  let released = ref 0 in
+  let cell = Refcounted.create ~release:(fun _ -> incr released) 42 in
+  Alcotest.(check int) "initial count" 1 (Refcounted.count cell);
+  Alcotest.(check bool) "incr ok" true (Refcounted.try_incr cell);
+  Refcounted.decr cell;
+  Alcotest.(check int) "not yet released" 0 !released;
+  Refcounted.retire cell;
+  Alcotest.(check int) "released once" 1 !released;
+  Alcotest.(check bool) "incr after release fails" false
+    (Refcounted.try_incr cell)
+
+let rcu_swap_under_readers () =
+  (* Readers must never observe a released component (the paper's RCU-like
+     pointer protocol, §3.1). *)
+  let make v = Refcounted.create ~release:(fun r -> r := -1) (ref v) in
+  let box = Rcu_box.create (make 0) in
+  let stop = Atomic.make false in
+  let reader () =
+    let bad = ref 0 in
+    while not (Atomic.get stop) do
+      let cell = Rcu_box.acquire box in
+      if !(Refcounted.value cell) < 0 then incr bad;
+      Refcounted.decr cell
+    done;
+    !bad
+  in
+  let writer () =
+    for i = 1 to 2_000 do
+      let old = Rcu_box.swap box (make i) in
+      Refcounted.retire old
+    done;
+    Atomic.set stop true;
+    0
+  in
+  let results = spawn_all [ reader; reader; writer ] in
+  List.iter (fun bad -> Alcotest.(check int) "no released read" 0 bad) results
+
+let rcu_with_ref () =
+  let box = Rcu_box.create (Refcounted.create "hello") in
+  Alcotest.(check string) "with_ref" "hello" (Rcu_box.with_ref box Fun.id);
+  let cur = Rcu_box.peek box in
+  Alcotest.(check int) "count back to 1" 1 (Refcounted.count cur)
+
+(* ---------- Backoff ---------- *)
+
+let backoff_progresses () =
+  let b = Backoff.create ~min_spins:1 ~max_spins:8 () in
+  for _ = 1 to 10 do Backoff.once b done;
+  Backoff.reset b;
+  Backoff.once b;
+  ()
+
+let suites =
+  [
+    ( "primitives.shared_lock",
+      [
+        Alcotest.test_case "basic transitions" `Quick lock_basic;
+        Alcotest.test_case "mutual exclusion" `Quick lock_mutual_exclusion;
+        Alcotest.test_case "writer preference" `Quick lock_writer_preference;
+        Alcotest.test_case "exception safety" `Quick lock_exception_safety;
+      ] );
+    ( "primitives.counter",
+      [
+        Alcotest.test_case "concurrent unique" `Quick counter_concurrent_unique;
+        Alcotest.test_case "advance_to monotone" `Quick counter_advance_to;
+      ] );
+    ( "primitives.active_set",
+      [
+        Alcotest.test_case "basic" `Quick active_set_basic;
+        Alcotest.test_case "concurrent stress" `Quick active_set_stress;
+        Alcotest.test_case "fill and drain" `Quick active_set_fills_and_drains;
+      ] );
+    ( "primitives.mpmc_queue",
+      [
+        Alcotest.test_case "fifo" `Quick queue_fifo;
+        Alcotest.test_case "concurrent sum" `Quick queue_concurrent_sum;
+        Alcotest.test_case "per-producer order" `Quick queue_per_producer_order;
+      ] );
+    ( "primitives.rcu",
+      [
+        Alcotest.test_case "release exactly once" `Quick refcount_release_once;
+        Alcotest.test_case "swap under readers" `Quick rcu_swap_under_readers;
+        Alcotest.test_case "with_ref" `Quick rcu_with_ref;
+        Alcotest.test_case "backoff" `Quick backoff_progresses;
+      ] );
+  ]

@@ -1,0 +1,222 @@
+open Clsm_sim
+open Clsm_sim_lsm
+
+(* ---------- Engine ---------- *)
+
+let engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e 3.0 (fun () -> log := "c" :: !log);
+  Engine.schedule_at e 1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule_at e 2.0 (fun () -> log := "b" :: !log);
+  Engine.schedule_at e 1.0 (fun () -> log := "a2" :: !log);
+  Engine.run_all e;
+  Alcotest.(check (list string)) "time then FIFO order"
+    [ "a"; "a2"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.0 (Engine.now e)
+
+let engine_horizon () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule_at e 1.0 (fun () -> incr fired);
+  Engine.schedule_at e 5.0 (fun () -> incr fired);
+  Engine.run_until e 2.0;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 2.0 (Engine.now e);
+  Alcotest.(check int) "pending" 1 (Engine.pending e)
+
+let engine_nested_scheduling () =
+  let e = Engine.create () in
+  let total = ref 0 in
+  let rec tick n () =
+    if n > 0 then begin
+      incr total;
+      Engine.schedule_after e 0.1 (tick (n - 1))
+    end
+  in
+  Engine.schedule_after e 0.0 (tick 100);
+  Engine.run_all e;
+  Alcotest.(check int) "all ticks" 100 !total;
+  Alcotest.(check bool) "time advanced" true (Engine.now e > 9.9)
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"engine is deterministic" ~count:50
+    QCheck.(list (pair (int_range 0 100) small_int))
+    (fun events ->
+      let run () =
+        let e = Engine.create () in
+        let log = ref [] in
+        List.iter
+          (fun (t, tag) ->
+            Engine.schedule_at e (float_of_int t) (fun () -> log := tag :: !log))
+          events;
+        Engine.run_all e;
+        !log
+      in
+      run () = run ())
+
+(* ---------- Proc / Resource ---------- *)
+
+let resource_serializes () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:2 in
+  let completions = ref [] in
+  let job id =
+    let open Proc in
+    let* () = Resource.use r 1.0 in
+    completions := (id, Engine.now e) :: !completions;
+    return ()
+  in
+  List.iter (fun id -> Proc.spawn (job id)) [ 1; 2; 3; 4 ];
+  Engine.run_all e;
+  (* 2 servers, 4 unit jobs: two waves at t=1 and t=2. *)
+  let times = List.rev_map snd !completions in
+  Alcotest.(check (list (float 1e-9))) "two waves" [ 1.0; 1.0; 2.0; 2.0 ] times;
+  Alcotest.(check (float 1e-9)) "busy time" 4.0 (Resource.busy_time r);
+  Alcotest.(check (float 1e-9)) "utilization" 1.0 (Resource.utilization r ~horizon:2.0)
+
+let mutex_fifo () =
+  let e = Engine.create () in
+  let m = Sim_mutex.create e in
+  let order = ref [] in
+  let job id =
+    let open Proc in
+    let* () = Sim_mutex.lock m in
+    let* () = Proc.delay e 1.0 in
+    order := id :: !order;
+    Sim_mutex.unlock m;
+    return ()
+  in
+  List.iter (fun id -> Proc.spawn (job id)) [ 1; 2; 3 ];
+  Engine.run_all e;
+  Alcotest.(check (list int)) "FIFO critical sections" [ 1; 2; 3 ]
+    (List.rev !order);
+  Alcotest.(check int) "acquisitions" 3 (Sim_mutex.acquisitions m);
+  Alcotest.(check bool) "waiting time accrued" true (Sim_mutex.total_wait m > 2.9)
+
+let shared_lock_semantics () =
+  let e = Engine.create () in
+  let l = Sim_shared_lock.create e in
+  let log = ref [] in
+  let reader id =
+    let open Proc in
+    let* () = Sim_shared_lock.lock_shared l in
+    let* () = Proc.delay e 1.0 in
+    log := (id, Engine.now e) :: !log;
+    Sim_shared_lock.unlock_shared l;
+    return ()
+  in
+  let writer () =
+    let open Proc in
+    let* () = Proc.delay e 0.5 in
+    let* () = Sim_shared_lock.lock_exclusive l in
+    let* () = Proc.delay e 1.0 in
+    log := (99, Engine.now e) :: !log;
+    Sim_shared_lock.unlock_exclusive l;
+    return ()
+  in
+  Proc.spawn (reader 1);
+  Proc.spawn (reader 2);
+  Proc.spawn (writer ());
+  (* A late reader must wait for the queued writer (writer preference). *)
+  Engine.schedule_after e 0.6 (fun () -> Proc.spawn (reader 3));
+  Engine.run_all e;
+  let completions = List.rev !log in
+  (match completions with
+  | (a, t1) :: (b, t2) :: (w, t3) :: (c, t4) :: [] ->
+      Alcotest.(check bool) "both shared finish together" true
+        (t1 = 1.0 && t2 = 1.0 && a <> b);
+      Alcotest.(check int) "writer next" 99 w;
+      Alcotest.(check (float 1e-9)) "writer after readers drain" 2.0 t3;
+      Alcotest.(check int) "late reader last" 3 c;
+      Alcotest.(check (float 1e-9)) "reader after writer" 3.0 t4
+  | _ -> Alcotest.fail "unexpected completion count");
+  Alcotest.(check bool) "shared wait accounted" true
+    (Sim_shared_lock.shared_wait_time l > 1.0)
+
+(* ---------- Sim models: discipline-level sanity ---------- *)
+
+let run_sim ~system ~threads ?(spec = Clsm_workload.Workload_spec.write_only ~space:1_000_000)
+    () =
+  Experiment.run
+    (Experiment.config ~duration:0.1 ~system ~threads spec)
+
+let single_writer_does_not_scale () =
+  let t1 = (run_sim ~system:System.Leveldb ~threads:1 ()).Experiment.throughput in
+  let t8 = (run_sim ~system:System.Leveldb ~threads:8 ()).Experiment.throughput in
+  Alcotest.(check bool)
+    (Printf.sprintf "LevelDB writes flat: 1t=%.0f 8t=%.0f" t1 t8)
+    true
+    (t8 < t1 *. 1.4)
+
+let clsm_writes_scale () =
+  let t1 = (run_sim ~system:System.Clsm ~threads:1 ()).Experiment.throughput in
+  let t8 = (run_sim ~system:System.Clsm ~threads:8 ()).Experiment.throughput in
+  Alcotest.(check bool)
+    (Printf.sprintf "cLSM writes scale: 1t=%.0f 8t=%.0f" t1 t8)
+    true
+    (t8 > t1 *. 2.0)
+
+let clsm_beats_leveldb_on_reads_at_scale () =
+  let spec = Clsm_workload.Workload_spec.read_only_skewed ~space:1_000_000 in
+  let clsm = (run_sim ~system:System.Clsm ~threads:16 ~spec ()).Experiment.throughput in
+  let ldb = (run_sim ~system:System.Leveldb ~threads:16 ~spec ()).Experiment.throughput in
+  Alcotest.(check bool)
+    (Printf.sprintf "cLSM %.0f > LevelDB %.0f at 16 threads" clsm ldb)
+    true (clsm > ldb *. 1.3)
+
+let reads_scale_beyond_hw_threads () =
+  let spec = Clsm_workload.Workload_spec.read_only_skewed ~space:1_000_000 in
+  let t16 = (run_sim ~system:System.Clsm ~threads:16 ~spec ()).Experiment.throughput in
+  let t64 = (run_sim ~system:System.Clsm ~threads:64 ~spec ()).Experiment.throughput in
+  Alcotest.(check bool)
+    (Printf.sprintf "64 threads (%.0f) >= 16 threads (%.0f)" t64 t16)
+    true
+    (t64 >= t16 *. 0.95)
+
+let rmw_gap_matches_paper () =
+  let spec = Clsm_workload.Workload_spec.rmw_only ~space:1_000_000 in
+  let clsm = (run_sim ~system:System.Clsm ~threads:8 ~spec ()).Experiment.throughput in
+  let striped =
+    (run_sim ~system:System.Striped_rmw ~threads:8 ~spec ()).Experiment.throughput
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "cLSM RMW %.0f >= 1.8x striped %.0f" clsm striped)
+    true
+    (clsm > striped *. 1.8)
+
+let simulation_is_deterministic () =
+  let a = run_sim ~system:System.Clsm ~threads:4 () in
+  let b = run_sim ~system:System.Clsm ~threads:4 () in
+  Alcotest.(check int) "same ops" a.Experiment.ops b.Experiment.ops;
+  Alcotest.(check (float 1e-9)) "same p90" a.Experiment.p90 b.Experiment.p90
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "event ordering" `Quick engine_ordering;
+        Alcotest.test_case "horizon" `Quick engine_horizon;
+        Alcotest.test_case "nested scheduling" `Quick engine_nested_scheduling;
+      ] );
+    ( "sim.engine.props",
+      List.map QCheck_alcotest.to_alcotest [ prop_engine_deterministic ] );
+    ( "sim.sync",
+      [
+        Alcotest.test_case "resource FIFO waves" `Quick resource_serializes;
+        Alcotest.test_case "mutex FIFO" `Quick mutex_fifo;
+        Alcotest.test_case "shared lock + writer preference" `Quick
+          shared_lock_semantics;
+      ] );
+    ( "sim.models",
+      [
+        Alcotest.test_case "single-writer flat" `Quick single_writer_does_not_scale;
+        Alcotest.test_case "clsm writes scale" `Quick clsm_writes_scale;
+        Alcotest.test_case "clsm read advantage at 16" `Quick
+          clsm_beats_leveldb_on_reads_at_scale;
+        Alcotest.test_case "reads scale past HW threads" `Quick
+          reads_scale_beyond_hw_threads;
+        Alcotest.test_case "rmw gap" `Quick rmw_gap_matches_paper;
+        Alcotest.test_case "deterministic" `Quick simulation_is_deterministic;
+      ] );
+  ]

@@ -1,0 +1,483 @@
+open Clsm_sstable
+
+let tmp_dir =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) "clsm_test_sstable" in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let tmp_path name = Filename.concat tmp_dir name
+
+(* ---------- Bloom ---------- *)
+
+let bloom_no_false_negatives () =
+  let keys = List.init 500 (fun i -> Printf.sprintf "key-%d" i) in
+  let f = Bloom.create keys in
+  List.iter
+    (fun k -> Alcotest.(check bool) ("member " ^ k) true (Bloom.mem f k))
+    keys
+
+let bloom_false_positive_rate () =
+  let keys = List.init 2000 (fun i -> Printf.sprintf "present-%d" i) in
+  let f = Bloom.create ~bits_per_key:10 keys in
+  let fps = ref 0 in
+  let probes = 10_000 in
+  for i = 0 to probes - 1 do
+    if Bloom.mem f (Printf.sprintf "absent-%d" i) then incr fps
+  done;
+  let rate = float_of_int !fps /. float_of_int probes in
+  Alcotest.(check bool)
+    (Printf.sprintf "fp rate %.4f < 0.03" rate)
+    true (rate < 0.03)
+
+let bloom_encode_decode () =
+  let keys = [ "a"; "b"; "c"; "longer-key-here" ] in
+  let f = Bloom.create keys in
+  let f' = Bloom.decode (Bloom.encode f) in
+  List.iter
+    (fun k -> Alcotest.(check bool) "decoded member" true (Bloom.mem f' k))
+    keys;
+  Alcotest.(check int) "size" (String.length (Bloom.encode f))
+    (Bloom.size_bytes f)
+
+let bloom_empty () =
+  let f = Bloom.create [] in
+  (* No guarantees either way, but must not crash and must roundtrip. *)
+  ignore (Bloom.mem f "anything");
+  ignore (Bloom.decode (Bloom.encode f))
+
+(* ---------- Block ---------- *)
+
+let sorted_pairs n =
+  List.init n (fun i -> (Printf.sprintf "key%06d" i, Printf.sprintf "val%d" i))
+
+let build_block ?restart_interval pairs =
+  let b = Block_builder.create ?restart_interval () in
+  List.iter (fun (k, v) -> Block_builder.add b ~key:k ~value:v) pairs;
+  Block.parse Comparator.bytewise (Block_builder.finish b)
+
+let block_roundtrip () =
+  let pairs = sorted_pairs 100 in
+  let block = build_block pairs in
+  Alcotest.(check (list (pair string string)))
+    "all entries in order" pairs
+    (List.rev (Block.Iter.fold (fun k v acc -> (k, v) :: acc) block []))
+
+let block_seek () =
+  let pairs = [ ("b", "1"); ("d", "2"); ("f", "3") ] in
+  let block = build_block pairs in
+  let it = Block.Iter.make block in
+  let check_seek target expected =
+    Block.Iter.seek it target;
+    let got =
+      if Block.Iter.valid it then Some (Block.Iter.key it) else None
+    in
+    Alcotest.(check (option string)) ("seek " ^ target) expected got
+  in
+  check_seek "a" (Some "b");
+  check_seek "b" (Some "b");
+  check_seek "c" (Some "d");
+  check_seek "f" (Some "f");
+  check_seek "g" None
+
+let block_restart_compression () =
+  (* Keys sharing long prefixes compress: serialized block should be much
+     smaller than raw key bytes. *)
+  let prefix = String.make 64 'p' in
+  let pairs = List.init 64 (fun i -> (Printf.sprintf "%s%06d" prefix i, "v")) in
+  let b = Block_builder.create ~restart_interval:16 () in
+  List.iter (fun (k, v) -> Block_builder.add b ~key:k ~value:v) pairs;
+  let serialized = Block_builder.finish b in
+  let raw_bytes = List.fold_left (fun a (k, _) -> a + String.length k) 0 pairs in
+  Alcotest.(check bool) "compressed" true
+    (String.length serialized < raw_bytes / 2);
+  (* And still decodes correctly. *)
+  let block = Block.parse Comparator.bytewise serialized in
+  Alcotest.(check (list (pair string string)))
+    "decodes" pairs
+    (List.rev (Block.Iter.fold (fun k v acc -> (k, v) :: acc) block []))
+
+let block_single_entry_and_corrupt () =
+  let block = build_block [ ("only", "v") ] in
+  let it = Block.Iter.make block in
+  Block.Iter.seek_to_first it;
+  Alcotest.(check string) "only key" "only" (Block.Iter.key it);
+  Block.Iter.next it;
+  Alcotest.(check bool) "exhausted" false (Block.Iter.valid it);
+  (match Block.parse Comparator.bytewise "" with
+  | exception Block.Corrupt _ -> ()
+  | _ -> Alcotest.fail "empty block should be corrupt");
+  match Block.parse Comparator.bytewise "\xff\xff\xff\xff" with
+  | exception Block.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad restart count should be corrupt"
+
+let prop_block_matches_list =
+  QCheck.Test.make ~name:"block roundtrip (random sorted keys)" ~count:100
+    QCheck.(list (pair (string_of_size Gen.(1 -- 12)) (string_of_size Gen.(0 -- 20))))
+    (fun pairs ->
+      let module M = Map.Make (String) in
+      let pairs =
+        M.bindings (List.fold_left (fun m (k, v) -> M.add k v m) M.empty pairs)
+      in
+      QCheck.assume (pairs <> []);
+      let block = build_block ~restart_interval:4 pairs in
+      let got = List.rev (Block.Iter.fold (fun k v a -> (k, v) :: a) block []) in
+      got = pairs)
+
+let prop_block_seek_matches_model =
+  QCheck.Test.make ~name:"block seek = first >= target" ~count:200
+    QCheck.(
+      pair
+        (list (string_of_size Gen.(1 -- 6)))
+        (string_of_size Gen.(1 -- 6)))
+    (fun (keys, target) ->
+      let keys = List.sort_uniq String.compare keys in
+      QCheck.assume (keys <> []);
+      let block = build_block ~restart_interval:3 (List.map (fun k -> (k, k)) keys) in
+      let it = Block.Iter.make block in
+      Block.Iter.seek it target;
+      let got = if Block.Iter.valid it then Some (Block.Iter.key it) else None in
+      let expected = List.find_opt (fun k -> k >= target) keys in
+      got = expected)
+
+let block_seek_le () =
+  let pairs = [ ("b", "1"); ("d", "2"); ("f", "3") ] in
+  let block = build_block pairs in
+  let it = Block.Iter.make block in
+  let check_seek_le target expected =
+    Block.Iter.seek_le it target;
+    let got = if Block.Iter.valid it then Some (Block.Iter.key it) else None in
+    Alcotest.(check (option string)) ("seek_le " ^ target) expected got
+  in
+  check_seek_le "a" None;
+  check_seek_le "b" (Some "b");
+  check_seek_le "c" (Some "b");
+  check_seek_le "e" (Some "d");
+  check_seek_le "f" (Some "f");
+  check_seek_le "z" (Some "f");
+  Block.Iter.seek_last it;
+  Alcotest.(check string) "seek_last" "f" (Block.Iter.key it)
+
+let prop_block_seek_le_matches_model =
+  QCheck.Test.make ~name:"block seek_le = last <= target" ~count:300
+    QCheck.(
+      pair
+        (list (string_of_size Gen.(1 -- 6)))
+        (string_of_size Gen.(1 -- 6)))
+    (fun (keys, target) ->
+      let keys = List.sort_uniq String.compare keys in
+      QCheck.assume (keys <> []);
+      let block =
+        build_block ~restart_interval:3 (List.map (fun k -> (k, k)) keys)
+      in
+      let it = Block.Iter.make block in
+      Block.Iter.seek_le it target;
+      let got = if Block.Iter.valid it then Some (Block.Iter.key it) else None in
+      let expected =
+        List.fold_left
+          (fun acc k -> if k <= target then Some k else acc)
+          None keys
+      in
+      got = expected)
+
+(* ---------- Cache ---------- *)
+
+let cache_lru_eviction () =
+  let c = Cache.create ~shards:1 ~capacity:3 ~weight:(fun _ -> 1) () in
+  Cache.insert c "a" 1;
+  Cache.insert c "b" 2;
+  Cache.insert c "c" 3;
+  ignore (Cache.find c "a");
+  (* a is now MRU *)
+  Cache.insert c "d" 4;
+  (* evicts b (LRU) *)
+  Alcotest.(check (option int)) "a kept" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Cache.find c "c");
+  Alcotest.(check (option int)) "d kept" (Some 4) (Cache.find c "d");
+  let s = Cache.stats c in
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions
+
+let cache_weighted () =
+  let c = Cache.create ~shards:1 ~capacity:10 ~weight:String.length () in
+  Cache.insert c "k1" "aaaa";
+  Cache.insert c "k2" "bbbb";
+  Cache.insert c "k3" "cccccc";
+  (* 6 bytes; 4+4+6 > 10 evicts until fit *)
+  Alcotest.(check bool) "total weight within capacity" true
+    ((Cache.stats c).Cache.weight <= 10);
+  Cache.insert c "huge" (String.make 100 'x');
+  Alcotest.(check (option string)) "oversized not cached" None
+    (Cache.find c "huge")
+
+let cache_find_or_add () =
+  let c = Cache.create ~capacity:100 ~weight:(fun _ -> 1) () in
+  let calls = ref 0 in
+  let load () = incr calls; 42 in
+  Alcotest.(check int) "computed" 42 (Cache.find_or_add c "k" load);
+  Alcotest.(check int) "cached" 42 (Cache.find_or_add c "k" load);
+  Alcotest.(check int) "loaded once" 1 !calls;
+  Cache.remove c "k";
+  Alcotest.(check int) "reloaded" 42 (Cache.find_or_add c "k" load);
+  Alcotest.(check int) "loaded twice" 2 !calls
+
+let cache_concurrent () =
+  let c = Cache.create ~shards:4 ~capacity:64 ~weight:(fun _ -> 1) () in
+  let worker seed () =
+    for i = 0 to 5_000 do
+      let k = Printf.sprintf "key%d" ((i * seed) mod 128) in
+      match Cache.find c k with
+      | Some v -> assert (v = k)
+      | None -> Cache.insert c k k
+    done;
+    true
+  in
+  let results =
+    List.map Domain.spawn [ worker 3; worker 5; worker 7 ]
+    |> List.map Domain.join
+  in
+  List.iter (fun ok -> Alcotest.(check bool) "worker ok" true ok) results;
+  Alcotest.(check bool) "capacity respected" true
+    ((Cache.stats c).Cache.weight <= 64)
+
+(* ---------- Mmap_file ---------- *)
+
+let mmap_roundtrip () =
+  let path = tmp_path "mmap_test" in
+  let oc = open_out_bin path in
+  output_string oc "hello mmap world";
+  close_out oc;
+  let f = Mmap_file.open_ro path in
+  Alcotest.(check int) "length" 16 (Mmap_file.length f);
+  Alcotest.(check string) "middle read" "mmap" (Mmap_file.read f ~pos:6 ~len:4);
+  Alcotest.(check string) "empty read" "" (Mmap_file.read f ~pos:0 ~len:0);
+  (match Mmap_file.read f ~pos:10 ~len:100 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of bounds should raise");
+  Mmap_file.close f;
+  Mmap_file.close f (* idempotent *)
+
+(* ---------- Table ---------- *)
+
+let build_table ?(block_size = 256) ?filter_key_of name pairs =
+  let path = tmp_path name in
+  let b =
+    Table_builder.create ~block_size ?filter_key_of ~cmp:Comparator.bytewise
+      ~path ()
+  in
+  List.iter (fun (k, v) -> Table_builder.add b ~key:k ~value:v) pairs;
+  let props = Table_builder.finish b in
+  (path, props)
+
+let table_roundtrip () =
+  let pairs = sorted_pairs 1000 in
+  let path, props = build_table "t_roundtrip" pairs in
+  Alcotest.(check int) "props entries" 1000 props.Table_format.num_entries;
+  Alcotest.(check string) "smallest" "key000000" props.Table_format.smallest;
+  Alcotest.(check string) "largest" "key000999" props.Table_format.largest;
+  let t = Table.open_file ~cmp:Comparator.bytewise path in
+  Alcotest.(check int) "reader sees props" 1000
+    (Table.properties t).Table_format.num_entries;
+  Alcotest.(check (list (pair string string))) "contents" pairs (Table.to_list t);
+  Table.close t
+
+let table_seek_and_bloom () =
+  let pairs = sorted_pairs 500 in
+  let path, _ = build_table "t_seek" pairs in
+  let t = Table.open_file ~cmp:Comparator.bytewise path in
+  Alcotest.(check (option (pair string string)))
+    "seek exact"
+    (Some ("key000123", "val123"))
+    (Table.find_first_ge t "key000123");
+  Alcotest.(check (option (pair string string)))
+    "seek between"
+    (Some ("key000124", "val124"))
+    (Table.find_first_ge t "key000123x");
+  Alcotest.(check (option (pair string string)))
+    "seek past end" None
+    (Table.find_first_ge t "zzz");
+  List.iter
+    (fun (k, _) ->
+      Alcotest.(check bool) "bloom hit" true (Table.may_contain t k))
+    pairs;
+  let false_positives = ref 0 in
+  for i = 0 to 999 do
+    if Table.may_contain t (Printf.sprintf "nokey-%d" i) then
+      incr false_positives
+  done;
+  Alcotest.(check bool) "bloom filters most absentees" true
+    (!false_positives < 50);
+  Table.close t
+
+let table_with_cache () =
+  let pairs = sorted_pairs 2000 in
+  let path, _ = build_table "t_cache" pairs in
+  let cache = Cache.create ~capacity:(1 lsl 20) ~weight:Block.size_bytes () in
+  let t = Table.open_file ~cache ~cmp:Comparator.bytewise path in
+  (* Two passes: the second should be served from cache. *)
+  ignore (Table.to_list t);
+  let s1 = Cache.stats cache in
+  ignore (Table.to_list t);
+  let s2 = Cache.stats cache in
+  Alcotest.(check bool) "second pass hits cache" true
+    (s2.Cache.hits > s1.Cache.hits);
+  Alcotest.(check int) "no extra misses" s1.Cache.misses s2.Cache.misses;
+  Table.close t
+
+let table_corruption_detected () =
+  let pairs = sorted_pairs 100 in
+  let path, _ = build_table "t_corrupt" pairs in
+  (* Flip a byte inside the first data block. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd 20 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "\xff") 0 1);
+  Unix.close fd;
+  let t = Table.open_file ~cmp:Comparator.bytewise path in
+  (match Table.to_list t with
+  | exception Table.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt");
+  Table.close t
+
+let table_truncated_rejected () =
+  let path = tmp_path "t_trunc" in
+  let oc = open_out_bin path in
+  output_string oc "short";
+  close_out oc;
+  match Table.open_file ~cmp:Comparator.bytewise path with
+  | exception Table.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt"
+
+let table_filter_key_extractor () =
+  (* Simulates internal keys "user|ts": the bloom filter indexes user keys. *)
+  let filter_key_of k = List.hd (String.split_on_char '|' k) in
+  let pairs =
+    [ ("alice|001", "v1"); ("alice|002", "v2"); ("bob|001", "v3") ]
+  in
+  let path, _ = build_table ~filter_key_of "t_fkey" pairs in
+  let t = Table.open_file ~cmp:Comparator.bytewise path in
+  Alcotest.(check bool) "user key member" true (Table.may_contain t "alice");
+  Alcotest.(check bool) "user key member 2" true (Table.may_contain t "bob");
+  Table.close t
+
+let table_single_and_empty_block_boundaries () =
+  (* Tiny block size forces one entry per block: exercises the two-level
+     iterator's block-skipping logic. *)
+  let pairs = sorted_pairs 60 in
+  let path, _ = build_table ~block_size:64 "t_tiny_blocks" pairs in
+  let t = Table.open_file ~cmp:Comparator.bytewise path in
+  Alcotest.(check (list (pair string string))) "contents" pairs (Table.to_list t);
+  let it = Table.Iter.make t in
+  Table.Iter.seek it "key000049x";
+  Alcotest.(check bool) "valid after seek across blocks" true
+    (Table.Iter.valid it);
+  Alcotest.(check string) "lands on next block" "key000050" (Table.Iter.key it);
+  Table.close t
+
+let table_find_last_le () =
+  (* Small blocks so the probe exercises the cross-block fallback paths. *)
+  let pairs = sorted_pairs 200 in
+  let path, _ = build_table ~block_size:128 "t_seek_le" pairs in
+  let t = Table.open_file ~cmp:Comparator.bytewise path in
+  let check probe expected =
+    Alcotest.(check (option string)) ("find_last_le " ^ probe) expected
+      (Option.map fst (Table.find_last_le t probe))
+  in
+  check "key000000" (Some "key000000");
+  check "a" None;
+  check "key000100" (Some "key000100");
+  check "key000100x" (Some "key000100");
+  check "zzz" (Some "key000199");
+  (* Every key finds itself; every key+suffix finds the key. *)
+  List.iter
+    (fun (k, _) ->
+      Alcotest.(check (option string)) "exact" (Some k)
+        (Option.map fst (Table.find_last_le t k));
+      Alcotest.(check (option string)) "with suffix" (Some k)
+        (Option.map fst (Table.find_last_le t (k ^ "\x01"))))
+    pairs;
+  Table.close t
+
+let prop_table_find_last_le =
+  QCheck.Test.make ~name:"table find_last_le = last <= probe" ~count:30
+    QCheck.(
+      pair
+        (list (string_of_size Gen.(1 -- 8)))
+        (string_of_size Gen.(1 -- 8)))
+    (fun (keys, probe) ->
+      let keys = List.sort_uniq String.compare keys in
+      QCheck.assume (keys <> []);
+      let path, _ =
+        build_table ~block_size:96 "t_prop_le" (List.map (fun k -> (k, k)) keys)
+      in
+      let t = Table.open_file ~cmp:Comparator.bytewise path in
+      let got = Option.map fst (Table.find_last_le t probe) in
+      Table.close t;
+      let expected =
+        List.fold_left (fun acc k -> if k <= probe then Some k else acc) None keys
+      in
+      got = expected)
+
+let prop_table_roundtrip =
+  QCheck.Test.make ~name:"table roundtrip (random sorted keys)" ~count:25
+    QCheck.(list (pair (string_of_size Gen.(1 -- 16)) (string_of_size Gen.(0 -- 32))))
+    (fun pairs ->
+      let module M = Map.Make (String) in
+      let pairs =
+        M.bindings (List.fold_left (fun m (k, v) -> M.add k v m) M.empty pairs)
+      in
+      QCheck.assume (pairs <> []);
+      let path, _ = build_table ~block_size:128 "t_prop" pairs in
+      let t = Table.open_file ~cmp:Comparator.bytewise path in
+      let got = Table.to_list t in
+      Table.close t;
+      got = pairs)
+
+let suites =
+  [
+    ( "sstable.bloom",
+      [
+        Alcotest.test_case "no false negatives" `Quick bloom_no_false_negatives;
+        Alcotest.test_case "false positive rate" `Quick bloom_false_positive_rate;
+        Alcotest.test_case "encode/decode" `Quick bloom_encode_decode;
+        Alcotest.test_case "empty filter" `Quick bloom_empty;
+      ] );
+    ( "sstable.block",
+      [
+        Alcotest.test_case "roundtrip" `Quick block_roundtrip;
+        Alcotest.test_case "seek" `Quick block_seek;
+        Alcotest.test_case "prefix compression" `Quick block_restart_compression;
+        Alcotest.test_case "single entry / corrupt" `Quick
+          block_single_entry_and_corrupt;
+        Alcotest.test_case "seek_le / seek_last" `Quick block_seek_le;
+      ] );
+    ( "sstable.block.props",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_block_matches_list;
+          prop_block_seek_matches_model;
+          prop_block_seek_le_matches_model;
+        ] );
+    ( "sstable.cache",
+      [
+        Alcotest.test_case "lru eviction" `Quick cache_lru_eviction;
+        Alcotest.test_case "weighted entries" `Quick cache_weighted;
+        Alcotest.test_case "find_or_add" `Quick cache_find_or_add;
+        Alcotest.test_case "concurrent" `Quick cache_concurrent;
+      ] );
+    ( "sstable.mmap",
+      [ Alcotest.test_case "roundtrip" `Quick mmap_roundtrip ] );
+    ( "sstable.table",
+      [
+        Alcotest.test_case "roundtrip" `Quick table_roundtrip;
+        Alcotest.test_case "seek and bloom" `Quick table_seek_and_bloom;
+        Alcotest.test_case "block cache" `Quick table_with_cache;
+        Alcotest.test_case "corruption detected" `Quick table_corruption_detected;
+        Alcotest.test_case "truncated rejected" `Quick table_truncated_rejected;
+        Alcotest.test_case "filter key extractor" `Quick table_filter_key_extractor;
+        Alcotest.test_case "tiny blocks" `Quick
+          table_single_and_empty_block_boundaries;
+        Alcotest.test_case "find_last_le" `Quick table_find_last_le;
+      ] );
+    ( "sstable.table.props",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_table_roundtrip; prop_table_find_last_le ] );
+  ]

@@ -1,0 +1,186 @@
+open Clsm_util
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+(* ---------- Varint ---------- *)
+
+let varint_roundtrip_buffer () =
+  let values = [ 0; 1; 127; 128; 300; 16384; max_int; max_int - 1 ] in
+  let buf = Buffer.create 64 in
+  List.iter (Varint.write buf) values;
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  List.iter
+    (fun expected ->
+      let v, next = Varint.read s ~pos:!pos in
+      Alcotest.(check int) "value" expected v;
+      pos := next)
+    values;
+  Alcotest.(check int) "consumed all" (String.length s) !pos
+
+let varint_encoded_length () =
+  Alcotest.(check int) "0" 1 (Varint.encoded_length 0);
+  Alcotest.(check int) "127" 1 (Varint.encoded_length 127);
+  Alcotest.(check int) "128" 2 (Varint.encoded_length 128);
+  Alcotest.(check int) "max_int" 9 (Varint.encoded_length max_int)
+
+let varint_put_matches_write () =
+  let v = 987654321 in
+  let buf = Buffer.create 16 in
+  Varint.write buf v;
+  let b = Bytes.make 16 '\xff' in
+  let next = Varint.put b ~pos:0 v in
+  Alcotest.(check string)
+    "same bytes" (Buffer.contents buf)
+    (Bytes.sub_string b 0 next)
+
+let varint_truncated () =
+  let buf = Buffer.create 16 in
+  Varint.write buf 300;
+  let s = String.sub (Buffer.contents buf) 0 1 in
+  Alcotest.check_raises "truncated" (Varint.Corrupt "varint truncated")
+    (fun () -> ignore (Varint.read s ~pos:0))
+
+let varint_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Varint: negative value")
+    (fun () -> ignore (Varint.encoded_length (-1)))
+
+let varint_too_long () =
+  let s = String.make 12 '\x80' in
+  match Varint.read s ~pos:0 with
+  | exception Varint.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt"
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:1000
+    QCheck.(map abs int)
+    (fun v ->
+      let buf = Buffer.create 16 in
+      Varint.write buf v;
+      let s = Buffer.contents buf in
+      let v', next = Varint.read s ~pos:0 in
+      v = v' && next = String.length s && next = Varint.encoded_length v)
+
+(* ---------- Binary ---------- *)
+
+let fixed32_roundtrip () =
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 8 in
+      Binary.write_fixed32 buf v;
+      Alcotest.(check int) "fixed32" v
+        (Binary.get_fixed32 (Buffer.contents buf) ~pos:0))
+    [ 0; 1; 0xffffffff; 0xdeadbeef; 0x7fffffff ]
+
+let fixed64_roundtrip () =
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 8 in
+      Binary.write_fixed64 buf v;
+      Alcotest.(check int) "fixed64" v
+        (Binary.get_fixed64 (Buffer.contents buf) ~pos:0))
+    [ 0; 1; max_int; 0x123456789abcdef ]
+
+let prop_fixed64_put_get =
+  QCheck.Test.make ~name:"fixed64 put/get" ~count:500
+    QCheck.(map abs int)
+    (fun v ->
+      let b = Bytes.create 8 in
+      Binary.put_fixed64 b ~pos:0 v;
+      Binary.get_fixed64 (Bytes.to_string b) ~pos:0 = v)
+
+(* ---------- Crc32c ---------- *)
+
+let crc_known_vector () =
+  (* Standard CRC-32C check value for "123456789". *)
+  Alcotest.(check int) "check value" 0xE3069283 (Crc32c.string "123456789")
+
+let crc_empty () = Alcotest.(check int) "empty" 0 (Crc32c.string "")
+
+let crc_incremental () =
+  let s = "hello, log-structured world" in
+  let mid = 10 in
+  let part = Crc32c.sub s ~pos:0 ~len:mid in
+  let full = Crc32c.sub ~init:part s ~pos:mid ~len:(String.length s - mid) in
+  Alcotest.(check int) "incremental = one-shot" (Crc32c.string s) full
+
+let crc_mask_roundtrip () =
+  List.iter
+    (fun s ->
+      let crc = Crc32c.string s in
+      Alcotest.(check int) "unmask(mask)" crc (Crc32c.unmask (Crc32c.mask crc));
+      Alcotest.(check bool) "mask changes value" true (Crc32c.mask crc <> crc))
+    [ "a"; "ab"; "payload"; String.make 1000 'x' ]
+
+let crc_detects_flip () =
+  let s = Bytes.of_string "some record payload" in
+  let before = Crc32c.string (Bytes.to_string s) in
+  Bytes.set s 3 'X';
+  Alcotest.(check bool) "differs" true
+    (before <> Crc32c.string (Bytes.to_string s))
+
+(* ---------- Hashing ---------- *)
+
+let hash_deterministic () =
+  Alcotest.(check int) "same input same hash" (Hashing.hash "abc")
+    (Hashing.hash "abc");
+  Alcotest.(check bool) "different seeds differ" true
+    (Hashing.hash ~seed:1 "abc" <> Hashing.hash ~seed:2 "abc")
+
+let hash_in_range () =
+  List.iter
+    (fun s ->
+      let h = Hashing.hash s in
+      Alcotest.(check bool) "32-bit" true (h >= 0 && h <= 0xffffffff))
+    [ ""; "a"; "ab"; "abc"; "abcd"; "abcde"; String.make 100 'z' ]
+
+let mix64_spreads () =
+  (* Consecutive inputs should land in different buckets most of the time. *)
+  let buckets = Array.make 16 0 in
+  for i = 0 to 999 do
+    let b = Hashing.mix64 i land 15 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "bucket roughly uniform" true (c > 20))
+    buckets
+
+let prop_hash64_nonnegative =
+  QCheck.Test.make ~name:"hash64 nonnegative" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s -> Hashing.hash64 s >= 0)
+
+let suites =
+  [
+    ( "util.varint",
+      [
+        Alcotest.test_case "roundtrip via buffer" `Quick varint_roundtrip_buffer;
+        Alcotest.test_case "encoded_length" `Quick varint_encoded_length;
+        Alcotest.test_case "put matches write" `Quick varint_put_matches_write;
+        Alcotest.test_case "truncated input" `Quick varint_truncated;
+        Alcotest.test_case "negative rejected" `Quick varint_negative;
+        Alcotest.test_case "over-long rejected" `Quick varint_too_long;
+      ] );
+    qsuite "util.varint.props" [ prop_varint_roundtrip ];
+    ( "util.binary",
+      [
+        Alcotest.test_case "fixed32 roundtrip" `Quick fixed32_roundtrip;
+        Alcotest.test_case "fixed64 roundtrip" `Quick fixed64_roundtrip;
+      ] );
+    qsuite "util.binary.props" [ prop_fixed64_put_get ];
+    ( "util.crc32c",
+      [
+        Alcotest.test_case "known vector" `Quick crc_known_vector;
+        Alcotest.test_case "empty" `Quick crc_empty;
+        Alcotest.test_case "incremental" `Quick crc_incremental;
+        Alcotest.test_case "mask roundtrip" `Quick crc_mask_roundtrip;
+        Alcotest.test_case "detects bit flip" `Quick crc_detects_flip;
+      ] );
+    ( "util.hashing",
+      [
+        Alcotest.test_case "deterministic" `Quick hash_deterministic;
+        Alcotest.test_case "32-bit range" `Quick hash_in_range;
+        Alcotest.test_case "mix64 spreads" `Quick mix64_spreads;
+      ] );
+    qsuite "util.hashing.props" [ prop_hash64_nonnegative ];
+  ]

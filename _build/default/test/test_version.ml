@@ -1,0 +1,316 @@
+(* Direct unit tests of the disk-component substrate: Version.get across
+   constructed level layouts, compaction picking, and apply. *)
+
+open Clsm_lsm
+open Clsm_primitives
+
+let tmp_dir =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) "clsm_test_version" in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let next_number = ref 1000
+
+(* Build a table file of (user_key, ts, value-or-tombstone) triples. *)
+let make_file entries =
+  incr next_number;
+  let number = !next_number in
+  let b =
+    Clsm_sstable.Table_builder.create ~block_size:512
+      ~filter_key_of:Internal_key.user_key_of ~cmp:Internal_key.comparator
+      ~path:(Table_file.table_path ~dir:tmp_dir number)
+      ()
+  in
+  List.iter
+    (fun (k, ts, v) ->
+      let entry = match v with Some s -> Entry.Value s | None -> Entry.Tombstone in
+      Clsm_sstable.Table_builder.add b ~key:(Internal_key.make k ts)
+        ~value:(Entry.encode entry))
+    (List.sort
+       (fun (k1, t1, _) (k2, t2, _) -> compare (k1, t1) (k2, t2))
+       entries);
+  ignore (Clsm_sstable.Table_builder.finish b);
+  Refcounted.create ~release:Table_file.release
+    (Table_file.open_number ~dir:tmp_dir number)
+
+let entry_testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Some (ts, Entry.Value v) -> Format.fprintf ppf "Some(%d, %S)" ts v
+      | Some (ts, Entry.Tombstone) -> Format.fprintf ppf "Some(%d, ⊥)" ts
+      | None -> Format.fprintf ppf "None")
+    ( = )
+
+let get_l0_overlap () =
+  (* L0 files overlap; the newest version across files must win. *)
+  let f_old = make_file [ ("k", 5, Some "old"); ("other", 1, Some "x") ] in
+  let f_new = make_file [ ("k", 9, Some "new") ] in
+  let v = Version.create ~l0:[ f_new; f_old ] ~levels:(Array.make 2 []) in
+  Alcotest.check entry_testable "newest wins"
+    (Some (9, Entry.Value "new"))
+    (Version.get v ~user_key:"k" ~snap_ts:Internal_key.max_ts);
+  Alcotest.check entry_testable "snapshot picks old"
+    (Some (5, Entry.Value "old"))
+    (Version.get v ~user_key:"k" ~snap_ts:7);
+  Alcotest.check entry_testable "below all" None
+    (Version.get v ~user_key:"k" ~snap_ts:3);
+  Alcotest.check entry_testable "other key" (Some (1, Entry.Value "x"))
+    (Version.get v ~user_key:"other" ~snap_ts:Internal_key.max_ts);
+  Version.release v;
+  List.iter Refcounted.retire [ f_old; f_new ]
+
+let get_level_order () =
+  (* L0 shadows L1; L1 shadows L2 for the same key. *)
+  let l0 = make_file [ ("k", 30, Some "l0") ] in
+  let l1 = make_file [ ("k", 20, Some "l1") ] in
+  let l2 = make_file [ ("k", 10, Some "l2") ] in
+  let levels = Array.make 3 [] in
+  levels.(0) <- [ l1 ];
+  levels.(1) <- [ l2 ];
+  let v = Version.create ~l0:[ l0 ] ~levels in
+  Alcotest.check entry_testable "l0 wins" (Some (30, Entry.Value "l0"))
+    (Version.get v ~user_key:"k" ~snap_ts:Internal_key.max_ts);
+  Alcotest.check entry_testable "l1 for snap 25" (Some (20, Entry.Value "l1"))
+    (Version.get v ~user_key:"k" ~snap_ts:25);
+  Alcotest.check entry_testable "l2 for snap 15" (Some (10, Entry.Value "l2"))
+    (Version.get v ~user_key:"k" ~snap_ts:15);
+  Version.release v;
+  List.iter Refcounted.retire [ l0; l1; l2 ]
+
+let get_key_straddles_files () =
+  (* Versions of one key split across two adjacent files of a level. *)
+  let fa = make_file [ ("j", 1, Some "ja"); ("k", 5, Some "ka") ] in
+  let fb = make_file [ ("k", 9, Some "kb"); ("m", 1, Some "ma") ] in
+  let levels = Array.make 2 [] in
+  levels.(0) <- [ fa; fb ];
+  let v = Version.create ~l0:[] ~levels in
+  Alcotest.check entry_testable "newest in later file"
+    (Some (9, Entry.Value "kb"))
+    (Version.get v ~user_key:"k" ~snap_ts:Internal_key.max_ts);
+  Alcotest.check entry_testable "older in earlier file"
+    (Some (5, Entry.Value "ka"))
+    (Version.get v ~user_key:"k" ~snap_ts:7);
+  Version.release v;
+  List.iter Refcounted.retire [ fa; fb ]
+
+let get_tombstone_shadows () =
+  let f = make_file [ ("k", 5, Some "v"); ("k", 8, None) ] in
+  let v = Version.create ~l0:[ f ] ~levels:(Array.make 2 []) in
+  Alcotest.check entry_testable "tombstone returned"
+    (Some (8, Entry.Tombstone))
+    (Version.get v ~user_key:"k" ~snap_ts:Internal_key.max_ts);
+  Version.release v;
+  Refcounted.retire f
+
+let iters_cover_everything () =
+  let f1 = make_file [ ("a", 1, Some "1") ] in
+  let f2 = make_file [ ("b", 2, Some "2") ] in
+  let f3 = make_file [ ("c", 3, Some "3") ] in
+  let levels = Array.make 2 [] in
+  levels.(0) <- [ f2; f3 ];
+  let v = Version.create ~l0:[ f1 ] ~levels in
+  let merged =
+    Merge_iter.merge ~cmp:Internal_key.compare_encoded (Version.iters v)
+  in
+  let keys =
+    Iter.fold (fun k _ acc -> Internal_key.user_key_of k :: acc) merged []
+    |> List.rev
+  in
+  Alcotest.(check (list string)) "all user keys" [ "a"; "b"; "c" ] keys;
+  Version.release v;
+  List.iter Refcounted.retire [ f1; f2; f3 ]
+
+let refcount_lifecycle () =
+  let f = make_file [ ("k", 1, Some "v") ] in
+  let path = Clsm_sstable.Table.path (Refcounted.value f).Table_file.table in
+  let v1 = Version.create ~l0:[ f ] ~levels:(Array.make 2 []) in
+  let v2 = Version.create ~l0:[ f ] ~levels:(Array.make 2 []) in
+  Refcounted.retire f;
+  (* Both versions hold the file. *)
+  Version.release v1;
+  Alcotest.(check bool) "file alive under v2" true (Sys.file_exists path);
+  Table_file.mark_obsolete (Refcounted.value f);
+  Version.release v2;
+  Alcotest.(check bool) "file deleted after last release" false
+    (Sys.file_exists path)
+
+(* ---------- Compaction.pick / apply ---------- *)
+
+let small_cfg =
+  {
+    Lsm_config.default with
+    Lsm_config.l0_compaction_trigger = 2;
+    level1_max_bytes = 1024;
+    level_size_multiplier = 10;
+  }
+
+let pick_l0 () =
+  let f1 = make_file [ ("a", 1, Some "1") ] in
+  let f2 = make_file [ ("b", 2, Some "2") ] in
+  let l1f = make_file [ ("a", 0, Some "old"); ("z", 0, Some "zz") ] in
+  let levels = Array.make 3 [] in
+  levels.(0) <- [ l1f ];
+  let v = Version.create ~l0:[ f2; f1 ] ~levels in
+  (match Compaction.pick ~cfg:small_cfg v with
+  | Some task ->
+      Alcotest.(check int) "src level" 0 task.Compaction.src_level;
+      Alcotest.(check int) "both l0 files" 2
+        (List.length task.Compaction.inputs_lo);
+      Alcotest.(check int) "overlapping l1" 1
+        (List.length task.Compaction.inputs_hi);
+      Alcotest.(check int) "target" 1 task.Compaction.target_level;
+      Alcotest.(check bool) "not bottom (l1 occupied is target, deeper empty)"
+        true task.Compaction.drop_tombstones
+  | None -> Alcotest.fail "expected a task");
+  Version.release v;
+  List.iter Refcounted.retire [ f1; f2; l1f ]
+
+let pick_none_when_quiet () =
+  let f1 = make_file [ ("a", 1, Some "1") ] in
+  let v = Version.create ~l0:[ f1 ] ~levels:(Array.make 3 []) in
+  Alcotest.(check bool) "no task" true (Compaction.pick ~cfg:small_cfg v = None);
+  Version.release v;
+  Refcounted.retire f1
+
+let run_and_apply_l0_merge () =
+  let f1 = make_file [ ("k", 5, Some "old"); ("a", 1, Some "a1") ] in
+  let f2 = make_file [ ("k", 9, Some "new") ] in
+  let v = Version.create ~l0:[ f2; f1 ] ~levels:(Array.make 3 []) in
+  match Compaction.pick ~cfg:small_cfg v with
+  | None -> Alcotest.fail "expected task"
+  | Some task ->
+      let n = ref 9000 in
+      let outputs =
+        Compaction.run ~cfg:small_cfg ~dir:tmp_dir
+          ~alloc_number:(fun () -> incr n; !n)
+          ~snapshots:[] task
+      in
+      let v' = Compaction.apply v task ~outputs in
+      List.iter Refcounted.retire outputs;
+      Alcotest.(check int) "l0 emptied" 0 (Version.level_file_count v' 0);
+      Alcotest.(check bool) "l1 populated" true
+        (Version.level_file_count v' 1 > 0);
+      (* Only the newest version of k survives (no snapshots). *)
+      Alcotest.check entry_testable "k newest" (Some (9, Entry.Value "new"))
+        (Version.get v' ~user_key:"k" ~snap_ts:Internal_key.max_ts);
+      Alcotest.check entry_testable "old version GCed" None
+        (Version.get v' ~user_key:"k" ~snap_ts:6);
+      Alcotest.check entry_testable "a survives" (Some (1, Entry.Value "a1"))
+        (Version.get v' ~user_key:"a" ~snap_ts:Internal_key.max_ts);
+      Version.release v';
+      Version.release v;
+      List.iter Refcounted.retire [ f1; f2 ]
+
+let apply_preserves_new_l0 () =
+  (* Files flushed between pick and apply must survive the apply. *)
+  let f1 = make_file [ ("a", 1, Some "1") ] in
+  let f2 = make_file [ ("b", 2, Some "2") ] in
+  let v = Version.create ~l0:[ f2; f1 ] ~levels:(Array.make 3 []) in
+  match Compaction.pick ~cfg:small_cfg v with
+  | None -> Alcotest.fail "expected task"
+  | Some task ->
+      (* a flush lands while the compaction "runs" *)
+      let f3 = make_file [ ("c", 3, Some "3") ] in
+      let v2 = Version.with_new_l0 v f3 in
+      let n = ref 9500 in
+      let outputs =
+        Compaction.run ~cfg:small_cfg ~dir:tmp_dir
+          ~alloc_number:(fun () -> incr n; !n)
+          ~snapshots:[] task
+      in
+      let v3 = Compaction.apply v2 task ~outputs in
+      List.iter Refcounted.retire outputs;
+      Alcotest.(check int) "new flush kept in l0" 1 (Version.level_file_count v3 0);
+      Alcotest.check entry_testable "c readable" (Some (3, Entry.Value "3"))
+        (Version.get v3 ~user_key:"c" ~snap_ts:Internal_key.max_ts);
+      Version.release v;
+      Version.release v2;
+      Version.release v3;
+      List.iter Refcounted.retire [ f1; f2; f3 ]
+
+let prop_write_sorted_run_roundtrip =
+  (* Random multi-version histories through the GC'ing table writer: with
+     no snapshots, reading the outputs back must yield exactly the newest
+     non-tombstone version of each key, in order. *)
+  QCheck.Test.make ~name:"write_sorted_run = newest visible version" ~count:40
+    QCheck.(
+      list_of_size
+        Gen.(1 -- 60)
+        (triple (int_range 0 15) (int_range 1 200) bool))
+    (fun raw ->
+      let entries =
+        List.sort_uniq
+          (fun (k1, t1, _) (k2, t2, _) -> compare (k1, t1) (k2, t2))
+          raw
+      in
+      QCheck.assume (entries <> []);
+      let iter_input =
+        Iter.of_sorted_list ~cmp:Internal_key.compare_encoded
+          (List.map
+             (fun (k, ts, tomb) ->
+               ( Internal_key.make (Printf.sprintf "k%02d" k) ts,
+                 Entry.encode
+                   (if tomb then Entry.Tombstone
+                    else Entry.Value (Printf.sprintf "v%d" ts)) ))
+             entries)
+      in
+      let n = ref 60000 in
+      let outputs =
+        Compaction.write_sorted_run ~cfg:small_cfg ~dir:tmp_dir
+          ~alloc_number:(fun () -> incr n; !n)
+          ~snapshots:[] ~drop_tombstones:true iter_input
+      in
+      (* expected: newest version per user key, tombstones dropped *)
+      let module SM = Map.Make (String) in
+      let newest =
+        List.fold_left
+          (fun m (k, ts, tomb) ->
+            let key = Printf.sprintf "k%02d" k in
+            match SM.find_opt key m with
+            | Some (ts', _) when ts' > ts -> m
+            | _ -> SM.add key (ts, tomb) m)
+          SM.empty entries
+      in
+      let expected =
+        SM.bindings newest
+        |> List.filter_map (fun (k, (ts, tomb)) ->
+               if tomb then None else Some (k, ts))
+      in
+      let got =
+        List.concat_map
+          (fun f ->
+            Clsm_sstable.Table.fold
+              (fun ik _ acc ->
+                (Internal_key.user_key_of ik, Internal_key.ts_of ik) :: acc)
+              (Refcounted.value f).Table_file.table [])
+          outputs
+        |> List.rev
+      in
+      List.iter
+        (fun f ->
+          Table_file.mark_obsolete (Refcounted.value f);
+          Refcounted.retire f)
+        outputs;
+      got = expected)
+
+let suites =
+  [
+    ( "lsm.version",
+      [
+        Alcotest.test_case "L0 overlap resolution" `Quick get_l0_overlap;
+        Alcotest.test_case "level search order" `Quick get_level_order;
+        Alcotest.test_case "key straddles files" `Quick get_key_straddles_files;
+        Alcotest.test_case "tombstone shadows" `Quick get_tombstone_shadows;
+        Alcotest.test_case "iters cover everything" `Quick iters_cover_everything;
+        Alcotest.test_case "refcount lifecycle" `Quick refcount_lifecycle;
+      ] );
+    ( "lsm.compaction",
+      [
+        Alcotest.test_case "pick L0" `Quick pick_l0;
+        Alcotest.test_case "pick none when quiet" `Quick pick_none_when_quiet;
+        Alcotest.test_case "run + apply L0 merge" `Quick run_and_apply_l0_merge;
+        Alcotest.test_case "apply preserves new L0" `Quick apply_preserves_new_l0;
+      ] );
+    ( "lsm.compaction.props",
+      List.map QCheck_alcotest.to_alcotest [ prop_write_sorted_run_roundtrip ] );
+  ]

@@ -1,0 +1,125 @@
+open Clsm_wal
+
+let tmp_dir =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) "clsm_test_wal" in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let tmp_path name = Filename.concat tmp_dir name
+
+let record_roundtrip () =
+  let buf = Buffer.create 64 in
+  let payloads = [ "first"; ""; "third record with some length" ] in
+  List.iter (Wal_record.encode buf) payloads;
+  let s = Buffer.contents buf in
+  let rec collect pos acc =
+    match Wal_record.decode s ~pos with
+    | `Record (p, next) -> collect next (p :: acc)
+    | `End -> List.rev acc
+    | `Torn -> Alcotest.fail "unexpected torn record"
+  in
+  Alcotest.(check (list string)) "roundtrip" payloads (collect 0 [])
+
+let record_detects_corruption () =
+  let buf = Buffer.create 64 in
+  Wal_record.encode buf "payload";
+  let s = Bytes.of_string (Buffer.contents buf) in
+  Bytes.set s (Wal_record.header_length + 2) 'X';
+  match Wal_record.decode (Bytes.to_string s) ~pos:0 with
+  | `Torn -> ()
+  | `Record _ | `End -> Alcotest.fail "expected Torn"
+
+let writer_sync_roundtrip () =
+  let path = tmp_path "sync.log" in
+  let w = Wal_writer.create ~mode:Wal_writer.Sync path in
+  Wal_writer.append w "one";
+  Wal_writer.append w "two";
+  Wal_writer.close w;
+  let records, outcome = Wal_reader.read_records path in
+  Alcotest.(check (list string)) "records" [ "one"; "two" ] records;
+  Alcotest.(check bool) "clean" true (outcome = Wal_reader.Clean)
+
+let writer_async_flush () =
+  let path = tmp_path "async.log" in
+  let w = Wal_writer.create ~mode:Wal_writer.Async path in
+  for i = 1 to 100 do
+    Wal_writer.append w (Printf.sprintf "record-%03d" i)
+  done;
+  Wal_writer.flush w;
+  Alcotest.(check int) "queue drained" 0 (Wal_writer.queued w);
+  Wal_writer.close w;
+  let records, outcome = Wal_reader.read_records path in
+  Alcotest.(check int) "all records" 100 (List.length records);
+  Alcotest.(check bool) "clean" true (outcome = Wal_reader.Clean);
+  (* Single appender: order is preserved. *)
+  Alcotest.(check (list string)) "order"
+    (List.init 100 (fun i -> Printf.sprintf "record-%03d" (i + 1)))
+    records
+
+let writer_concurrent_appends () =
+  let path = tmp_path "concurrent.log" in
+  let w = Wal_writer.create ~mode:Wal_writer.Async path in
+  let n = 2_000 in
+  let producer tag () =
+    for i = 0 to n - 1 do
+      Wal_writer.append w (Printf.sprintf "%c%06d" tag i)
+    done
+  in
+  List.map Domain.spawn [ producer 'a'; producer 'b'; producer 'c' ]
+  |> List.iter Domain.join;
+  Wal_writer.close w;
+  let records, outcome = Wal_reader.read_records path in
+  Alcotest.(check bool) "clean" true (outcome = Wal_reader.Clean);
+  Alcotest.(check int) "none lost" (3 * n) (List.length records);
+  Alcotest.(check int) "all distinct" (3 * n)
+    (List.length (List.sort_uniq String.compare records))
+
+let torn_tail_recovery () =
+  let path = tmp_path "torn.log" in
+  let w = Wal_writer.create ~mode:Wal_writer.Sync path in
+  Wal_writer.append w "keep-1";
+  Wal_writer.append w "keep-2";
+  Wal_writer.append w "will-be-torn";
+  Wal_writer.close w;
+  (* Simulate a crash mid-write by truncating into the last record. *)
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (size - 4);
+  Unix.close fd;
+  let records, outcome = Wal_reader.read_records path in
+  Alcotest.(check (list string)) "intact prefix" [ "keep-1"; "keep-2" ] records;
+  Alcotest.(check bool) "torn" true (outcome = Wal_reader.Torn_tail)
+
+let empty_log () =
+  let path = tmp_path "empty.log" in
+  let w = Wal_writer.create path in
+  Wal_writer.close w;
+  let records, outcome = Wal_reader.read_records path in
+  Alcotest.(check (list string)) "no records" [] records;
+  Alcotest.(check bool) "clean" true (outcome = Wal_reader.Clean)
+
+let prop_wal_roundtrip =
+  QCheck.Test.make ~name:"wal roundtrip (random payloads)" ~count:50
+    QCheck.(list (string_of_size Gen.(0 -- 100)))
+    (fun payloads ->
+      let path = tmp_path "prop.log" in
+      let w = Wal_writer.create ~mode:Wal_writer.Sync path in
+      List.iter (Wal_writer.append w) payloads;
+      Wal_writer.close w;
+      let records, outcome = Wal_reader.read_records path in
+      records = payloads && outcome = Wal_reader.Clean)
+
+let suites =
+  [
+    ( "wal",
+      [
+        Alcotest.test_case "record roundtrip" `Quick record_roundtrip;
+        Alcotest.test_case "record corruption" `Quick record_detects_corruption;
+        Alcotest.test_case "sync writer" `Quick writer_sync_roundtrip;
+        Alcotest.test_case "async flush" `Quick writer_async_flush;
+        Alcotest.test_case "concurrent appends" `Quick writer_concurrent_appends;
+        Alcotest.test_case "torn tail recovery" `Quick torn_tail_recovery;
+        Alcotest.test_case "empty log" `Quick empty_log;
+      ] );
+    ("wal.props", List.map QCheck_alcotest.to_alcotest [ prop_wal_roundtrip ]);
+  ]
