@@ -49,6 +49,9 @@ let scenario ~name ~spec ~preload_count ~ops_per_thread ~threads_list =
           Format.printf "%-14s threads=%-2d %a@." sname threads
             Driver.pp_result r)
         threads_list;
+      (match store.Store_ops.stats_json () with
+      | Some json -> Printf.printf "%-14s stats %s\n%!" sname json
+      | None -> ());
       store.Store_ops.close ())
     stores
 

@@ -313,7 +313,7 @@ let compact_level_once t =
           (fun f -> Table_file.mark_obsolete (Refcounted.value f))
           (task.Compaction.inputs_lo @ task.Compaction.inputs_hi);
         List.iter Refcounted.retire outputs;
-        Stats.incr_compactions t.stats;
+        Stats.incr_compactions t.stats ~src_level:task.Compaction.src_level ();
         with_mutex t (fun () -> save_manifest t);
         true
   in

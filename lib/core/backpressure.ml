@@ -1,0 +1,59 @@
+open Clsm_primitives
+
+type config = { soft_l0 : int; hard_l0 : int; max_delay_ns : int }
+
+let config_of_options (opts : Options.t) =
+  {
+    soft_l0 = opts.lsm.Clsm_lsm.Lsm_config.l0_slowdown_trigger;
+    hard_l0 = opts.lsm.Clsm_lsm.Lsm_config.l0_stall_limit;
+    max_delay_ns = opts.backpressure_max_delay_us * 1000;
+  }
+
+type observation = {
+  stopped : bool;
+  mem_full : bool;
+  imm_busy : bool;
+  l0_files : int;
+}
+
+type t = { config : config; stats : Stats.t }
+
+let create ~config ~stats = { config; stats }
+
+(* Quadratic ramp: gentle just past the soft threshold, steep near the
+   hard stop, where every additional L0 file matters most. *)
+let delay_ns config ~l0_files =
+  if l0_files < config.soft_l0 || config.max_delay_ns <= 0 then 0
+  else begin
+    let span = max 1 (config.hard_l0 - config.soft_l0) in
+    let depth = min (l0_files - config.soft_l0 + 1) span in
+    config.max_delay_ns * depth * depth / (span * span)
+  end
+
+let hard_blocked o config =
+  (o.mem_full && o.imm_busy) || o.l0_files >= config.hard_l0
+
+let admit t ~observe ~wake =
+  let b = Backoff.create ~max_spins:4096 () in
+  let rec wait_hard stalled =
+    let o = observe () in
+    if o.stopped then ()
+    else if hard_blocked o t.config then begin
+      if not stalled then begin
+        Stats.incr_write_stalls t.stats;
+        wake ()
+      end;
+      Backoff.once b;
+      wait_hard true
+    end
+    else begin
+      let d = delay_ns t.config ~l0_files:o.l0_files in
+      if d > 0 then begin
+        Stats.add_slowdown t.stats ~delay_ns:d;
+        (* The delay buys compaction time only if compaction is running. *)
+        wake ();
+        Unix.sleepf (float_of_int d /. 1e9)
+      end
+    end
+  in
+  wait_hard false

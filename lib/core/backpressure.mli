@@ -1,0 +1,44 @@
+(** Graduated write backpressure (after Luo & Carey, "On Performance
+    Stability in LSM-based Storage Systems").
+
+    The seed store had a binary stall: writers ran at full speed until
+    L0 reached [l0_stall_limit], then busy-waited. That produces a
+    sawtooth — bursts of maximum ingest alternating with multi-second
+    write outages. This controller adds a soft threshold
+    ([l0_slowdown_trigger]): between soft and hard limits each put is
+    delayed by an amount that grows quadratically with L0 depth, up to
+    [max_delay_ns], shaving ingest smoothly so compaction can keep up
+    and the hard stop is rarely hit. The hard conditions (L0 at the
+    stall limit, or the memtable overfull while its predecessor is still
+    merging, paper §5.3) still stop the writer, with exponential
+    backoff, until maintenance catches up. *)
+
+type config = {
+  soft_l0 : int;  (** L0 file count where delays begin *)
+  hard_l0 : int;  (** L0 file count where writers stop *)
+  max_delay_ns : int;  (** delay at [hard_l0 - 1] *)
+}
+
+val config_of_options : Options.t -> config
+
+type observation = {
+  stopped : bool;  (** store shutting down: admit immediately *)
+  mem_full : bool;  (** active memtable over twice its budget *)
+  imm_busy : bool;  (** previous memtable still merging *)
+  l0_files : int;
+}
+
+type t
+
+val create : config:config -> stats:Stats.t -> t
+
+val delay_ns : config -> l0_files:int -> int
+(** Pure delay curve: [0] below [soft_l0], then a quadratic ramp
+    reaching [max_delay_ns] at [hard_l0 - 1]. Exposed for direct
+    property testing. *)
+
+val admit : t -> observe:(unit -> observation) -> wake:(unit -> unit) -> unit
+(** Gate one write. Re-observes via [observe] while a hard condition
+    holds (calling [wake] once per stall episode so the scheduler runs),
+    then injects the graduated delay, recording stall and slowdown
+    statistics. Returns promptly once admitted. *)

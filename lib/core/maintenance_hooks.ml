@@ -1,0 +1,310 @@
+(* The merge hooks (paper Algorithm 1, beforeMerge/afterMerge) and the
+   job layer the maintenance scheduler drives. Expensive work — merging
+   sorted runs to disk — happens outside any lock, so a flush and
+   several compactions on disjoint level ranges proceed in parallel
+   across worker domains. The exclusive sections the paper requires
+   survive unchanged: component swaps take the shared-exclusive lock in
+   exclusive mode, and installs + manifest saves are additionally
+   serialized by [t.install] so the manifest always describes a settled
+   version and lands before the WAL it obsoletes is deleted. *)
+
+module Make (M : Memtable_intf.S) = struct
+  open Clsm_primitives
+  open Clsm_lsm
+  module Job = Clsm_maintenance.Job
+  module Scheduler = Clsm_maintenance.Scheduler
+  module State = Store_state.Make (M)
+  open State
+
+  let src = Logs.Src.create "clsm.db.maintenance" ~doc:"cLSM store maintenance"
+
+  module Log = (val Logs.src_log src : Logs.LOG)
+
+  (* ---------- merge hooks ---------- *)
+
+  (* beforeMerge: freeze Cm as C'm and open a fresh Cm (Algorithm 1 lines
+     8-12). Returns false when a previous immutable component is still being
+     merged. Caller holds the flush claim. *)
+  let rotate t =
+    match current_imm t with
+    | Imm _ -> false
+    | No_imm ->
+        if M.is_empty (current_pm t).mem then false
+        else begin
+          let wal_number = alloc_file_number t () in
+          let wal =
+            if t.opts.Options.wal_enabled then
+              Some
+                (Clsm_wal.Wal_writer.create
+                   ~mode:
+                     (if t.opts.Options.sync_wal then Clsm_wal.Wal_writer.Sync
+                      else Clsm_wal.Wal_writer.Async)
+                   (Table_file.wal_path ~dir:t.opts.Options.dir wal_number))
+            else None
+          in
+          let fresh = { mem = M.create (); wal; wal_number } in
+          Shared_lock.lock_exclusive t.lock;
+          (* P'm <- Pm, then Pm <- new: readers traversing Pm then P'm may see
+             the old component twice but can never miss it. *)
+          let old_pm_cell = Rcu_box.peek t.pm in
+          let imm_cell =
+            Refcounted.create (Imm (Refcounted.value old_pm_cell))
+          in
+          let old_imm_cell = Rcu_box.swap t.pimm imm_cell in
+          let old_pm_cell' = Rcu_box.swap t.pm (Refcounted.create fresh) in
+          Shared_lock.unlock_exclusive t.lock;
+          assert (old_pm_cell == old_pm_cell');
+          Refcounted.retire old_imm_cell;
+          Refcounted.retire old_pm_cell';
+          Stats.incr_rotations t.stats;
+          true
+        end
+
+  (* Merge C'm into the disk component, then afterMerge: install the new
+     version and clear P'm (Algorithm 1 lines 13-17). Caller holds the
+     flush claim; the install section takes [t.install]. *)
+  let flush_imm t =
+    match current_imm t with
+    | No_imm -> false
+    | Imm mc ->
+        let snapshots =
+          Snapshot_registry.live_timestamps t.snapshots
+            ~now:(Unix.gettimeofday ())
+        in
+        let bytes = M.approximate_bytes mc.mem in
+        let outputs =
+          Compaction.write_sorted_run ~cfg:t.opts.Options.lsm
+            ~dir:t.opts.Options.dir ~cache:t.cache
+            ~alloc_number:(alloc_file_number t) ~snapshots
+            ~drop_tombstones:false (M.iter mc.mem)
+        in
+        Mutex.lock t.install;
+        Shared_lock.lock_exclusive t.lock;
+        let cur = current_version t in
+        let next =
+          Version.create
+            ~l0:(outputs @ cur.Version.l0)
+            ~levels:cur.Version.levels
+        in
+        let old_pd =
+          Rcu_box.swap t.pd (Refcounted.create ~release:Version.release next)
+        in
+        let old_imm = Rcu_box.swap t.pimm (Refcounted.create No_imm) in
+        Shared_lock.unlock_exclusive t.lock;
+        Refcounted.retire old_pd;
+        Refcounted.retire old_imm;
+        List.iter Refcounted.retire outputs;
+        Stats.incr_flushes t.stats;
+        Stats.add_bytes_flushed t.stats bytes;
+        (* Durability order: the manifest that stops referencing the old WAL
+           must land before the WAL disappears. *)
+        save_manifest t;
+        Mutex.unlock t.install;
+        (match mc.wal with
+        | Some w ->
+            Clsm_wal.Wal_writer.close w;
+            (try Sys.remove (Clsm_wal.Wal_writer.path w) with Sys_error _ -> ())
+        | None -> ());
+        Log.debug (fun m ->
+            m "flushed %d bytes into %d L0 file(s)" bytes (List.length outputs));
+        true
+
+  (* Run one claimed compaction: merge outside any lock, then install.
+     Caller owns the claim on the task's level range. *)
+  let run_claimed_compaction t { State.task; pinned } =
+    let snapshots =
+      Snapshot_registry.live_timestamps t.snapshots ~now:(Unix.gettimeofday ())
+    in
+    let outputs =
+      Compaction.run ~cfg:t.opts.Options.lsm ~dir:t.opts.Options.dir
+        ~cache:t.cache ~alloc_number:(alloc_file_number t) ~snapshots task
+    in
+    Mutex.lock t.install;
+    Shared_lock.lock_exclusive t.lock;
+    let cur = current_version t in
+    let next = Compaction.apply cur task ~outputs in
+    let old_pd =
+      Rcu_box.swap t.pd (Refcounted.create ~release:Version.release next)
+    in
+    Shared_lock.unlock_exclusive t.lock;
+    let bytes =
+      List.fold_left
+        (fun a f -> a + (Refcounted.value f).Table_file.size)
+        0
+        (task.Compaction.inputs_lo @ task.Compaction.inputs_hi)
+    in
+    List.iter
+      (fun f -> Table_file.mark_obsolete (Refcounted.value f))
+      (task.Compaction.inputs_lo @ task.Compaction.inputs_hi);
+    (if task.Compaction.src_level >= 1 then
+       match Version.files_range task.Compaction.inputs_lo with
+       | Some (_, largest) ->
+           t.compact_pointers.(task.Compaction.src_level - 1) <- largest
+       | None -> ());
+    Refcounted.retire old_pd;
+    List.iter Refcounted.retire outputs;
+    Stats.incr_compactions t.stats ~src_level:task.Compaction.src_level ();
+    Stats.add_bytes_compacted t.stats bytes;
+    save_manifest t;
+    Mutex.unlock t.install;
+    ignore pinned;
+    Log.debug (fun m ->
+        m "compacted level %d (%d bytes) into %d file(s)"
+          task.Compaction.src_level bytes (List.length outputs))
+
+  (* ---------- claims ---------- *)
+
+  let flush_needed t =
+    (match current_imm t with Imm _ -> true | No_imm -> false)
+    || M.approximate_bytes (current_pm t).mem > t.opts.Options.memtable_bytes
+
+  let try_claim_flush t =
+    let c = t.claims in
+    Mutex.protect c.cm (fun () ->
+        if c.flush_claimed then false
+        else begin
+          c.flush_claimed <- true;
+          true
+        end)
+
+  let release_flush t =
+    let c = t.claims in
+    Mutex.protect c.cm (fun () -> c.flush_claimed <- false)
+
+  (* Pick and claim a compaction whose level range is disjoint from every
+     in-flight one. Caller must hold [c.cm]. The version the task was
+     picked from is pinned so its input files cannot be released before
+     the task runs. *)
+  let claim_compaction_locked t =
+    let c = t.claims in
+    let busy l = List.exists (fun (s, tg) -> l = s || l = tg) c.busy_levels in
+    let skip ~src ~target = busy src || busy target in
+    let cell = Rcu_box.acquire t.pd in
+    match
+      Compaction.pick ~cfg:t.opts.Options.lsm
+        ~level_pointers:t.compact_pointers ~skip (Refcounted.value cell)
+    with
+    | Some task ->
+        let range = (task.Compaction.src_level, task.Compaction.target_level) in
+        c.busy_levels <- range :: c.busy_levels;
+        c.pending <- (range, { State.task; pinned = cell }) :: c.pending;
+        Some
+          (Job.Compact
+             {
+               src_level = task.Compaction.src_level;
+               target_level = task.Compaction.target_level;
+             })
+    | None ->
+        Refcounted.decr cell;
+        None
+
+  let release_compaction t range =
+    let c = t.claims in
+    Mutex.protect c.cm (fun () ->
+        c.busy_levels <- List.filter (fun r -> r <> range) c.busy_levels)
+
+  let take_pending t range =
+    let c = t.claims in
+    Mutex.protect c.cm (fun () ->
+        match List.assoc_opt range c.pending with
+        | Some cc ->
+            c.pending <- List.remove_assoc range c.pending;
+            Some cc
+        | None -> None)
+
+  (* ---------- the scheduler's job interface ---------- *)
+
+  (* Claim the highest-priority runnable job: a WAL-covered flush beats
+     any compaction; Compaction.pick orders the rest L0→L1 first, then
+     shallowest over-budget level. *)
+  let next t =
+    if Atomic.get t.stop then None
+    else begin
+      let c = t.claims in
+      Mutex.lock c.cm;
+      let job =
+        if (not c.flush_claimed) && flush_needed t then begin
+          c.flush_claimed <- true;
+          Some Job.Flush
+        end
+        else
+          match claim_compaction_locked t with
+          | Some job -> Some job
+          | None -> None
+      in
+      Mutex.unlock c.cm;
+      job
+    end
+
+  let run_flush t =
+    Fun.protect
+      ~finally:(fun () -> release_flush t)
+      (fun () ->
+        (* Clear a pending immutable component first, then rotate an
+           over-budget memtable and flush the result. *)
+        ignore (flush_imm t);
+        if
+          M.approximate_bytes (current_pm t).mem
+          > t.opts.Options.memtable_bytes
+        then if rotate t then ignore (flush_imm t))
+
+  let run t (job : Job.t) =
+    match job with
+    | Job.Flush -> run_flush t
+    | Job.Compact { src_level; target_level } -> (
+        let range = (src_level, target_level) in
+        match take_pending t range with
+        | None -> release_compaction t range
+        | Some cc ->
+            Fun.protect
+              ~finally:(fun () ->
+                release_compaction t range;
+                Refcounted.decr cc.State.pinned)
+              (fun () -> run_claimed_compaction t cc))
+
+  let make_scheduler t =
+    Scheduler.create ~num_workers:t.opts.Options.maintenance_workers
+      ~tick_interval:t.opts.Options.maintenance_tick
+      ~next:(fun () -> next t)
+      ~run:(fun job -> run t job)
+      ()
+
+  (* ---------- foreground maintenance ---------- *)
+
+  (* Synchronously rotate, flush and compact to quiescence, cooperating
+     with (not fighting) the background workers: claims are shared, and
+     quiescence means no claimable work and no claim in flight. *)
+  let compact_now t =
+    let rec claim_flush_blocking () =
+      if not (try_claim_flush t) then begin
+        Unix.sleepf 0.0005;
+        claim_flush_blocking ()
+      end
+    in
+    claim_flush_blocking ();
+    Fun.protect
+      ~finally:(fun () -> release_flush t)
+      (fun () ->
+        ignore (flush_imm t);
+        ignore (rotate t);
+        ignore (flush_imm t));
+    let c = t.claims in
+    let rec drain () =
+      let claimed =
+        Mutex.protect c.cm (fun () ->
+            match claim_compaction_locked t with
+            | Some job -> `Run job
+            | None ->
+                if c.busy_levels <> [] || c.flush_claimed then `Wait else `Idle)
+      in
+      match claimed with
+      | `Run job ->
+          run t job;
+          drain ()
+      | `Wait ->
+          Unix.sleepf 0.0005;
+          drain ()
+      | `Idle -> ()
+    in
+    drain ()
+end

@@ -7,6 +7,9 @@ type t = {
   linearizable_snapshots : bool;
   unsafe_naive_snapshots : bool;
   active_set_capacity : int;
+  maintenance_workers : int;
+  maintenance_tick : float;
+  backpressure_max_delay_us : int;
   lsm : Clsm_lsm.Lsm_config.t;
 }
 
@@ -20,5 +23,8 @@ let default ~dir =
     linearizable_snapshots = false;
     unsafe_naive_snapshots = false;
     active_set_capacity = 4096;
+    maintenance_workers = 2;
+    maintenance_tick = 0.25;
+    backpressure_max_delay_us = 1000;
     lsm = Clsm_lsm.Lsm_config.default;
   }

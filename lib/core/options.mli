@@ -16,6 +16,18 @@ type t = {
           [timeCounter], skipping the Active-set protocol — reintroduces the
           Figure 3/4 races (scans may observe inconsistent states) *)
   active_set_capacity : int;  (** slots for in-flight timestamps *)
+  maintenance_workers : int;
+      (** background worker domains for flush/compaction (default 2);
+          flushes and deep-level compactions proceed in parallel on
+          disjoint level ranges *)
+  maintenance_tick : float;
+      (** scheduler fallback-tick interval in seconds (default 0.25);
+          maintenance is normally event-driven — write paths signal the
+          scheduler — and the tick only bounds the staleness of work
+          nobody signalled for *)
+  backpressure_max_delay_us : int;
+      (** ceiling of the per-put delay injected by the graduated write
+          controller as L0 approaches [l0_stall_limit] (default 1000 µs) *)
   lsm : Clsm_lsm.Lsm_config.t;  (** disk component tuning *)
 }
 

@@ -1,0 +1,230 @@
+(* Crash recovery and directory repair, factored out of the store
+   functor. [Make (M).recover] rebuilds the full starting state of a
+   store directory — disk version from the manifest, memtable from WAL
+   replay, counters — and leaves the directory clean (orphans removed,
+   replayed records re-logged into a fresh WAL, a manifest that makes the
+   old logs redundant). The store only has to wrap the result in its
+   runtime state and start maintenance. *)
+
+open Clsm_primitives
+open Clsm_lsm
+
+let list_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         match String.split_on_char '.' name with
+         | [ num; ext ] -> (
+             match int_of_string_opt num with
+             | Some n when ext = "sst" -> Some (`Table (n, name))
+             | Some n when ext = "log" -> Some (`Wal (n, name))
+             | _ -> None)
+         | _ -> None)
+
+(* LevelDB's RepairDB: reconstruct a usable manifest from whatever table
+   files survive in the directory. Every table is installed at level 0
+   (overlap is legal there); higher timestamps win on reads, so no data is
+   mis-ordered. WAL files are retained for replay by the next open. *)
+let repair ~dir =
+  let files = list_files dir in
+  let tables =
+    List.filter_map (function `Table (n, _) -> Some n | `Wal _ -> None) files
+    |> List.sort compare
+  in
+  let wals =
+    List.filter_map (function `Wal (n, _) -> Some n | `Table _ -> None) files
+  in
+  (* Probe each table; drop unreadable ones (renamed aside, not deleted).
+     The highest timestamp seen anywhere restores the counter so new writes
+     stay newer than recovered data. *)
+  let max_ts = ref 0 in
+  let usable =
+    List.filter
+      (fun n ->
+        let aside () =
+          try
+            Sys.rename
+              (Table_file.table_path ~dir n)
+              (Table_file.table_path ~dir n ^ ".damaged")
+          with Sys_error _ -> ()
+        in
+        match Table_file.open_number ~dir n with
+        | tf -> (
+            match Clsm_sstable.Table.verify tf.Table_file.table with
+            | Ok _ ->
+                Clsm_sstable.Table.fold
+                  (fun ik _ () ->
+                    let ts = Internal_key.ts_of ik in
+                    if ts > !max_ts then max_ts := ts)
+                  tf.Table_file.table ();
+                Clsm_sstable.Table.close tf.Table_file.table;
+                true
+            | Error _ ->
+                Clsm_sstable.Table.close tf.Table_file.table;
+                aside ();
+                false)
+        | exception _ ->
+            aside ();
+            false)
+      tables
+  in
+  let max_number = List.fold_left max 0 (usable @ wals) in
+  Manifest.save ~dir
+    {
+      Manifest.next_file_number = max_number + 1;
+      last_ts = !max_ts;
+      wal_number = List.fold_left min max_int (max_int :: wals);
+      (* newest tables first, like fresh flushes *)
+      files = List.map (fun n -> (0, n)) (List.rev usable);
+    }
+
+module Make (M : Memtable_intf.S) = struct
+  type recovered = {
+    version : Version.t;  (** one creation reference, caller owns *)
+    mem : M.t;  (** memtable rebuilt from WAL replay *)
+    wal : Clsm_wal.Wal_writer.t option;  (** fresh log covering [mem] *)
+    wal_number : int;
+    last_ts : int;  (** highest timestamp seen anywhere *)
+    next_file : int Atomic.t;
+  }
+
+  let load_version (opts : Options.t) ~cache ~disk_files =
+    let num_levels = opts.Options.lsm.Lsm_config.num_levels in
+    match Manifest.load ~dir:opts.dir with
+    | None -> (Version.empty ~num_levels, 1, 0, 0)
+    | Some m ->
+        (* Drop orphans: tables not in the manifest (half-finished flush or
+           compaction) and logs below the manifest's replay floor. *)
+        let live = List.map snd m.Manifest.files in
+        List.iter
+          (fun f ->
+            match f with
+            | `Table (n, name) when not (List.mem n live) ->
+                Sys.remove (Filename.concat opts.dir name)
+            | `Wal (n, name) when n < m.Manifest.wal_number ->
+                Sys.remove (Filename.concat opts.dir name)
+            | `Table _ | `Wal _ -> ())
+          disk_files;
+        let l0 = ref [] and levels = Array.make (num_levels - 1) [] in
+        List.iter
+          (fun (level, number) ->
+            let tf = Table_file.open_number ~cache ~dir:opts.dir number in
+            let cell = Refcounted.create ~release:Table_file.release tf in
+            if level = 0 then l0 := cell :: !l0
+            else levels.(level - 1) <- cell :: levels.(level - 1))
+          m.Manifest.files;
+        let sort_level files =
+          List.sort
+            (fun a b ->
+              Internal_key.compare_encoded
+                (Refcounted.value a).Table_file.smallest
+                (Refcounted.value b).Table_file.smallest)
+            files
+        in
+        Array.iteri (fun i files -> levels.(i) <- sort_level files) levels;
+        (* l0 was reversed by consing; manifest order is newest first *)
+        let v = Version.create ~l0:(List.rev !l0) ~levels in
+        (* Version.create took refs; drop the creation refs *)
+        List.iter Refcounted.retire !l0;
+        Array.iter (List.iter Refcounted.retire) levels;
+        (v, m.Manifest.next_file_number, m.Manifest.last_ts, m.Manifest.wal_number)
+
+  (* Replay surviving logs oldest-first; timestamps restore the global
+     write order regardless of on-disk record order (paper §4). *)
+  let replay_wals (opts : Options.t) ~min_wal ~mem ~max_ts =
+    let wals =
+      List.filter_map
+        (function `Wal (n, name) when n >= min_wal -> Some (n, name) | _ -> None)
+        (list_files opts.dir)
+      |> List.sort compare
+    in
+    List.iter
+      (fun (_, name) ->
+        let records, _outcome =
+          Clsm_wal.Wal_reader.read_records (Filename.concat opts.dir name)
+        in
+        List.iter
+          (fun payload ->
+            match Log_record.decode_all payload with
+            | records ->
+                List.iter
+                  (fun { Log_record.ts; user_key; entry } ->
+                    M.add mem ~user_key ~ts entry;
+                    if ts > !max_ts then max_ts := ts)
+                  records
+            | exception (Clsm_util.Varint.Corrupt _ | Invalid_argument _) -> ())
+          records)
+      wals;
+    wals
+
+  let recover (opts : Options.t) ~cache =
+    if not (Sys.file_exists opts.dir) then Unix.mkdir opts.dir 0o755;
+    let disk_files = list_files opts.dir in
+    let version, next_file, last_ts, min_wal =
+      load_version opts ~cache ~disk_files
+    in
+    let mem = M.create () in
+    let max_ts = ref last_ts in
+    let replayed = replay_wals opts ~min_wal ~mem ~max_ts in
+    let next_file =
+      List.fold_left
+        (fun acc f -> match f with `Table (n, _) | `Wal (n, _) -> max acc (n + 1))
+        (max 1 next_file) disk_files
+    in
+    let next_file_atomic = Atomic.make next_file in
+    let wal_number = Atomic.fetch_and_add next_file_atomic 1 in
+    let wal =
+      if opts.wal_enabled then
+        Some
+          (Clsm_wal.Wal_writer.create
+             ~mode:
+               (if opts.sync_wal then Clsm_wal.Wal_writer.Sync
+                else Clsm_wal.Wal_writer.Async)
+             (Table_file.wal_path ~dir:opts.dir wal_number))
+      else None
+    in
+    (* Re-log replayed records into the fresh WAL so older logs can be
+       ignored on the next recovery. *)
+    (match wal with
+    | Some w ->
+        M.fold_entries
+          (fun user_key ts entry () ->
+            Clsm_wal.Wal_writer.append w
+              (Log_record.encode { Log_record.ts; user_key; entry }))
+          mem ();
+        Clsm_wal.Wal_writer.flush w
+    | None -> ());
+    (* Persist a manifest that points past the replayed logs, then drop
+       them: their live records are covered by the fresh WAL. *)
+    let files_of_version =
+      List.map
+        (fun f -> (0, (Refcounted.value f).Table_file.number))
+        version.Version.l0
+      @ List.concat
+          (List.mapi
+             (fun i files ->
+               List.map
+                 (fun f -> (i + 1, (Refcounted.value f).Table_file.number))
+                 files)
+             (Array.to_list version.Version.levels))
+    in
+    Manifest.save ~dir:opts.dir
+      {
+        Manifest.next_file_number = Atomic.get next_file_atomic;
+        last_ts = !max_ts;
+        wal_number;
+        files = files_of_version;
+      };
+    List.iter
+      (fun (n, name) ->
+        if n < wal_number then
+          try Sys.remove (Filename.concat opts.dir name) with Sys_error _ -> ())
+      replayed;
+    {
+      version;
+      mem;
+      wal;
+      wal_number;
+      last_ts = !max_ts;
+      next_file = next_file_atomic;
+    }
+end

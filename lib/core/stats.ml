@@ -1,3 +1,8 @@
+(* Per-level compaction counters are a fixed-size array indexed by source
+   level; 16 comfortably covers any [Lsm_config.num_levels] in use and
+   keeps the counters allocation-free on the hot path. *)
+let max_levels = 16
+
 type t = {
   puts : int Atomic.t;
   gets : int Atomic.t;
@@ -9,9 +14,13 @@ type t = {
   memtable_rotations : int Atomic.t;
   flushes : int Atomic.t;
   compactions : int Atomic.t;
+  compactions_per_level : int Atomic.t array; (* by source level *)
   bytes_flushed : int Atomic.t;
   bytes_compacted : int Atomic.t;
   write_stalls : int Atomic.t;
+  write_slowdowns : int Atomic.t;
+  slowdown_delay_ns : int Atomic.t;
+  maintenance_wakeups : int Atomic.t;
 }
 
 type snapshot = {
@@ -25,9 +34,13 @@ type snapshot = {
   memtable_rotations : int;
   flushes : int;
   compactions : int;
+  compactions_per_level : int array;
   bytes_flushed : int;
   bytes_compacted : int;
   write_stalls : int;
+  write_slowdowns : int;
+  slowdown_delay_ns : int;
+  maintenance_wakeups : int;
 }
 
 let create () : t =
@@ -42,9 +55,13 @@ let create () : t =
     memtable_rotations = Atomic.make 0;
     flushes = Atomic.make 0;
     compactions = Atomic.make 0;
+    compactions_per_level = Array.init max_levels (fun _ -> Atomic.make 0);
     bytes_flushed = Atomic.make 0;
     bytes_compacted = Atomic.make 0;
     write_stalls = Atomic.make 0;
+    write_slowdowns = Atomic.make 0;
+    slowdown_delay_ns = Atomic.make 0;
+    maintenance_wakeups = Atomic.make 0;
   }
 
 let incr_puts (t : t) = Atomic.incr t.puts
@@ -56,10 +73,23 @@ let incr_snapshots (t : t) = Atomic.incr t.snapshots_taken
 let incr_scans (t : t) = Atomic.incr t.scans
 let incr_rotations (t : t) = Atomic.incr t.memtable_rotations
 let incr_flushes (t : t) = Atomic.incr t.flushes
-let incr_compactions (t : t) = Atomic.incr t.compactions
+
+let incr_compactions (t : t) ?src_level () =
+  Atomic.incr t.compactions;
+  match src_level with
+  | Some l when l >= 0 && l < max_levels ->
+      Atomic.incr t.compactions_per_level.(l)
+  | Some _ | None -> ()
+
 let add_bytes_flushed (t : t) n = ignore (Atomic.fetch_and_add t.bytes_flushed n)
 let add_bytes_compacted (t : t) n = ignore (Atomic.fetch_and_add t.bytes_compacted n)
 let incr_write_stalls (t : t) = Atomic.incr t.write_stalls
+
+let add_slowdown (t : t) ~delay_ns =
+  Atomic.incr t.write_slowdowns;
+  ignore (Atomic.fetch_and_add t.slowdown_delay_ns delay_ns)
+
+let incr_maintenance_wakeups (t : t) = Atomic.incr t.maintenance_wakeups
 
 let read (t : t) : snapshot =
   {
@@ -73,17 +103,62 @@ let read (t : t) : snapshot =
     memtable_rotations = Atomic.get t.memtable_rotations;
     flushes = Atomic.get t.flushes;
     compactions = Atomic.get t.compactions;
+    compactions_per_level = Array.map Atomic.get t.compactions_per_level;
     bytes_flushed = Atomic.get t.bytes_flushed;
     bytes_compacted = Atomic.get t.bytes_compacted;
     write_stalls = Atomic.get t.write_stalls;
+    write_slowdowns = Atomic.get t.write_slowdowns;
+    slowdown_delay_ns = Atomic.get t.slowdown_delay_ns;
+    maintenance_wakeups = Atomic.get t.maintenance_wakeups;
   }
 
 let pp ppf s =
+  let per_level =
+    s.compactions_per_level |> Array.to_list
+    |> List.mapi (fun i n -> (i, n))
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (i, n) -> Printf.sprintf "L%d:%d" i n)
+    |> String.concat " "
+  in
   Format.fprintf ppf
     "@[<v>puts=%d gets=%d deletes=%d rmws=%d (conflicts=%d)@,\
      snapshots=%d scans=%d@,\
-     rotations=%d flushes=%d compactions=%d@,\
-     bytes_flushed=%d bytes_compacted=%d stalls=%d@]"
+     rotations=%d flushes=%d compactions=%d%s@,\
+     bytes_flushed=%d bytes_compacted=%d@,\
+     stalls=%d slowdowns=%d slowdown_delay_ms=%.3f wakeups=%d@]"
     s.puts s.gets s.deletes s.rmws s.rmw_conflicts s.snapshots_taken s.scans
-    s.memtable_rotations s.flushes s.compactions s.bytes_flushed
-    s.bytes_compacted s.write_stalls
+    s.memtable_rotations s.flushes s.compactions
+    (if per_level = "" then "" else " [" ^ per_level ^ "]")
+    s.bytes_flushed s.bytes_compacted s.write_stalls s.write_slowdowns
+    (float_of_int s.slowdown_delay_ns /. 1e6)
+    s.maintenance_wakeups
+
+let to_json (s : snapshot) =
+  let b = Buffer.create 512 in
+  let field name v = Buffer.add_string b (Printf.sprintf "\"%s\":%d," name v) in
+  Buffer.add_char b '{';
+  field "puts" s.puts;
+  field "gets" s.gets;
+  field "deletes" s.deletes;
+  field "rmws" s.rmws;
+  field "rmw_conflicts" s.rmw_conflicts;
+  field "snapshots" s.snapshots_taken;
+  field "scans" s.scans;
+  field "memtable_rotations" s.memtable_rotations;
+  field "flushes" s.flushes;
+  field "compactions" s.compactions;
+  Buffer.add_string b "\"compactions_per_level\":[";
+  Array.iteri
+    (fun i n ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int n))
+    s.compactions_per_level;
+  Buffer.add_string b "],";
+  field "bytes_flushed" s.bytes_flushed;
+  field "bytes_compacted" s.bytes_compacted;
+  field "write_stalls" s.write_stalls;
+  field "write_slowdowns" s.write_slowdowns;
+  field "slowdown_delay_ns" s.slowdown_delay_ns;
+  Buffer.add_string b
+    (Printf.sprintf "\"maintenance_wakeups\":%d}" s.maintenance_wakeups);
+  Buffer.contents b

@@ -1,5 +1,7 @@
 (** Operation and maintenance counters (all atomic; cheap enough to keep on
-    in production). *)
+    in production), including backpressure observability: how often and
+    for how long the graduated write controller delayed or stalled
+    writers, and compaction counts broken down by source level. *)
 
 type t
 
@@ -14,9 +16,14 @@ type snapshot = {
   memtable_rotations : int;
   flushes : int;
   compactions : int;
+  compactions_per_level : int array;
+      (** indexed by source level: [.(0)] counts L0→L1 merges *)
   bytes_flushed : int;
   bytes_compacted : int;
-  write_stalls : int;
+  write_stalls : int;  (** hard stops (L0 at [l0_stall_limit] or memtable full) *)
+  write_slowdowns : int;  (** puts delayed by the graduated controller *)
+  slowdown_delay_ns : int;  (** cumulative injected delay, nanoseconds *)
+  maintenance_wakeups : int;  (** scheduler signals sent by foreground paths *)
 }
 
 val create : unit -> t
@@ -29,9 +36,20 @@ val incr_snapshots : t -> unit
 val incr_scans : t -> unit
 val incr_rotations : t -> unit
 val incr_flushes : t -> unit
-val incr_compactions : t -> unit
+
+val incr_compactions : t -> ?src_level:int -> unit -> unit
+(** Count a compaction, attributed to [src_level] when given. *)
+
 val add_bytes_flushed : t -> int -> unit
 val add_bytes_compacted : t -> int -> unit
 val incr_write_stalls : t -> unit
+
+val add_slowdown : t -> delay_ns:int -> unit
+(** Record one graduated-backpressure delay of [delay_ns]. *)
+
+val incr_maintenance_wakeups : t -> unit
 val read : t -> snapshot
 val pp : Format.formatter -> snapshot -> unit
+
+val to_json : snapshot -> string
+(** One-line JSON object, for benchmark output and scraping. *)

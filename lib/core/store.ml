@@ -1,103 +1,22 @@
 (* The cLSM store algorithm, generic over the in-memory component — the
-   paper's decoupling claim made literal: Algorithms 1 and 2, the merge
-   hooks, WAL, recovery and maintenance are written once against
-   Memtable_intf.S; Algorithm 3's optimistic install is delegated to the
-   component's locate/try_install pair. *)
+   paper's decoupling claim made literal: Algorithms 1-3 are written once
+   against Memtable_intf.S; Algorithm 3's optimistic install is delegated
+   to the component's locate/try_install pair. The subsystems live in
+   their own modules and are composed here: shared state in
+   {!Store_state}, crash recovery in {!Recovery}, the graduated write
+   controller in {!Backpressure}, the merge hooks and job layer in
+   {!Maintenance_hooks}, driven by the event-driven
+   {!Clsm_maintenance.Scheduler}. *)
 
 module Make (M : Memtable_intf.S) : Store_sig.S = struct
   open Clsm_primitives
   open Clsm_lsm
+  module State = Store_state.Make (M)
+  module Hooks = Maintenance_hooks.Make (M)
+  module Recover = Recovery.Make (M)
+  open State
 
-  let src = Logs.Src.create "clsm.db" ~doc:"cLSM store"
-
-  module Log = (val Logs.src_log src : Logs.LOG)
-
-  (* A memory component: the skip-list plus the log that covers it. *)
-  type memcomp = {
-    mem : M.t;
-    wal : Clsm_wal.Wal_writer.t option;
-    wal_number : int;
-  }
-
-  type imm_slot = No_imm | Imm of memcomp
-
-  type snapshot = {
-    snap_ts : int;
-    handle : Snapshot_registry.handle option; (* None for the ts=0 case *)
-    released : bool Atomic.t;
-  }
-
-  type t = {
-    opts : Options.t;
-    lock : Shared_lock.t;
-    time_counter : Monotonic_counter.t;
-    active : Active_set.t;
-    snap_time : Monotonic_counter.t;
-    snapshots : Snapshot_registry.t;
-    pm : memcomp Rcu_box.t;
-    pimm : imm_slot Rcu_box.t;
-    pd : Version.t Rcu_box.t;
-    next_file : int Atomic.t;
-    cache : Clsm_sstable.Block.t Clsm_sstable.Cache.t;
-    stats : Stats.t;
-    stop : bool Atomic.t;
-    maintenance : Mutex.t; (* serializes rotation/flush/compaction steps *)
-    compact_pointers : string array; (* per-level round-robin cursors *)
-    mutable bg_domain : unit Domain.t option;
-    mutable closed : bool;
-    close_mutex : Mutex.t;
-  }
-
-  (* ---------- small helpers ---------- *)
-
-  let alloc_file_number t () = Atomic.fetch_and_add t.next_file 1
-
-  let current_pm t = Refcounted.value (Rcu_box.peek t.pm)
-  let current_imm t = Refcounted.value (Rcu_box.peek t.pimm)
-  let current_version t = Refcounted.value (Rcu_box.peek t.pd)
-
-  (* The maintenance domain sleep-polls; "waking" it is a no-op kept at the
-     call sites that mark where a dedicated wakeup would go. *)
-  let wake_bg (_ : t) = ()
-
-  (* Algorithm 2, getTS: acquire a fresh timestamp, retrying while it falls
-     at or below a concurrently chosen snapshot time. *)
-  let get_ts t =
-    let rec loop () =
-      let ts = Monotonic_counter.inc_and_get t.time_counter in
-      let h = Active_set.add t.active ts in
-      if ts <= Monotonic_counter.get t.snap_time then begin
-        Active_set.remove t.active h;
-        loop ()
-      end
-      else (ts, h)
-    in
-    loop ()
-
-  (* ---------- manifest ---------- *)
-
-  let manifest_of_state t =
-    let v = current_version t in
-    let l0 =
-      List.map (fun f -> (0, (Refcounted.value f).Table_file.number)) v.Version.l0
-    in
-    let deeper =
-      List.concat
-        (List.mapi
-           (fun i files ->
-             List.map
-               (fun f -> (i + 1, (Refcounted.value f).Table_file.number))
-               files)
-           (Array.to_list v.Version.levels))
-    in
-    {
-      Manifest.next_file_number = Atomic.get t.next_file;
-      last_ts = Monotonic_counter.get t.time_counter;
-      wal_number = (current_pm t).wal_number;
-      files = l0 @ deeper;
-    }
-
-  let save_manifest t = Manifest.save ~dir:t.opts.Options.dir (manifest_of_state t)
+  type t = State.t
 
   (* ---------- reads (Algorithm 1: no blocking, Pm -> P'm -> Pd) ---------- *)
 
@@ -129,42 +48,43 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     | Some (Entry.Value v) -> Some v
     | Some Entry.Tombstone | None -> None
 
-  (* Forward declaration order: multi_get lives below get_snap (it reads a
-     consistent snapshot); see further down. *)
-
   (* ---------- writes (Algorithm 1/2: shared lock + timestamp) ---------- *)
 
-  (* Paper §5.3: when the memory component fills while the previous one is
-     still being merged, client writes wait for the merge. Also stall on an
-     L0 pile-up, like LevelDB/RocksDB. Checked outside the shared lock so a
-     stalled writer cannot block the merge itself. *)
-  let throttle_writes t =
-    let stalled = ref false in
-    let b = Backoff.create ~max_spins:4096 () in
-    let rec wait () =
-      if Atomic.get t.stop then ()
-      else begin
-        let mem_full =
-          M.approximate_bytes (current_pm t).mem
-          > 2 * t.opts.Options.memtable_bytes
-        in
-        let imm_busy = match current_imm t with Imm _ -> true | No_imm -> false in
-        let l0_pile =
-          Version.level_file_count (current_version t) 0
-          >= t.opts.Options.lsm.Lsm_config.l0_stall_limit
-        in
-        if (mem_full && imm_busy) || l0_pile then begin
-          if not !stalled then begin
-            stalled := true;
-            Stats.incr_write_stalls t.stats;
-            wake_bg t
-          end;
-          Backoff.once b;
-          wait ()
-        end
+  (* Algorithm 2, getTS: acquire a fresh timestamp, retrying while it falls
+     at or below a concurrently chosen snapshot time. *)
+  let get_ts t =
+    let rec loop () =
+      let ts = Monotonic_counter.inc_and_get t.time_counter in
+      let h = Active_set.add t.active ts in
+      if ts <= Monotonic_counter.get t.snap_time then begin
+        Active_set.remove t.active h;
+        loop ()
       end
+      else (ts, h)
     in
-    wait ()
+    loop ()
+
+  (* Graduated admission control (see {!Backpressure}), checked outside the
+     shared lock so a delayed or stalled writer cannot block the merge. *)
+  let observe_pressure t () =
+    {
+      Backpressure.stopped = Atomic.get t.stop;
+      mem_full =
+        M.approximate_bytes (current_pm t).mem
+        > 2 * t.opts.Options.memtable_bytes;
+      imm_busy = (match current_imm t with Imm _ -> true | No_imm -> false);
+      l0_files = Version.level_file_count (current_version t) 0;
+    }
+
+  let throttle_writes t =
+    Backpressure.admit t.backpressure
+      ~observe:(observe_pressure t)
+      ~wake:(fun () -> wake_bg t)
+
+  (* Memtable over budget: hand the rotation to the maintenance workers. *)
+  let maybe_wake_for_rotation t mc =
+    if M.approximate_bytes mc.mem > t.opts.Options.memtable_bytes then
+      wake_bg t
 
   let write_entry t ~user_key entry =
     throttle_writes t;
@@ -179,8 +99,7 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     | None -> ());
     Active_set.remove t.active h;
     Shared_lock.unlock_shared t.lock;
-    if M.approximate_bytes mc.mem > t.opts.Options.memtable_bytes then
-      wake_bg t
+    maybe_wake_for_rotation t mc
 
   let put t ~key ~value =
     Stats.incr_puts t.stats;
@@ -222,8 +141,7 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
       | Some w -> Clsm_wal.Wal_writer.append w (Log_record.encode_batch records)
       | None -> ());
       Shared_lock.unlock_exclusive t.lock;
-      if M.approximate_bytes mc.mem > t.opts.Options.memtable_bytes then
-        wake_bg t
+      maybe_wake_for_rotation t mc
     end
 
   let delete t ~key =
@@ -299,8 +217,7 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     in
     let result = attempt () in
     Shared_lock.unlock_shared t.lock;
-    (if M.approximate_bytes pm.mem > t.opts.Options.memtable_bytes then
-       wake_bg t);
+    maybe_wake_for_rotation t pm;
     result
 
   let put_if_absent t ~key ~value =
@@ -319,6 +236,12 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     !installed
 
   (* ---------- snapshots (Algorithm 2) ---------- *)
+
+  type snapshot = {
+    snap_ts : int;
+    handle : Snapshot_registry.handle option; (* None for the ts=0 case *)
+    released : bool Atomic.t;
+  }
 
   let get_snap ?ttl t =
     Stats.incr_snapshots t.stats;
@@ -527,388 +450,80 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     iter_close it;
     result
 
-  (* ---------- merge hooks and maintenance ---------- *)
+  (* ---------- maintenance (delegated to the scheduler + hooks) ---------- *)
 
-  (* beforeMerge: freeze Cm as C'm and open a fresh Cm (Algorithm 1 lines
-     8-12). Returns false when a previous immutable component is still being
-     merged. Caller holds [maintenance]. *)
-  let rotate t =
-    match current_imm t with
-    | Imm _ -> false
-    | No_imm ->
-        if M.is_empty (current_pm t).mem then false
-        else begin
-          let wal_number = alloc_file_number t () in
-          let wal =
-            if t.opts.Options.wal_enabled then
-              Some
-                (Clsm_wal.Wal_writer.create
-                   ~mode:
-                     (if t.opts.Options.sync_wal then Clsm_wal.Wal_writer.Sync
-                      else Clsm_wal.Wal_writer.Async)
-                   (Table_file.wal_path ~dir:t.opts.Options.dir wal_number))
-            else None
-          in
-          let fresh = { mem = M.create (); wal; wal_number } in
-          Shared_lock.lock_exclusive t.lock;
-          (* P'm <- Pm, then Pm <- new: readers traversing Pm then P'm may see
-             the old component twice but can never miss it. *)
-          let old_pm_cell = Rcu_box.peek t.pm in
-          let imm_cell =
-            Refcounted.create (Imm (Refcounted.value old_pm_cell))
-          in
-          let old_imm_cell = Rcu_box.swap t.pimm imm_cell in
-          let old_pm_cell' = Rcu_box.swap t.pm (Refcounted.create fresh) in
-          Shared_lock.unlock_exclusive t.lock;
-          assert (old_pm_cell == old_pm_cell');
-          Refcounted.retire old_imm_cell;
-          Refcounted.retire old_pm_cell';
-          Stats.incr_rotations t.stats;
-          true
-        end
-
-  (* Merge C'm into the disk component, then afterMerge: install the new
-     version and clear P'm (Algorithm 1 lines 13-17). Caller holds
-     [maintenance]. *)
-  let flush_imm t =
-    match current_imm t with
-    | No_imm -> false
-    | Imm mc ->
-        let snapshots =
-          Snapshot_registry.live_timestamps t.snapshots ~now:(Unix.gettimeofday ())
-        in
-        let bytes = M.approximate_bytes mc.mem in
-        let outputs =
-          Compaction.write_sorted_run ~cfg:t.opts.Options.lsm
-            ~dir:t.opts.Options.dir ~cache:t.cache
-            ~alloc_number:(alloc_file_number t) ~snapshots
-            ~drop_tombstones:false (M.iter mc.mem)
-        in
-        Shared_lock.lock_exclusive t.lock;
-        let cur = current_version t in
-        let next =
-          Version.create
-            ~l0:(outputs @ cur.Version.l0)
-            ~levels:cur.Version.levels
-        in
-        let old_pd = Rcu_box.swap t.pd (Refcounted.create ~release:Version.release next) in
-        let old_imm = Rcu_box.swap t.pimm (Refcounted.create No_imm) in
-        Shared_lock.unlock_exclusive t.lock;
-        Refcounted.retire old_pd;
-        Refcounted.retire old_imm;
-        List.iter Refcounted.retire outputs;
-        Stats.incr_flushes t.stats;
-        Stats.add_bytes_flushed t.stats bytes;
-        (* Durability order: the manifest that stops referencing the old WAL
-           must land before the WAL disappears. *)
-        save_manifest t;
-        (match mc.wal with
-        | Some w ->
-            Clsm_wal.Wal_writer.close w;
-            (try Sys.remove (Clsm_wal.Wal_writer.path w) with Sys_error _ -> ())
-        | None -> ());
-        Log.debug (fun m ->
-            m "flushed %d bytes into %d L0 file(s)" bytes (List.length outputs));
-        true
-
-  (* One background level compaction, if any level is over budget. Caller
-     holds [maintenance]. *)
-  let compact_level_once t =
-    let pd_cell = Rcu_box.acquire t.pd in
-    let v = Refcounted.value pd_cell in
-    let result =
-      match
-        Compaction.pick ~cfg:t.opts.Options.lsm ~level_pointers:t.compact_pointers
-          v
-      with
-      | None -> false
-      | Some task ->
-          let snapshots =
-          Snapshot_registry.live_timestamps t.snapshots ~now:(Unix.gettimeofday ())
-        in
-          let outputs =
-            Compaction.run ~cfg:t.opts.Options.lsm ~dir:t.opts.Options.dir
-              ~cache:t.cache ~alloc_number:(alloc_file_number t) ~snapshots task
-          in
-          Shared_lock.lock_exclusive t.lock;
-          let cur = current_version t in
-          let next = Compaction.apply cur task ~outputs in
-          let old_pd =
-            Rcu_box.swap t.pd (Refcounted.create ~release:Version.release next)
-          in
-          Shared_lock.unlock_exclusive t.lock;
-          let bytes =
-            List.fold_left
-              (fun a f -> a + (Refcounted.value f).Table_file.size)
-              0
-              (task.Compaction.inputs_lo @ task.Compaction.inputs_hi)
-          in
-          List.iter
-            (fun f -> Table_file.mark_obsolete (Refcounted.value f))
-            (task.Compaction.inputs_lo @ task.Compaction.inputs_hi);
-          (if task.Compaction.src_level >= 1 then
-             match Version.files_range task.Compaction.inputs_lo with
-             | Some (_, largest) ->
-                 t.compact_pointers.(task.Compaction.src_level - 1) <- largest
-             | None -> ());
-          Refcounted.retire old_pd;
-          List.iter Refcounted.retire outputs;
-          Stats.incr_compactions t.stats;
-          Stats.add_bytes_compacted t.stats bytes;
-          save_manifest t;
-          Log.debug (fun m ->
-              m "compacted level %d (%d bytes) into %d file(s)"
-                task.Compaction.src_level bytes (List.length outputs));
-          true
-    in
-    Refcounted.decr pd_cell;
-    result
-
-  let maintenance_step t =
-    Mutex.lock t.maintenance;
-    let worked =
-      match flush_imm t with
-      | true -> true
-      | false ->
-          let need_rotate =
-            M.approximate_bytes (current_pm t).mem
-            > t.opts.Options.memtable_bytes
-          in
-          if need_rotate && rotate t then begin
-            ignore (flush_imm t);
-            true
-          end
-          else compact_level_once t
-    in
-    Mutex.unlock t.maintenance;
-    worked
-
-  let bg_loop t =
-    (* OCaml's Condition has no timed wait; a short sleep-poll keeps the
-       maintenance service responsive (a handful of atomic loads per tick)
-       without missed-wakeup hazards. *)
-    while not (Atomic.get t.stop) do
-      let worked = maintenance_step t in
-      if not worked then Unix.sleepf 0.002
-    done
-
-  let compact_now t =
-    Mutex.lock t.maintenance;
-    ignore (flush_imm t);
-    ignore (rotate t);
-    ignore (flush_imm t);
-    while compact_level_once t do
-      ()
-    done;
-    Mutex.unlock t.maintenance
+  let compact_now t = Hooks.compact_now t
 
   (* ---------- open / recovery / close ---------- *)
 
-  let list_files dir =
-    Sys.readdir dir |> Array.to_list
-    |> List.filter_map (fun name ->
-           match String.split_on_char '.' name with
-           | [ num; ext ] -> (
-               match int_of_string_opt num with
-               | Some n when ext = "sst" -> Some (`Table (n, name))
-               | Some n when ext = "log" -> Some (`Wal (n, name))
-               | _ -> None)
-           | _ -> None)
-
   let open_store (opts : Options.t) =
-    if not (Sys.file_exists opts.dir) then Unix.mkdir opts.dir 0o755;
     let cache =
       Clsm_sstable.Cache.create ~capacity:opts.cache_bytes
         ~weight:Clsm_sstable.Block.size_bytes ()
     in
-    let manifest = Manifest.load ~dir:opts.dir in
+    let r = Recover.recover opts ~cache in
     let num_levels = opts.lsm.Lsm_config.num_levels in
-    let disk_files = list_files opts.dir in
-    let version, next_file, last_ts, min_wal =
-      match manifest with
-      | None -> (Version.empty ~num_levels, 1, 0, 0)
-      | Some m ->
-          (* Drop orphans: tables not in the manifest (half-finished flush or
-             compaction) and logs below the manifest's replay floor. *)
-          let live = List.map snd m.Manifest.files in
-          List.iter
-            (fun f ->
-              match f with
-              | `Table (n, name) when not (List.mem n live) ->
-                  Sys.remove (Filename.concat opts.dir name)
-              | `Wal (n, name) when n < m.Manifest.wal_number ->
-                  Sys.remove (Filename.concat opts.dir name)
-              | `Table _ | `Wal _ -> ())
-            disk_files;
-          let l0 = ref [] and levels = Array.make (num_levels - 1) [] in
-          List.iter
-            (fun (level, number) ->
-              let tf = Table_file.open_number ~cache ~dir:opts.dir number in
-              let cell = Refcounted.create ~release:Table_file.release tf in
-              if level = 0 then l0 := cell :: !l0
-              else levels.(level - 1) <- cell :: levels.(level - 1))
-            m.Manifest.files;
-          let sort_level files =
-            List.sort
-              (fun a b ->
-                Internal_key.compare_encoded
-                  (Refcounted.value a).Table_file.smallest
-                  (Refcounted.value b).Table_file.smallest)
-              files
-          in
-          Array.iteri (fun i files -> levels.(i) <- sort_level files) levels;
-          (* l0 was reversed by consing; manifest order is newest first *)
-          let v = Version.create ~l0:(List.rev !l0) ~levels in
-          (* Version.create took refs; drop the creation refs *)
-          List.iter Refcounted.retire !l0;
-          Array.iter (List.iter Refcounted.retire) levels;
-          (v, m.Manifest.next_file_number, m.Manifest.last_ts, m.Manifest.wal_number)
-    in
-    (* Replay surviving logs oldest-first; timestamps restore the global
-       write order regardless of on-disk record order (paper §4). *)
-    let mem = M.create () in
-    let max_ts = ref last_ts in
-    let wals =
-      List.filter_map
-        (function `Wal (n, name) when n >= min_wal -> Some (n, name) | _ -> None)
-        (list_files opts.dir)
-      |> List.sort compare
-    in
-    List.iter
-      (fun (_, name) ->
-        let records, _outcome =
-          Clsm_wal.Wal_reader.read_records (Filename.concat opts.dir name)
-        in
-        List.iter
-          (fun payload ->
-            match Log_record.decode_all payload with
-            | records ->
-                List.iter
-                  (fun { Log_record.ts; user_key; entry } ->
-                    M.add mem ~user_key ~ts entry;
-                    if ts > !max_ts then max_ts := ts)
-                  records
-            | exception (Clsm_util.Varint.Corrupt _ | Invalid_argument _) -> ())
-          records)
-      wals;
-    let next_file =
-      List.fold_left
-        (fun acc f -> match f with `Table (n, _) | `Wal (n, _) -> max acc (n + 1))
-        (max 1 next_file) disk_files
-    in
-    let next_file_atomic = Atomic.make next_file in
-    let wal_number = Atomic.fetch_and_add next_file_atomic 1 in
-    let wal =
-      if opts.wal_enabled then
-        Some
-          (Clsm_wal.Wal_writer.create
-             ~mode:(if opts.sync_wal then Clsm_wal.Wal_writer.Sync else Clsm_wal.Wal_writer.Async)
-             (Table_file.wal_path ~dir:opts.dir wal_number))
-      else None
-    in
-    (* Re-log replayed records into the fresh WAL so older logs can be
-       ignored on the next recovery. *)
-    (match wal with
-    | Some w ->
-        M.fold_entries
-          (fun user_key ts entry () ->
-            Clsm_wal.Wal_writer.append w
-              (Log_record.encode { Log_record.ts; user_key; entry }))
-          mem ();
-        Clsm_wal.Wal_writer.flush w
-    | None -> ());
+    let stats = Stats.create () in
     let t =
       {
         opts;
         lock = Shared_lock.create ();
-        time_counter = Monotonic_counter.create !max_ts;
+        time_counter = Monotonic_counter.create r.Recover.last_ts;
         active = Active_set.create ~capacity:opts.active_set_capacity ();
         snap_time = Monotonic_counter.create 0;
         snapshots = Snapshot_registry.create ();
-        pm = Rcu_box.create (Refcounted.create { mem; wal; wal_number });
+        pm =
+          Rcu_box.create
+            (Refcounted.create
+               {
+                 mem = r.Recover.mem;
+                 wal = r.Recover.wal;
+                 wal_number = r.Recover.wal_number;
+               });
         pimm = Rcu_box.create (Refcounted.create No_imm);
-        pd = Rcu_box.create (Refcounted.create ~release:Version.release version);
-        next_file = next_file_atomic;
+        pd =
+          Rcu_box.create
+            (Refcounted.create ~release:Version.release r.Recover.version);
+        next_file = r.Recover.next_file;
         cache;
-        stats = Stats.create ();
+        stats;
         stop = Atomic.make false;
-        maintenance = Mutex.create ();
+        install = Mutex.create ();
+        claims =
+          {
+            cm = Mutex.create ();
+            flush_claimed = false;
+            busy_levels = [];
+            pending = [];
+          };
         compact_pointers = Array.make (num_levels - 1) "";
-        bg_domain = None;
+        backpressure =
+          Backpressure.create
+            ~config:(Backpressure.config_of_options opts)
+            ~stats;
+        scheduler = None;
         closed = false;
         close_mutex = Mutex.create ();
       }
     in
-    save_manifest t;
-    (* Older logs are now redundant: their live records were re-logged. *)
-    List.iter
-      (fun (n, name) ->
-        if n < wal_number then
-          try Sys.remove (Filename.concat opts.dir name) with Sys_error _ -> ())
-      wals;
-    t.bg_domain <- Some (Domain.spawn (fun () -> bg_loop t));
+    let scheduler = Hooks.make_scheduler t in
+    t.scheduler <- Some scheduler;
+    Clsm_maintenance.Scheduler.start scheduler;
     t
 
-  (* LevelDB's RepairDB: reconstruct a usable manifest from whatever table
-     files survive in the directory. Every table is installed at level 0
-     (overlap is legal there); higher timestamps win on reads, so no data is
-     mis-ordered. WAL files are retained for replay by the next open. *)
-  let repair ~dir =
-    let files = list_files dir in
-    let tables =
-      List.filter_map (function `Table (n, _) -> Some n | `Wal _ -> None) files
-      |> List.sort compare
-    in
-    let wals =
-      List.filter_map (function `Wal (n, _) -> Some n | `Table _ -> None) files
-    in
-    (* Probe each table; drop unreadable ones (renamed aside, not deleted).
-       The highest timestamp seen anywhere restores the counter so new writes
-       stay newer than recovered data. *)
-    let max_ts = ref 0 in
-    let usable =
-      List.filter
-        (fun n ->
-          let aside () =
-            try
-              Sys.rename
-                (Table_file.table_path ~dir n)
-                (Table_file.table_path ~dir n ^ ".damaged")
-            with Sys_error _ -> ()
-          in
-          match Table_file.open_number ~dir n with
-          | tf -> (
-              match Clsm_sstable.Table.verify tf.Table_file.table with
-              | Ok _ ->
-                  Clsm_sstable.Table.fold
-                    (fun ik _ () ->
-                      let ts = Internal_key.ts_of ik in
-                      if ts > !max_ts then max_ts := ts)
-                    tf.Table_file.table ();
-                  Clsm_sstable.Table.close tf.Table_file.table;
-                  true
-              | Error _ ->
-                  Clsm_sstable.Table.close tf.Table_file.table;
-                  aside ();
-                  false)
-          | exception _ ->
-              aside ();
-              false)
-        tables
-    in
-    let max_number = List.fold_left max 0 (usable @ wals) in
-    Manifest.save ~dir
-      {
-        Manifest.next_file_number = max_number + 1;
-        last_ts = !max_ts;
-        wal_number = List.fold_left min max_int (max_int :: wals);
-        (* newest tables first, like fresh flushes *)
-        files = List.map (fun n -> (0, n)) (List.rev usable);
-      }
+  let repair = Recovery.repair
 
   let flush_wal t =
     match (current_pm t).wal with
     | Some w -> Clsm_wal.Wal_writer.flush w
+    | None -> ()
+
+  let stop_scheduler t =
+    Atomic.set t.stop true;
+    match t.scheduler with
+    | Some s ->
+        Clsm_maintenance.Scheduler.stop s;
+        t.scheduler <- None
     | None -> ()
 
   (* Testing hook: die without flushing the WAL queue or saving the
@@ -918,8 +533,7 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     Mutex.lock t.close_mutex;
     if not t.closed then begin
       t.closed <- true;
-      Atomic.set t.stop true;
-      (match t.bg_domain with Some d -> Domain.join d | None -> ());
+      stop_scheduler t;
       match (current_pm t).wal with
       | Some w -> Clsm_wal.Wal_writer.abandon w
       | None -> ()
@@ -930,11 +544,11 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     Mutex.lock t.close_mutex;
     if not t.closed then begin
       t.closed <- true;
-      Atomic.set t.stop true;
-      wake_bg t;
-      (match t.bg_domain with Some d -> Domain.join d | None -> ());
+      stop_scheduler t;
       flush_wal t;
+      Mutex.lock t.install;
       save_manifest t;
+      Mutex.unlock t.install;
       (* Release the component references we own. *)
       let pm_cell = Rcu_box.peek t.pm in
       (match (Refcounted.value pm_cell).wal with
@@ -961,5 +575,4 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
 
   let memtable_bytes t = M.approximate_bytes (current_pm t).mem
   let cache_stats t = Clsm_sstable.Cache.stats t.cache
-
 end

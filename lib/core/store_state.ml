@@ -1,0 +1,108 @@
+(* The store's shared state, factored out of the store functor so the
+   layered subsystems — Recovery, Backpressure, Maintenance_hooks and the
+   algorithm core in Store — can all be written against the same record
+   without living in one monolithic module. OCaml functors are
+   applicative, so every [Store_state.Make (M)] names the same types. *)
+
+module Make (M : Memtable_intf.S) = struct
+  open Clsm_primitives
+  open Clsm_lsm
+
+  (* A memory component: the skip-list plus the log that covers it. *)
+  type memcomp = {
+    mem : M.t;
+    wal : Clsm_wal.Wal_writer.t option;
+    wal_number : int;
+  }
+
+  type imm_slot = No_imm | Imm of memcomp
+
+  (* Claim ledger for the maintenance worker pool: which job slots are
+     taken right now. [flush_claimed] serializes the rotate/flush path
+     (the paper's beforeMerge/afterMerge pair must not race itself);
+     [busy_levels] holds the (src, target) ranges of in-flight
+     compactions so parallel workers only ever merge disjoint ranges.
+     A claimed compaction carries its picked task and a reference on the
+     version it was picked from, so input files cannot be retired
+     between claim and execution. *)
+  type claimed_compaction = {
+    task : Compaction.task;
+    pinned : Version.t Refcounted.t;
+  }
+
+  type claims = {
+    cm : Mutex.t;
+    mutable flush_claimed : bool;
+    mutable busy_levels : (int * int) list;
+    mutable pending : ((int * int) * claimed_compaction) list;
+  }
+
+  type t = {
+    opts : Options.t;
+    lock : Shared_lock.t;
+    time_counter : Monotonic_counter.t;
+    active : Active_set.t;
+    snap_time : Monotonic_counter.t;
+    snapshots : Snapshot_registry.t;
+    pm : memcomp Rcu_box.t;
+    pimm : imm_slot Rcu_box.t;
+    pd : Version.t Rcu_box.t;
+    next_file : int Atomic.t;
+    cache : Clsm_sstable.Block.t Clsm_sstable.Cache.t;
+    stats : Stats.t;
+    stop : bool Atomic.t;
+    install : Mutex.t;
+        (* serializes component installs + manifest saves: the manifest
+           written must describe a version no concurrent install is
+           tearing, and must hit disk before the WAL it obsoletes is
+           deleted *)
+    claims : claims;
+    backpressure : Backpressure.t;
+    compact_pointers : string array; (* per-level round-robin cursors *)
+    mutable scheduler : Clsm_maintenance.Scheduler.t option;
+    mutable closed : bool;
+    close_mutex : Mutex.t;
+  }
+
+  let alloc_file_number t () = Atomic.fetch_and_add t.next_file 1
+
+  let current_pm t = Refcounted.value (Rcu_box.peek t.pm)
+  let current_imm t = Refcounted.value (Rcu_box.peek t.pimm)
+  let current_version t = Refcounted.value (Rcu_box.peek t.pd)
+
+  (* Signal the maintenance scheduler that work exists (memtable over
+     threshold, rotation, stall). The paper's sleep-polling background
+     loop is gone: this is a real Mutex+Condition wakeup. *)
+  let wake_bg t =
+    match t.scheduler with
+    | Some s ->
+        Stats.incr_maintenance_wakeups t.stats;
+        Clsm_maintenance.Scheduler.wake s
+    | None -> ()
+
+  (* ---------- manifest ---------- *)
+
+  let manifest_of_state t =
+    let v = current_version t in
+    let l0 =
+      List.map (fun f -> (0, (Refcounted.value f).Table_file.number)) v.Version.l0
+    in
+    let deeper =
+      List.concat
+        (List.mapi
+           (fun i files ->
+             List.map
+               (fun f -> (i + 1, (Refcounted.value f).Table_file.number))
+               files)
+           (Array.to_list v.Version.levels))
+    in
+    {
+      Manifest.next_file_number = Atomic.get t.next_file;
+      last_ts = Monotonic_counter.get t.time_counter;
+      wal_number = (current_pm t).wal_number;
+      files = l0 @ deeper;
+    }
+
+  (* Caller holds [t.install]. *)
+  let save_manifest t = Manifest.save ~dir:t.opts.Options.dir (manifest_of_state t)
+end

@@ -17,7 +17,8 @@ let deeper_levels_empty (v : Version.t) target_level =
   in
   go (target_level + 1)
 
-let pick ~cfg ?(level_pointers = [||]) (v : Version.t) =
+let pick ~cfg ?(level_pointers = [||]) ?(skip = fun ~src:_ ~target:_ -> false)
+    (v : Version.t) =
   let mk ~src_level ~inputs_lo ~target_level =
     let inputs_hi =
       match Version.files_range inputs_lo with
@@ -36,13 +37,16 @@ let pick ~cfg ?(level_pointers = [||]) (v : Version.t) =
       drop_tombstones = deeper_levels_empty v target_level;
     }
   in
-  if List.length v.Version.l0 >= cfg.Lsm_config.l0_compaction_trigger then
-    Some (mk ~src_level:0 ~inputs_lo:v.Version.l0 ~target_level:1)
+  if
+    List.length v.Version.l0 >= cfg.Lsm_config.l0_compaction_trigger
+    && not (skip ~src:0 ~target:1)
+  then Some (mk ~src_level:0 ~inputs_lo:v.Version.l0 ~target_level:1)
   else begin
     let num_levels = Array.length v.Version.levels + 1 in
     let rec find level =
       if level >= num_levels - 1 then None
         (* the deepest level has no deeper target; let it grow *)
+      else if skip ~src:level ~target:(level + 1) then find (level + 1)
       else if
         Version.level_bytes v level > Lsm_config.max_bytes_for_level cfg level
       then

@@ -15,13 +15,22 @@ type task = {
 }
 
 val pick :
-  cfg:Lsm_config.t -> ?level_pointers:string array -> Version.t -> task option
+  cfg:Lsm_config.t ->
+  ?level_pointers:string array ->
+  ?skip:(src:int -> target:int -> bool) ->
+  Version.t ->
+  task option
 (** L0 is compacted when it accumulates [l0_compaction_trigger] files;
     otherwise the shallowest level over its byte budget contributes one
     file, chosen round-robin through the level's key space:
     [level_pointers.(i)] (level i+1's last compacted largest key, "" to
     start over) selects the first file beyond it — LevelDB's
-    [compact_pointer]. [None] when nothing needs compacting. *)
+    [compact_pointer]. [None] when nothing needs compacting.
+
+    [skip ~src ~target] excludes a level range from consideration — used
+    by the maintenance scheduler to hand parallel workers compactions on
+    disjoint level ranges (a skipped candidate falls through to the next
+    deeper one). Default: skip nothing. *)
 
 val filter_group :
   snapshots:int list ->

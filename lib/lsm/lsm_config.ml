@@ -1,6 +1,7 @@
 type t = {
   num_levels : int;
   l0_compaction_trigger : int;
+  l0_slowdown_trigger : int;
   l0_stall_limit : int;
   level1_max_bytes : int;
   level_size_multiplier : int;
@@ -14,6 +15,7 @@ let default =
   {
     num_levels = 7;
     l0_compaction_trigger = 4;
+    l0_slowdown_trigger = 8;
     l0_stall_limit = 12;
     level1_max_bytes = 10 * 1024 * 1024;
     level_size_multiplier = 10;

@@ -6,6 +6,10 @@
 type t = {
   num_levels : int;  (** disk levels including L0 (default 7) *)
   l0_compaction_trigger : int;  (** L0 file count that starts a merge (4) *)
+  l0_slowdown_trigger : int;
+      (** L0 file count where graduated write slowdown begins (8); see
+          {!Clsm_core.Backpressure}. Delays ramp from here up to
+          [l0_stall_limit], where writers stop. *)
   l0_stall_limit : int;  (** L0 file count that stalls writers (12) *)
   level1_max_bytes : int;  (** byte budget of L1; deeper levels ×[multiplier] *)
   level_size_multiplier : int;

@@ -1,0 +1,16 @@
+type t = Flush | Compact of { src_level : int; target_level : int }
+
+let priority = function
+  | Flush -> 0
+  | Compact { src_level; _ } -> src_level + 1
+
+let compare a b = Int.compare (priority a) (priority b)
+
+let levels = function
+  | Flush -> None
+  | Compact { src_level; target_level } -> Some (src_level, target_level)
+
+let pp ppf = function
+  | Flush -> Format.fprintf ppf "flush"
+  | Compact { src_level; target_level } ->
+      Format.fprintf ppf "compact(L%d->L%d)" src_level target_level

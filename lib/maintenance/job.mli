@@ -1,0 +1,29 @@
+(** The maintenance job model.
+
+    Background work on an LSM store is not uniform: a memtable flush
+    releases write-ahead log space and unblocks stalled writers, an
+    L0→L1 compaction bounds read amplification and the L0 stall/slowdown
+    triggers, and deeper compactions only reshape cold data. Following
+    Luo & Carey's stability analysis, jobs are totally ordered:
+
+    flush > L0→L1 compaction > deeper-level compactions (shallower first). *)
+
+type t =
+  | Flush  (** rotate the memtable if needed and merge [C'm] to L0 *)
+  | Compact of { src_level : int; target_level : int }
+      (** merge one unit of [src_level] into [target_level];
+          [src_level = 0] is the L0→L1 merge *)
+
+val priority : t -> int
+(** Smaller is more urgent. [Flush] is [0]; [Compact] of level [l] is
+    [l + 1]. *)
+
+val compare : t -> t -> int
+(** Orders by {!priority}. *)
+
+val levels : t -> (int * int) option
+(** The [(src, target)] level range a compaction occupies; [None] for a
+    flush. Two compactions may run in parallel iff their ranges are
+    disjoint. *)
+
+val pp : Format.formatter -> t -> unit

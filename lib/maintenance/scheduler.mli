@@ -1,0 +1,50 @@
+(** Event-driven maintenance scheduler.
+
+    Replaces the store's sleep-polling background domain with a pool of
+    worker domains parked on a {!Clsm_primitives.Wakeup} cell. Write
+    paths call {!wake} when they create work (memtable over its
+    threshold, L0 pile-up, rotation); a ticker domain additionally
+    signals every [tick_interval] as a fallback clock, so deferred work
+    (e.g. a compaction that became eligible without any put noticing) is
+    still picked up with bounded delay.
+
+    The scheduler owns no job queue: [next] claims and returns the
+    highest-priority runnable job under the caller's own bookkeeping,
+    and [run] executes it and releases the claim. Workers loop
+    [next]/[run] until [next] returns [None], then block on the wakeup
+    cell. This keeps claim state (which levels are busy, whether a flush
+    is in flight) next to the store where its invariants live, while the
+    scheduler provides wakeup, parallelism and lifecycle. *)
+
+type t
+
+val create :
+  ?num_workers:int ->
+  ?tick_interval:float ->
+  next:(unit -> Job.t option) ->
+  run:(Job.t -> unit) ->
+  unit ->
+  t
+(** [num_workers] defaults to [2]; [tick_interval] (seconds) defaults to
+    [0.25]. [next] must be thread-safe and claim the job it returns;
+    [run] must release the claim even on failure (exceptions escaping
+    [run] are caught and logged by the worker). No domain is spawned
+    until {!start}. *)
+
+val start : t -> unit
+(** Spawn the worker pool and the ticker. Idempotent. *)
+
+val wake : t -> unit
+(** Signal the workers that work may exist. Never blocks; safe from any
+    domain; cheap when all workers are busy. *)
+
+val stop : t -> unit
+(** Ask workers to finish their current job, then join every domain.
+    The ticker wakes within ~50 ms regardless of [tick_interval].
+    Idempotent. After [stop], {!wake} is a no-op. *)
+
+val jobs_run : t -> int
+(** Total jobs executed (for stats and tests). *)
+
+val wakes : t -> int
+(** Total {!wake} signals delivered (for stats and tests). *)

@@ -1,0 +1,43 @@
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable generation : int;
+  mutable waiting : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    generation = 0;
+    waiting = 0;
+  }
+
+let current t =
+  Mutex.lock t.mutex;
+  let g = t.generation in
+  Mutex.unlock t.mutex;
+  g
+
+let signal t =
+  Mutex.lock t.mutex;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let wait t ~seen =
+  Mutex.lock t.mutex;
+  t.waiting <- t.waiting + 1;
+  while t.generation = seen do
+    Condition.wait t.cond t.mutex
+  done;
+  t.waiting <- t.waiting - 1;
+  let g = t.generation in
+  Mutex.unlock t.mutex;
+  g
+
+let waiters t =
+  Mutex.lock t.mutex;
+  let w = t.waiting in
+  Mutex.unlock t.mutex;
+  w

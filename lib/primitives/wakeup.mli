@@ -1,0 +1,36 @@
+(** Missed-wakeup-safe notification cell (Mutex + Condition + generation).
+
+    The classic condition-variable pitfall is the lost wakeup: a waiter
+    checks for work, finds none, and blocks just as a producer signals.
+    This cell closes the window with a generation counter incremented
+    under the mutex by every {!signal}: a waiter reads {!current}, then
+    re-checks for work, then calls [wait ~seen]; any signal issued after
+    the [current] read makes the wait return immediately.
+
+    Intended pattern (the maintenance scheduler's worker loop):
+    {[
+      let rec loop seen =
+        match find_work () with
+        | Some w -> do_work w; loop (Wakeup.current cell)
+        | None -> loop (Wakeup.wait cell ~seen)
+      in
+      loop (Wakeup.current cell)
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+val current : t -> int
+(** The generation now. Read it {e before} checking for work. *)
+
+val signal : t -> unit
+(** Advance the generation and wake every waiter. Cheap when nobody
+    waits (one uncontended mutex section). *)
+
+val wait : t -> seen:int -> int
+(** Block until the generation differs from [seen]; returns the new
+    generation. Returns immediately if it already differs. *)
+
+val waiters : t -> int
+(** Instantaneous number of blocked waiters (for stats and tests). *)

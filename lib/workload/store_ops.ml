@@ -7,6 +7,7 @@ type t = {
   put_if_absent : key:string -> value:string -> bool;
   compact : unit -> unit;
   close : unit -> unit;
+  stats_json : unit -> string option;
 }
 
 let of_clsm db =
@@ -20,6 +21,7 @@ let of_clsm db =
     put_if_absent = (fun ~key ~value -> Db.put_if_absent db ~key ~value);
     compact = (fun () -> Db.compact_now db);
     close = (fun () -> Db.close db);
+    stats_json = (fun () -> Some (Clsm_core.Stats.to_json (Db.stats db)));
   }
 
 let of_single_writer st =
@@ -48,6 +50,7 @@ let of_single_writer st =
         won);
     compact = (fun () -> S.compact_now st);
     close = (fun () -> S.close st);
+    stats_json = (fun () -> Some (Clsm_core.Stats.to_json (S.stats st)));
   }
 
 let of_striped striped =
@@ -63,6 +66,7 @@ let of_striped striped =
     put_if_absent = (fun ~key ~value -> R.put_if_absent striped ~key ~value);
     compact = (fun () -> S.compact_now st);
     close = (fun () -> S.close st);
+    stats_json = (fun () -> Some (Clsm_core.Stats.to_json (S.stats st)));
   }
 
 let open_clsm opts = of_clsm (Clsm_core.Db.open_store opts)

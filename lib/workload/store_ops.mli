@@ -13,6 +13,9 @@ type t = {
       (** atomic RMW (put-if-absent flavor, Figure 9) *)
   compact : unit -> unit;
   close : unit -> unit;
+  stats_json : unit -> string option;
+      (** store counters (including backpressure observability) as a
+          one-line JSON object; [None] when the store keeps none *)
 }
 
 val of_clsm : Clsm_core.Db.t -> t

@@ -1,0 +1,356 @@
+(* The event-driven maintenance layer: the Wakeup primitive, the job
+   model, the scheduler, the graduated backpressure curve, and — against
+   the real store — the regression the refactor exists for: a memtable
+   rotation triggers a flush through a condvar signal, not a poll tick,
+   plus a multi-domain stress test of writers, scanners and forced
+   churn under the worker pool. *)
+
+open Clsm_core
+open Clsm_primitives
+open Clsm_maintenance
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "clsm_test_maint_%d_%d" (Unix.getpid ()) !counter)
+    in
+    let rec rm path =
+      if Sys.file_exists path then
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+    in
+    rm d;
+    d
+
+(* ---------- Wakeup primitive ---------- *)
+
+let wakeup_signal_then_wait () =
+  let w = Wakeup.create () in
+  let seen = Wakeup.current w in
+  Wakeup.signal w;
+  (* Signal already issued: wait must return immediately, not block. *)
+  let g = Wakeup.wait w ~seen in
+  Alcotest.(check bool) "generation advanced" true (g > seen)
+
+let wakeup_wakes_sleeping_waiter () =
+  let w = Wakeup.create () in
+  let woke = Atomic.make false in
+  let waiter =
+    Domain.spawn (fun () ->
+        let seen = Wakeup.current w in
+        ignore (Wakeup.wait w ~seen);
+        Atomic.set woke true)
+  in
+  (* Give the waiter time to park, then signal. *)
+  let rec park_wait n =
+    if n > 0 && Wakeup.waiters w = 0 then begin
+      Unix.sleepf 0.005;
+      park_wait (n - 1)
+    end
+  in
+  park_wait 200;
+  Alcotest.(check int) "one parked waiter" 1 (Wakeup.waiters w);
+  Wakeup.signal w;
+  Domain.join waiter;
+  Alcotest.(check bool) "waiter woke" true (Atomic.get woke)
+
+(* ---------- Job model ---------- *)
+
+let job_priorities () =
+  let flush = Job.Flush in
+  let l0 = Job.Compact { src_level = 0; target_level = 1 } in
+  let deep = Job.Compact { src_level = 3; target_level = 4 } in
+  Alcotest.(check bool) "flush beats L0 merge" true (Job.compare flush l0 < 0);
+  Alcotest.(check bool) "L0 merge beats deep" true (Job.compare l0 deep < 0);
+  Alcotest.(check (option (pair int int))) "flush occupies no levels" None
+    (Job.levels flush);
+  Alcotest.(check (option (pair int int))) "compact range" (Some (3, 4))
+    (Job.levels deep)
+
+(* ---------- Scheduler ---------- *)
+
+(* With an effectively infinite tick, only the wake signal can run the
+   job: the scheduler is event-driven, not polling. *)
+let scheduler_runs_on_wake_not_tick () =
+  let pending = Atomic.make 0 in
+  let ran = Atomic.make 0 in
+  let next () =
+    let rec claim () =
+      let n = Atomic.get pending in
+      if n <= 0 then None
+      else if Atomic.compare_and_set pending n (n - 1) then Some Job.Flush
+      else claim ()
+    in
+    claim ()
+  in
+  let run _job = Atomic.incr ran in
+  let s =
+    Scheduler.create ~num_workers:2 ~tick_interval:3600.0 ~next ~run ()
+  in
+  Scheduler.start s;
+  Unix.sleepf 0.05;
+  Alcotest.(check int) "idle until work exists" 0 (Atomic.get ran);
+  Atomic.set pending 3;
+  Scheduler.wake s;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Atomic.get ran < 3 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  Scheduler.stop s;
+  Alcotest.(check int) "all jobs ran without a tick" 3 (Atomic.get ran);
+  Alcotest.(check int) "jobs counted" 3 (Scheduler.jobs_run s)
+
+let scheduler_stop_joins_quickly () =
+  let s =
+    Scheduler.create ~num_workers:1 ~tick_interval:3600.0
+      ~next:(fun () -> None)
+      ~run:(fun _ -> ())
+      ()
+  in
+  Scheduler.start s;
+  Unix.sleepf 0.02;
+  let t0 = Unix.gettimeofday () in
+  Scheduler.stop s;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "stop returned in %.3fs despite 1h tick" elapsed)
+    true (elapsed < 2.0)
+
+(* ---------- Backpressure curve ---------- *)
+
+let backpressure_curve () =
+  let config =
+    { Backpressure.soft_l0 = 8; hard_l0 = 12; max_delay_ns = 1_000_000 }
+  in
+  Alcotest.(check int) "no delay below soft" 0
+    (Backpressure.delay_ns config ~l0_files:7);
+  let d8 = Backpressure.delay_ns config ~l0_files:8 in
+  let d10 = Backpressure.delay_ns config ~l0_files:10 in
+  let d11 = Backpressure.delay_ns config ~l0_files:11 in
+  Alcotest.(check bool) "positive at soft" true (d8 > 0);
+  Alcotest.(check bool) "monotone" true (d8 < d10 && d10 < d11);
+  Alcotest.(check int) "max at hard-1" config.max_delay_ns d11;
+  Alcotest.(check int) "capped past hard" config.max_delay_ns
+    (Backpressure.delay_ns config ~l0_files:20);
+  (* Degenerate config (soft = hard) must not divide by zero. *)
+  let tight = { config with Backpressure.soft_l0 = 12 } in
+  Alcotest.(check int) "soft=hard still capped" tight.max_delay_ns
+    (Backpressure.delay_ns tight ~l0_files:12)
+
+(* ---------- Stats JSON ---------- *)
+
+let stats_json_shape () =
+  let s = Stats.create () in
+  Stats.incr_puts s;
+  Stats.incr_compactions s ~src_level:0 ();
+  Stats.incr_compactions s ~src_level:2 ();
+  Stats.add_slowdown s ~delay_ns:1234;
+  let json = Stats.to_json (Stats.read s) in
+  let has sub =
+    let n = String.length json and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub json i m = sub || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "puts" true (has "\"puts\":1");
+  Alcotest.(check bool) "per-level array" true
+    (has "\"compactions_per_level\":[1,0,1");
+  Alcotest.(check bool) "slowdown ns" true (has "\"slowdown_delay_ns\":1234");
+  Alcotest.(check bool) "valid object" true
+    (String.length json > 2
+    && json.[0] = '{'
+    && json.[String.length json - 1] = '}')
+
+(* ---------- Store-level: event-driven flush regression ---------- *)
+
+(* The seed's background loop slept between polls, so flush latency was
+   bounded below by the poll interval. With the scheduler, a rotation
+   signals a condvar: set the fallback tick to 30 s and require the flush
+   to land orders of magnitude sooner. *)
+let flush_without_poll_tick () =
+  let dir = fresh_dir () in
+  let base = Options.default ~dir in
+  let opts =
+    {
+      base with
+      Options.memtable_bytes = 4 * 1024;
+      cache_bytes = 1 lsl 20;
+      maintenance_tick = 30.0;
+      lsm =
+        {
+          base.Options.lsm with
+          Clsm_lsm.Lsm_config.level1_max_bytes = 64 * 1024;
+          target_file_size = 16 * 1024;
+          block_size = 1024;
+        };
+    }
+  in
+  let db = Db.open_store opts in
+  Fun.protect
+    ~finally:(fun () -> Db.close db)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to 199 do
+        Db.put db
+          ~key:(Printf.sprintf "key-%04d" i)
+          ~value:(String.make 64 'v')
+      done;
+      let deadline = t0 +. 10.0 in
+      while
+        (Db.stats db).Stats.flushes = 0 && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.002
+      done;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let st = Db.stats db in
+      Alcotest.(check bool) "rotation happened" true
+        (st.Stats.memtable_rotations >= 1);
+      Alcotest.(check bool) "flush happened" true (st.Stats.flushes >= 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "flush in %.3fs, far below the 30s tick" elapsed)
+        true
+        (elapsed < 5.0);
+      Alcotest.(check bool) "writes signalled the scheduler" true
+        (st.Stats.maintenance_wakeups >= 1);
+      (* Data must remain readable across rotation + flush. *)
+      Alcotest.(check (option string)) "read-back" (Some (String.make 64 'v'))
+        (Db.get db "key-0199"))
+
+(* ---------- Store-level: concurrency stress under the scheduler ---------- *)
+
+let stress_writers_readers_churn () =
+  let dir = fresh_dir () in
+  let base = Options.default ~dir in
+  let opts =
+    {
+      base with
+      Options.memtable_bytes = 8 * 1024;
+      cache_bytes = 1 lsl 20;
+      maintenance_workers = 2;
+      maintenance_tick = 0.05;
+      lsm =
+        {
+          base.Options.lsm with
+          Clsm_lsm.Lsm_config.level1_max_bytes = 32 * 1024;
+          target_file_size = 8 * 1024;
+          block_size = 1024;
+        };
+    }
+  in
+  let db = Db.open_store opts in
+  let writers = 3 and per_writer = 300 in
+  let value w i = Printf.sprintf "w%d-value-%06d" w i in
+  let key w i = Printf.sprintf "w%d-key-%04d" w i in
+  (* Seed the atomic pair scanners assert on. *)
+  Db.write_batch db
+    [ Db.Batch_put ("pair-a", "0"); Db.Batch_put ("pair-b", "0") ];
+  let stop_readers = Atomic.make false in
+  let failures : string list Atomic.t = Atomic.make [] in
+  let fail msg = Atomic.set failures (msg :: Atomic.get failures) in
+  let writer w () =
+    for i = 0 to per_writer - 1 do
+      Db.put db ~key:(key w i) ~value:(value w i);
+      (* Batches keep the pair equal at every snapshot. *)
+      if i mod 50 = 0 then begin
+        let v = string_of_int ((w * per_writer) + i) in
+        Db.write_batch db [ Db.Batch_put ("pair-a", v); Db.Batch_put ("pair-b", v) ]
+      end
+    done
+  in
+  let reader () =
+    while not (Atomic.get stop_readers) do
+      let s = Db.get_snap db in
+      (* Atomic-batch invariant under a snapshot. *)
+      let a = Db.get_at db s "pair-a" and b = Db.get_at db s "pair-b" in
+      if a <> b then
+        fail
+          (Printf.sprintf "pair diverged under snapshot: %s vs %s"
+             (Option.value a ~default:"-")
+             (Option.value b ~default:"-"));
+      (* Snapshot scans must be stable while compactions churn beneath. *)
+      let r1 = Db.range ~snapshot:s ~start:"w0-" ~stop:"w1-" db in
+      let r2 = Db.range ~snapshot:s ~start:"w0-" ~stop:"w1-" db in
+      if r1 <> r2 then fail "snapshot scan not repeatable";
+      List.iter
+        (fun (k, v) ->
+          if not (String.length v >= 3 && String.sub v 0 3 = "w0-") then
+            fail (Printf.sprintf "foreign value %s under key %s" v k))
+        r1;
+      Db.release_snapshot db s
+    done
+  in
+  let churn () =
+    for _ = 1 to 3 do
+      Db.compact_now db;
+      Unix.sleepf 0.01
+    done
+  in
+  let reader_doms = List.init 2 (fun _ -> Domain.spawn reader) in
+  let writer_doms = List.init writers (fun w -> Domain.spawn (writer w)) in
+  let churn_dom = Domain.spawn churn in
+  List.iter Domain.join writer_doms;
+  Domain.join churn_dom;
+  Atomic.set stop_readers true;
+  List.iter Domain.join reader_doms;
+  (* Everything written must be readable: no lost updates. *)
+  Db.compact_now db;
+  for w = 0 to writers - 1 do
+    for i = 0 to per_writer - 1 do
+      match Db.get db (key w i) with
+      | Some v when v = value w i -> ()
+      | Some v -> fail (Printf.sprintf "%s: wrong value %s" (key w i) v)
+      | None -> fail (Printf.sprintf "%s: lost" (key w i))
+    done
+  done;
+  Alcotest.(check (list string)) "no consistency violations" []
+    (Atomic.get failures);
+  Alcotest.(check (list string)) "level invariants hold" []
+    (Db.verify_integrity db);
+  let st = Db.stats db in
+  Alcotest.(check bool) "maintenance actually churned" true
+    (st.Stats.flushes >= 1 && st.Stats.memtable_rotations >= 1);
+  Db.close db;
+  (* Reopen: recovery must see every key (WAL + manifest consistent). *)
+  let db2 = Db.open_store opts in
+  Fun.protect
+    ~finally:(fun () -> Db.close db2)
+    (fun () ->
+      Alcotest.(check (option string)) "survives reopen"
+        (Some (value 2 (per_writer - 1)))
+        (Db.get db2 (key 2 (per_writer - 1))))
+
+let suites =
+  [
+    ( "maintenance.wakeup",
+      [
+        Alcotest.test_case "signal then wait" `Quick wakeup_signal_then_wait;
+        Alcotest.test_case "wakes sleeping waiter" `Quick
+          wakeup_wakes_sleeping_waiter;
+      ] );
+    ( "maintenance.job",
+      [ Alcotest.test_case "priorities" `Quick job_priorities ] );
+    ( "maintenance.scheduler",
+      [
+        Alcotest.test_case "event-driven, not polling" `Quick
+          scheduler_runs_on_wake_not_tick;
+        Alcotest.test_case "stop joins despite long tick" `Quick
+          scheduler_stop_joins_quickly;
+      ] );
+    ( "maintenance.backpressure",
+      [ Alcotest.test_case "graduated delay curve" `Quick backpressure_curve ] );
+    ( "maintenance.stats",
+      [ Alcotest.test_case "to_json shape" `Quick stats_json_shape ] );
+    ( "maintenance.store",
+      [
+        Alcotest.test_case "flush without poll tick" `Quick
+          flush_without_poll_tick;
+        Alcotest.test_case "writers/readers/churn stress" `Slow
+          stress_writers_readers_churn;
+      ] );
+  ]
