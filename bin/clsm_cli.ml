@@ -112,7 +112,7 @@ let verify_cmd =
 
 let repair_cmd =
   let run dir =
-    Db.repair ~dir;
+    Db.repair ~dir ();
     print_endline "manifest rebuilt; damaged tables (if any) renamed *.damaged"
   in
   Cmd.v

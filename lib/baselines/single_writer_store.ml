@@ -357,7 +357,7 @@ let open_store (opts : Options.t) =
   in
   let num_levels = opts.Options.lsm.Lsm_config.num_levels in
   let dir = opts.Options.dir in
-  let manifest = Manifest.load ~dir in
+  let manifest = Manifest.load ~dir () in
   let list_files () =
     Sys.readdir dir |> Array.to_list
     |> List.filter_map (fun name ->

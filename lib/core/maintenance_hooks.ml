@@ -13,12 +13,26 @@ module Make (M : Memtable_intf.S) = struct
   open Clsm_lsm
   module Job = Clsm_maintenance.Job
   module Scheduler = Clsm_maintenance.Scheduler
+  module Env = Clsm_env.Env
   module State = Store_state.Make (M)
   open State
 
   let src = Logs.Src.create "clsm.db.maintenance" ~doc:"cLSM store maintenance"
 
   module Log = (val Logs.src_log src : Logs.LOG)
+
+  (* An environment failure inside maintenance (failed fsync, out of
+     space) must not take down the worker domain or be retried forever:
+     the store degrades to read-only — reads keep working off the
+     installed components — and the error is surfaced through [health]
+     and the [Degraded] exception on writes. *)
+  let guard_io t ~what f =
+    try f ()
+    with (Env.Error _ | Env.Crashed) as e ->
+      degrade t (what ^ " failed: " ^ Printexc.to_string e);
+      Log.err (fun m ->
+          m "%s failed, store degraded to read-only: %s" what
+            (Printexc.to_string e))
 
   (* ---------- merge hooks ---------- *)
 
@@ -39,6 +53,7 @@ module Make (M : Memtable_intf.S) = struct
                    ~mode:
                      (if t.opts.Options.sync_wal then Clsm_wal.Wal_writer.Sync
                       else Clsm_wal.Wal_writer.Async)
+                   ~env:t.opts.Options.env
                    (Table_file.wal_path ~dir:t.opts.Options.dir wal_number))
             else None
           in
@@ -74,36 +89,45 @@ module Make (M : Memtable_intf.S) = struct
         let bytes = M.approximate_bytes mc.mem in
         let outputs =
           Compaction.write_sorted_run ~cfg:t.opts.Options.lsm
-            ~dir:t.opts.Options.dir ~cache:t.cache
+            ~dir:t.opts.Options.dir ~cache:t.cache ~env:t.opts.Options.env
             ~alloc_number:(alloc_file_number t) ~snapshots
             ~drop_tombstones:false (M.iter mc.mem)
         in
         Mutex.lock t.install;
-        Shared_lock.lock_exclusive t.lock;
-        let cur = current_version t in
-        let next =
-          Version.create
-            ~l0:(outputs @ cur.Version.l0)
-            ~levels:cur.Version.levels
-        in
-        let old_pd =
-          Rcu_box.swap t.pd (Refcounted.create ~release:Version.release next)
-        in
-        let old_imm = Rcu_box.swap t.pimm (Refcounted.create No_imm) in
-        Shared_lock.unlock_exclusive t.lock;
-        Refcounted.retire old_pd;
-        Refcounted.retire old_imm;
-        List.iter Refcounted.retire outputs;
-        Stats.incr_flushes t.stats;
-        Stats.add_bytes_flushed t.stats bytes;
-        (* Durability order: the manifest that stops referencing the old WAL
-           must land before the WAL disappears. *)
-        save_manifest t;
-        Mutex.unlock t.install;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.install)
+          (fun () ->
+            Shared_lock.lock_exclusive t.lock;
+            let cur = current_version t in
+            let next =
+              Version.create
+                ~l0:(outputs @ cur.Version.l0)
+                ~levels:cur.Version.levels
+            in
+            let old_pd =
+              Rcu_box.swap t.pd
+                (Refcounted.create ~release:Version.release next)
+            in
+            let old_imm = Rcu_box.swap t.pimm (Refcounted.create No_imm) in
+            Shared_lock.unlock_exclusive t.lock;
+            Refcounted.retire old_pd;
+            Refcounted.retire old_imm;
+            List.iter Refcounted.retire outputs;
+            Stats.incr_flushes t.stats;
+            Stats.add_bytes_flushed t.stats bytes;
+            (* Durability order: the manifest that stops referencing the old
+               WAL must land before the WAL disappears. *)
+            save_manifest t);
         (match mc.wal with
         | Some w ->
-            Clsm_wal.Wal_writer.close w;
-            (try Sys.remove (Clsm_wal.Wal_writer.path w) with Sys_error _ -> ())
+            let env = t.opts.Options.env in
+            (* The manifest no longer references this log: failure to close
+               or delete it only leaves an orphan that the next recovery
+               collects, so it must not degrade or kill the worker. *)
+            (try Clsm_wal.Wal_writer.close w
+             with Env.Error _ | Env.Crashed -> ());
+            (try Env.(env.remove) (Clsm_wal.Wal_writer.path w)
+             with Env.Error _ | Env.Crashed -> ())
         | None -> ());
         Log.debug (fun m ->
             m "flushed %d bytes into %d L0 file(s)" bytes (List.length outputs));
@@ -117,36 +141,43 @@ module Make (M : Memtable_intf.S) = struct
     in
     let outputs =
       Compaction.run ~cfg:t.opts.Options.lsm ~dir:t.opts.Options.dir
-        ~cache:t.cache ~alloc_number:(alloc_file_number t) ~snapshots task
+        ~cache:t.cache ~env:t.opts.Options.env
+        ~alloc_number:(alloc_file_number t) ~snapshots task
     in
-    Mutex.lock t.install;
-    Shared_lock.lock_exclusive t.lock;
-    let cur = current_version t in
-    let next = Compaction.apply cur task ~outputs in
-    let old_pd =
-      Rcu_box.swap t.pd (Refcounted.create ~release:Version.release next)
-    in
-    Shared_lock.unlock_exclusive t.lock;
     let bytes =
       List.fold_left
         (fun a f -> a + (Refcounted.value f).Table_file.size)
         0
         (task.Compaction.inputs_lo @ task.Compaction.inputs_hi)
     in
-    List.iter
-      (fun f -> Table_file.mark_obsolete (Refcounted.value f))
-      (task.Compaction.inputs_lo @ task.Compaction.inputs_hi);
-    (if task.Compaction.src_level >= 1 then
-       match Version.files_range task.Compaction.inputs_lo with
-       | Some (_, largest) ->
-           t.compact_pointers.(task.Compaction.src_level - 1) <- largest
-       | None -> ());
-    Refcounted.retire old_pd;
-    List.iter Refcounted.retire outputs;
-    Stats.incr_compactions t.stats ~src_level:task.Compaction.src_level ();
-    Stats.add_bytes_compacted t.stats bytes;
-    save_manifest t;
-    Mutex.unlock t.install;
+    Mutex.lock t.install;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.install)
+      (fun () ->
+        Shared_lock.lock_exclusive t.lock;
+        let cur = current_version t in
+        let next = Compaction.apply cur task ~outputs in
+        let old_pd =
+          Rcu_box.swap t.pd (Refcounted.create ~release:Version.release next)
+        in
+        Shared_lock.unlock_exclusive t.lock;
+        (if task.Compaction.src_level >= 1 then
+           match Version.files_range task.Compaction.inputs_lo with
+           | Some (_, largest) ->
+               t.compact_pointers.(task.Compaction.src_level - 1) <- largest
+           | None -> ());
+        List.iter Refcounted.retire outputs;
+        Stats.incr_compactions t.stats ~src_level:task.Compaction.src_level ();
+        Stats.add_bytes_compacted t.stats bytes;
+        save_manifest t;
+        (* Only after the manifest has stopped referencing the inputs may
+           they become deletable: marking them obsolete (and dropping the
+           old version's references) before a successful save could delete
+           files a crash-recovered manifest still points at. *)
+        List.iter
+          (fun f -> Table_file.mark_obsolete (Refcounted.value f))
+          (task.Compaction.inputs_lo @ task.Compaction.inputs_hi);
+        Refcounted.retire old_pd);
     ignore pinned;
     Log.debug (fun m ->
         m "compacted level %d (%d bytes) into %d file(s)"
@@ -218,7 +249,7 @@ module Make (M : Memtable_intf.S) = struct
      any compaction; Compaction.pick orders the rest L0→L1 first, then
      shallowest over-budget level. *)
   let next t =
-    if Atomic.get t.stop then None
+    if Atomic.get t.stop || is_degraded t then None
     else begin
       let c = t.claims in
       Mutex.lock c.cm;
@@ -250,7 +281,7 @@ module Make (M : Memtable_intf.S) = struct
 
   let run t (job : Job.t) =
     match job with
-    | Job.Flush -> run_flush t
+    | Job.Flush -> guard_io t ~what:"memtable flush" (fun () -> run_flush t)
     | Job.Compact { src_level; target_level } -> (
         let range = (src_level, target_level) in
         match take_pending t range with
@@ -260,7 +291,9 @@ module Make (M : Memtable_intf.S) = struct
               ~finally:(fun () ->
                 release_compaction t range;
                 Refcounted.decr cc.State.pinned)
-              (fun () -> run_claimed_compaction t cc))
+              (fun () ->
+                guard_io t ~what:"compaction" (fun () ->
+                    run_claimed_compaction t cc)))
 
   let make_scheduler t =
     Scheduler.create ~num_workers:t.opts.Options.maintenance_workers
@@ -285,17 +318,24 @@ module Make (M : Memtable_intf.S) = struct
     Fun.protect
       ~finally:(fun () -> release_flush t)
       (fun () ->
-        ignore (flush_imm t);
-        ignore (rotate t);
-        ignore (flush_imm t));
+        guard_io t ~what:"foreground flush" (fun () ->
+            ignore (flush_imm t);
+            ignore (rotate t);
+            ignore (flush_imm t)));
     let c = t.claims in
     let rec drain () =
       let claimed =
         Mutex.protect c.cm (fun () ->
-            match claim_compaction_locked t with
-            | Some job -> `Run job
-            | None ->
-                if c.busy_levels <> [] || c.flush_claimed then `Wait else `Idle)
+            (* A degraded store must not keep re-claiming the same doomed
+               task: stop draining, the directory is as compacted as it
+               will get. *)
+            if is_degraded t then `Idle
+            else
+              match claim_compaction_locked t with
+              | Some job -> `Run job
+              | None ->
+                  if c.busy_levels <> [] || c.flush_claimed then `Wait
+                  else `Idle)
       in
       match claimed with
       | `Run job ->

@@ -11,6 +11,8 @@ type t = {
   maintenance_tick : float;
   backpressure_max_delay_us : int;
   lsm : Clsm_lsm.Lsm_config.t;
+  env : Clsm_env.Env.t;
+  strict_wal : bool;
 }
 
 let default ~dir =
@@ -27,4 +29,6 @@ let default ~dir =
     maintenance_tick = 0.25;
     backpressure_max_delay_us = 1000;
     lsm = Clsm_lsm.Lsm_config.default;
+    env = Clsm_env.Env.unix;
+    strict_wal = false;
   }

@@ -29,6 +29,13 @@ type t = {
       (** ceiling of the per-put delay injected by the graduated write
           controller as L0 approaches [l0_stall_limit] (default 1000 µs) *)
   lsm : Clsm_lsm.Lsm_config.t;  (** disk component tuning *)
+  env : Clsm_env.Env.t;
+      (** storage environment all file IO goes through (default
+          {!Clsm_env.Env.unix}); replace with a {!Clsm_env.Faulty_env}
+          wrapper to inject failures in tests *)
+  strict_wal : bool;
+      (** fail recovery on a torn or corrupt WAL tail instead of salvaging
+          the valid prefix (default false) *)
 }
 
 val default : dir:string -> t

@@ -1,16 +1,17 @@
 (* Crash recovery and directory repair, factored out of the store
    functor. [Make (M).recover] rebuilds the full starting state of a
    store directory — disk version from the manifest, memtable from WAL
-   replay, counters — and leaves the directory clean (orphans removed,
-   replayed records re-logged into a fresh WAL, a manifest that makes the
-   old logs redundant). The store only has to wrap the result in its
-   runtime state and start maintenance. *)
+   replay, counters — and leaves the directory clean (orphans and temp
+   files removed, replayed records re-logged into a fresh WAL, a
+   manifest that makes the old logs redundant). The store only has to
+   wrap the result in its runtime state and start maintenance. *)
 
 open Clsm_primitives
 open Clsm_lsm
+module Env = Clsm_env.Env
 
-let list_files dir =
-  Sys.readdir dir |> Array.to_list
+let list_files ~env dir =
+  Env.(env.list_dir) dir
   |> List.filter_map (fun name ->
          match String.split_on_char '.' name with
          | [ num; ext ] -> (
@@ -20,12 +21,24 @@ let list_files dir =
              | _ -> None)
          | _ -> None)
 
+(* Builders and the manifest writer stage output in [<name>.tmp] and
+   publish by rename; a crash in between strands the temp file. Nothing
+   ever reads one back, so they are all garbage on open. *)
+let remove_temp_files ~env dir =
+  List.iter
+    (fun name ->
+      if Filename.check_suffix name ".tmp" then
+        try Env.(env.remove) (Filename.concat dir name)
+        with Env.Error _ -> ())
+    (Env.(env.list_dir) dir)
+
 (* LevelDB's RepairDB: reconstruct a usable manifest from whatever table
    files survive in the directory. Every table is installed at level 0
    (overlap is legal there); higher timestamps win on reads, so no data is
    mis-ordered. WAL files are retained for replay by the next open. *)
-let repair ~dir =
-  let files = list_files dir in
+let repair ?(env = Env.unix) ~dir () =
+  remove_temp_files ~env dir;
+  let files = list_files ~env dir in
   let tables =
     List.filter_map (function `Table (n, _) -> Some n | `Wal _ -> None) files
     |> List.sort compare
@@ -41,13 +54,11 @@ let repair ~dir =
     List.filter
       (fun n ->
         let aside () =
-          try
-            Sys.rename
-              (Table_file.table_path ~dir n)
-              (Table_file.table_path ~dir n ^ ".damaged")
-          with Sys_error _ -> ()
+          let path = Table_file.table_path ~dir n in
+          try Env.(env.rename) ~src:path ~dst:(path ^ ".damaged")
+          with Env.Error _ -> ()
         in
-        match Table_file.open_number ~dir n with
+        match Table_file.open_number ~env ~dir n with
         | tf -> (
             match Clsm_sstable.Table.verify tf.Table_file.table with
             | Ok _ ->
@@ -68,7 +79,7 @@ let repair ~dir =
       tables
   in
   let max_number = List.fold_left max 0 (usable @ wals) in
-  Manifest.save ~dir
+  Manifest.save ~env ~dir
     {
       Manifest.next_file_number = max_number + 1;
       last_ts = !max_ts;
@@ -88,8 +99,9 @@ module Make (M : Memtable_intf.S) = struct
   }
 
   let load_version (opts : Options.t) ~cache ~disk_files =
+    let env = opts.Options.env in
     let num_levels = opts.Options.lsm.Lsm_config.num_levels in
-    match Manifest.load ~dir:opts.dir with
+    match Manifest.load ~env ~dir:opts.dir () with
     | None -> (Version.empty ~num_levels, 1, 0, 0)
     | Some m ->
         (* Drop orphans: tables not in the manifest (half-finished flush or
@@ -99,15 +111,15 @@ module Make (M : Memtable_intf.S) = struct
           (fun f ->
             match f with
             | `Table (n, name) when not (List.mem n live) ->
-                Sys.remove (Filename.concat opts.dir name)
+                Env.(env.remove) (Filename.concat opts.dir name)
             | `Wal (n, name) when n < m.Manifest.wal_number ->
-                Sys.remove (Filename.concat opts.dir name)
+                Env.(env.remove) (Filename.concat opts.dir name)
             | `Table _ | `Wal _ -> ())
           disk_files;
         let l0 = ref [] and levels = Array.make (num_levels - 1) [] in
         List.iter
           (fun (level, number) ->
-            let tf = Table_file.open_number ~cache ~dir:opts.dir number in
+            let tf = Table_file.open_number ~cache ~env ~dir:opts.dir number in
             let cell = Refcounted.create ~release:Table_file.release tf in
             if level = 0 then l0 := cell :: !l0
             else levels.(level - 1) <- cell :: levels.(level - 1))
@@ -131,16 +143,18 @@ module Make (M : Memtable_intf.S) = struct
   (* Replay surviving logs oldest-first; timestamps restore the global
      write order regardless of on-disk record order (paper §4). *)
   let replay_wals (opts : Options.t) ~min_wal ~mem ~max_ts =
+    let env = opts.Options.env in
     let wals =
       List.filter_map
         (function `Wal (n, name) when n >= min_wal -> Some (n, name) | _ -> None)
-        (list_files opts.dir)
+        (list_files ~env opts.dir)
       |> List.sort compare
     in
     List.iter
       (fun (_, name) ->
         let records, _outcome =
-          Clsm_wal.Wal_reader.read_records (Filename.concat opts.dir name)
+          Clsm_wal.Wal_reader.read_records ~env ~strict:opts.strict_wal
+            (Filename.concat opts.dir name)
         in
         List.iter
           (fun payload ->
@@ -151,14 +165,23 @@ module Make (M : Memtable_intf.S) = struct
                     M.add mem ~user_key ~ts entry;
                     if ts > !max_ts then max_ts := ts)
                   records
-            | exception (Clsm_util.Varint.Corrupt _ | Invalid_argument _) -> ())
+            | exception (Clsm_util.Varint.Corrupt _ | Invalid_argument _) ->
+                (* The record's CRC passed but its payload does not parse.
+                   Default: skip it, like a corrupt tail. Strict mode
+                   surfaces it. *)
+                if opts.strict_wal then
+                  raise
+                    (Clsm_wal.Wal_reader.Corrupt
+                       (name ^ ": undecodable record payload")))
           records)
       wals;
     wals
 
   let recover (opts : Options.t) ~cache =
-    if not (Sys.file_exists opts.dir) then Unix.mkdir opts.dir 0o755;
-    let disk_files = list_files opts.dir in
+    let env = opts.Options.env in
+    if not (Env.(env.file_exists) opts.dir) then Env.(env.mkdir) opts.dir;
+    remove_temp_files ~env opts.dir;
+    let disk_files = list_files ~env opts.dir in
     let version, next_file, last_ts, min_wal =
       load_version opts ~cache ~disk_files
     in
@@ -179,6 +202,7 @@ module Make (M : Memtable_intf.S) = struct
              ~mode:
                (if opts.sync_wal then Clsm_wal.Wal_writer.Sync
                 else Clsm_wal.Wal_writer.Async)
+             ~env
              (Table_file.wal_path ~dir:opts.dir wal_number))
       else None
     in
@@ -207,7 +231,7 @@ module Make (M : Memtable_intf.S) = struct
                  files)
              (Array.to_list version.Version.levels))
     in
-    Manifest.save ~dir:opts.dir
+    Manifest.save ~env ~dir:opts.dir
       {
         Manifest.next_file_number = Atomic.get next_file_atomic;
         last_ts = !max_ts;
@@ -217,7 +241,9 @@ module Make (M : Memtable_intf.S) = struct
     List.iter
       (fun (n, name) ->
         if n < wal_number then
-          try Sys.remove (Filename.concat opts.dir name) with Sys_error _ -> ())
+          (* Best effort: a survivor is re-collected on the next open. *)
+          try Env.(env.remove) (Filename.concat opts.dir name)
+          with Env.Error _ -> ())
       replayed;
     {
       version;

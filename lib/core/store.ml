@@ -65,10 +65,13 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     loop ()
 
   (* Graduated admission control (see {!Backpressure}), checked outside the
-     shared lock so a delayed or stalled writer cannot block the merge. *)
+     shared lock so a delayed or stalled writer cannot block the merge.
+     A degraded store counts as stopped: the stall it is waiting out
+     (e.g. a full L0 that can no longer be compacted) will never clear,
+     so writers must not spin on it. *)
   let observe_pressure t () =
     {
-      Backpressure.stopped = Atomic.get t.stop;
+      Backpressure.stopped = Atomic.get t.stop || is_degraded t;
       mem_full =
         M.approximate_bytes (current_pm t).mem
         > 2 * t.opts.Options.memtable_bytes;
@@ -86,19 +89,39 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     if M.approximate_bytes mc.mem > t.opts.Options.memtable_bytes then
       wake_bg t
 
+  let check_writable t =
+    match Atomic.get t.degraded with
+    | Some reason -> raise (Store_sig.Degraded reason)
+    | None -> ()
+
+  (* Append to the memory component's log. An environment failure (failed
+     fsync, out of space) degrades the store to read-only before the
+     exception reaches the caller: the writer is poisoned, so no later
+     write could be made durable either. *)
+  let wal_append t mc data =
+    match mc.wal with
+    | None -> ()
+    | Some w -> (
+        try Clsm_wal.Wal_writer.append w data
+        with (Clsm_env.Env.Error _ | Clsm_env.Env.Crashed) as e ->
+          degrade t ("wal append failed: " ^ Printexc.to_string e);
+          raise e)
+
   let write_entry t ~user_key entry =
+    check_writable t;
     throttle_writes t;
     Shared_lock.lock_shared t.lock;
-    let ts, h = get_ts t in
     let mc = current_pm t in
-    M.add mc.mem ~user_key ~ts entry;
-    (match mc.wal with
-    | Some w ->
-        Clsm_wal.Wal_writer.append w
-          (Log_record.encode { Log_record.ts; user_key; entry })
-    | None -> ());
-    Active_set.remove t.active h;
-    Shared_lock.unlock_shared t.lock;
+    Fun.protect
+      ~finally:(fun () -> Shared_lock.unlock_shared t.lock)
+      (fun () ->
+        let ts, h = get_ts t in
+        Fun.protect
+          ~finally:(fun () -> Active_set.remove t.active h)
+          (fun () ->
+            M.add mc.mem ~user_key ~ts entry;
+            wal_append t mc
+              (Log_record.encode { Log_record.ts; user_key; entry })));
     maybe_wake_for_rotation t mc
 
   let put t ~key ~value =
@@ -114,33 +137,34 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
 
   let write_batch t ops =
     if ops <> [] then begin
+      check_writable t;
       throttle_writes t;
       Shared_lock.lock_exclusive t.lock;
       let mc = current_pm t in
-      let records =
-        List.map
-          (fun op ->
-            let user_key, entry =
-              match op with
-              | Batch_put (key, value) ->
-                  Stats.incr_puts t.stats;
-                  (key, Entry.Value value)
-              | Batch_delete key ->
-                  Stats.incr_deletes t.stats;
-                  (key, Entry.Tombstone)
-            in
-            (* No concurrent getSnap can run (it needs the shared lock), so
-               plain counter increments are safe here without the Active
-               set. *)
-            let ts = Monotonic_counter.inc_and_get t.time_counter in
-            M.add mc.mem ~user_key ~ts entry;
-            { Log_record.ts; user_key; entry })
-          ops
-      in
-      (match mc.wal with
-      | Some w -> Clsm_wal.Wal_writer.append w (Log_record.encode_batch records)
-      | None -> ());
-      Shared_lock.unlock_exclusive t.lock;
+      Fun.protect
+        ~finally:(fun () -> Shared_lock.unlock_exclusive t.lock)
+        (fun () ->
+          let records =
+            List.map
+              (fun op ->
+                let user_key, entry =
+                  match op with
+                  | Batch_put (key, value) ->
+                      Stats.incr_puts t.stats;
+                      (key, Entry.Value value)
+                  | Batch_delete key ->
+                      Stats.incr_deletes t.stats;
+                      (key, Entry.Tombstone)
+                in
+                (* No concurrent getSnap can run (it needs the shared lock),
+                   so plain counter increments are safe here without the
+                   Active set. *)
+                let ts = Monotonic_counter.inc_and_get t.time_counter in
+                M.add mc.mem ~user_key ~ts entry;
+                { Log_record.ts; user_key; entry })
+              ops
+          in
+          wal_append t mc (Log_record.encode_batch records));
       maybe_wake_for_rotation t mc
     end
 
@@ -154,6 +178,7 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
 
   let rmw t ~key f =
     Stats.incr_rmws t.stats;
+    check_writable t;
     throttle_writes t;
     Shared_lock.lock_shared t.lock;
     let pm = current_pm t in
@@ -201,12 +226,12 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
               (* Lines 9-12: fresh timestamp, then publish with a CAS. *)
               let ts, h = get_ts t in
               if M.try_install pm.mem loc ~user_key:key ~ts entry then begin
-                (match pm.wal with
-                | Some w ->
-                    Clsm_wal.Wal_writer.append w
-                      (Log_record.encode { Log_record.ts; user_key = key; entry })
-                | None -> ());
-                Active_set.remove t.active h;
+                Fun.protect
+                  ~finally:(fun () -> Active_set.remove t.active h)
+                  (fun () ->
+                    wal_append t pm
+                      (Log_record.encode
+                         { Log_record.ts; user_key = key; entry }));
                 pre_image
               end
               else begin
@@ -215,8 +240,11 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
                 attempt ()
               end)
     in
-    let result = attempt () in
-    Shared_lock.unlock_shared t.lock;
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Shared_lock.unlock_shared t.lock)
+        attempt
+    in
     maybe_wake_for_rotation t pm;
     result
 
@@ -488,6 +516,7 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
         cache;
         stats;
         stop = Atomic.make false;
+        degraded = Atomic.make None;
         install = Mutex.create ();
         claims =
           {
@@ -542,23 +571,33 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
 
   let close t =
     Mutex.lock t.close_mutex;
-    if not t.closed then begin
-      t.closed <- true;
-      stop_scheduler t;
-      flush_wal t;
-      Mutex.lock t.install;
-      save_manifest t;
-      Mutex.unlock t.install;
-      (* Release the component references we own. *)
-      let pm_cell = Rcu_box.peek t.pm in
-      (match (Refcounted.value pm_cell).wal with
-      | Some w -> Clsm_wal.Wal_writer.close w
-      | None -> ());
-      Refcounted.retire pm_cell;
-      Refcounted.retire (Rcu_box.peek t.pimm);
-      Refcounted.retire (Rcu_box.peek t.pd)
-    end;
-    Mutex.unlock t.close_mutex
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.close_mutex)
+      (fun () ->
+        if not t.closed then begin
+          t.closed <- true;
+          stop_scheduler t;
+          let pm_cell = Rcu_box.peek t.pm in
+          (* The component references are released even when the final
+             flush or manifest save fails — the error still reaches the
+             caller, and recovery replays the surviving log. *)
+          Fun.protect
+            ~finally:(fun () ->
+              Refcounted.retire pm_cell;
+              Refcounted.retire (Rcu_box.peek t.pimm);
+              Refcounted.retire (Rcu_box.peek t.pd))
+            (fun () ->
+              (* [Wal_writer.close] flushes before closing; an IO failure
+                 propagates (after the descriptor is released) instead of
+                 being silently dropped. *)
+              (match (Refcounted.value pm_cell).wal with
+              | Some w -> Clsm_wal.Wal_writer.close w
+              | None -> ());
+              Mutex.lock t.install;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock t.install)
+                (fun () -> save_manifest t))
+        end)
 
   (* Offline-style health check runnable on a live store: validates every
      table file and the level invariants of the current version. *)
@@ -567,6 +606,11 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
 
   let stats t = Stats.read t.stats
   let options t = t.opts
+
+  let health t =
+    match Atomic.get t.degraded with
+    | None -> `Ok
+    | Some reason -> `Degraded reason
 
   let level_file_counts t =
     let v = current_version t in

@@ -2,6 +2,12 @@
     skip-list instantiation, the paper's cLSM) for the full story; the
     per-item documentation lives here. *)
 
+exception Degraded of string
+(** Raised by write operations after an unrecoverable IO failure (failed
+    fsync, out of disk space) has switched the store to read-only mode.
+    The payload describes the original failure. Reads keep working; close
+    the store, fix the environment and reopen to resume writing. *)
+
 module type S = sig
   type t
 
@@ -132,13 +138,17 @@ module type S = sig
   val stats : t -> Stats.snapshot
   val options : t -> Options.t
 
+  val health : t -> [ `Ok | `Degraded of string ]
+  (** [`Degraded reason] once an IO failure has switched the store to
+      read-only mode — writes raise {!Degraded}, reads still work. *)
+
   val level_file_counts : t -> int list
   (** Files per level, L0 first. *)
 
   val memtable_bytes : t -> int
   val cache_stats : t -> Clsm_sstable.Cache.stats
 
-  val repair : dir:string -> unit
+  val repair : ?env:Clsm_env.Env.t -> dir:string -> unit -> unit
   (** LevelDB-style RepairDB: rebuild the manifest of a store whose manifest
       was lost or corrupted, from the table files present. Damaged tables are
       renamed aside ([.damaged]); surviving tables are installed at level 0,

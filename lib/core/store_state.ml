@@ -60,11 +60,21 @@ module Make (M : Memtable_intf.S) = struct
     backpressure : Backpressure.t;
     compact_pointers : string array; (* per-level round-robin cursors *)
     mutable scheduler : Clsm_maintenance.Scheduler.t option;
+    degraded : string option Atomic.t;
+        (* Some reason once an unrecoverable IO failure (ENOSPC, failed
+           fsync) hits a maintenance path: the store stops accepting
+           writes and scheduling maintenance but keeps serving reads *)
     mutable closed : bool;
     close_mutex : Mutex.t;
   }
 
   let alloc_file_number t () = Atomic.fetch_and_add t.next_file 1
+
+  (* First degradation reason wins; later failures are consequences. *)
+  let degrade t reason =
+    ignore (Atomic.compare_and_set t.degraded None (Some reason) : bool)
+
+  let is_degraded t = Atomic.get t.degraded <> None
 
   let current_pm t = Refcounted.value (Rcu_box.peek t.pm)
   let current_imm t = Refcounted.value (Rcu_box.peek t.pimm)
@@ -104,5 +114,7 @@ module Make (M : Memtable_intf.S) = struct
     }
 
   (* Caller holds [t.install]. *)
-  let save_manifest t = Manifest.save ~dir:t.opts.Options.dir (manifest_of_state t)
+  let save_manifest t =
+    Manifest.save ~env:t.opts.Options.env ~dir:t.opts.Options.dir
+      (manifest_of_state t)
 end

@@ -1,0 +1,217 @@
+(* Fault-injecting wrapper around a base environment (LevelDB's
+   FaultInjectionTestEnv in spirit). Three mechanisms, all driven by one
+   seeded PRNG so a failing run is reproducible from its seed:
+
+   - probabilistic faults: fsync raises EIO (without syncing), append
+     writes a torn prefix of the payload and raises ENOSPC;
+   - a hard crash point: after a configured number of mutating
+     operations, the environment "crashes" — every subsequent operation
+     raises {!Env.Crashed};
+   - crash-image reconstruction: the wrapper tracks, per written file,
+     how many bytes were covered by the last fsync. After a crash,
+     [install_crash_image] truncates each file to its synced prefix plus
+     a random (possibly empty, possibly torn) slice of the unsynced
+     tail — exactly the set of images a real crash could leave.
+
+   Durability model: metadata operations (create, rename, remove, mkdir)
+   are treated as immediately durable; only appended-but-unsynced bytes
+   are at risk. That matches the store's write protocols, which fsync
+   before every rename that publishes a file. *)
+
+type file_state = {
+  mutable synced : int;  (* bytes guaranteed durable *)
+  mutable written : int; (* bytes handed to the OS *)
+}
+
+type t = {
+  base : Env.t;
+  rng : Random.State.t;
+  m : Mutex.t;
+  files : (string, file_state) Hashtbl.t;
+  mutable remaining : int; (* mutating ops until crash; -1 = disarmed *)
+  mutable crashed : bool;
+  mutable fsync_fail_1_in : int; (* 0 = never *)
+  mutable append_fail_1_in : int;
+  mutable mutating_ops : int;
+  mutable injected_faults : int;
+}
+
+let create ?(seed = 0) ?(fsync_fail_1_in = 0) ?(append_fail_1_in = 0)
+    ?(base = Env.unix) () =
+  {
+    base;
+    rng = Random.State.make [| seed; 0x5eed |];
+    m = Mutex.create ();
+    files = Hashtbl.create 16;
+    remaining = -1;
+    crashed = false;
+    fsync_fail_1_in;
+    append_fail_1_in;
+    mutating_ops = 0;
+    injected_faults = 0;
+  }
+
+let arm t ~crash_after =
+  if crash_after < 0 then invalid_arg "Faulty_env.arm: crash_after < 0";
+  Mutex.protect t.m (fun () -> t.remaining <- crash_after)
+
+let disarm t = Mutex.protect t.m (fun () -> t.remaining <- -1)
+
+let set_fault_rates t ?fsync_fail_1_in ?append_fail_1_in () =
+  Mutex.protect t.m (fun () ->
+      Option.iter (fun r -> t.fsync_fail_1_in <- r) fsync_fail_1_in;
+      Option.iter (fun r -> t.append_fail_1_in <- r) append_fail_1_in)
+
+let crashed t = Mutex.protect t.m (fun () -> t.crashed)
+let mutating_ops t = Mutex.protect t.m (fun () -> t.mutating_ops)
+let injected_faults t = Mutex.protect t.m (fun () -> t.injected_faults)
+
+(* All helpers below run with [t.m] held. *)
+
+let check_locked t = if t.crashed then raise Env.Crashed
+
+(* Count one mutating operation against the crash budget. The crash fires
+   *before* the operation takes effect: the op raises and nothing moves. *)
+let tick_locked t =
+  check_locked t;
+  t.mutating_ops <- t.mutating_ops + 1;
+  if t.remaining = 0 then begin
+    t.crashed <- true;
+    raise Env.Crashed
+  end
+  else if t.remaining > 0 then t.remaining <- t.remaining - 1
+
+let chance_locked t n = n > 0 && Random.State.int t.rng n = 0
+
+let state_for_locked t path =
+  match Hashtbl.find_opt t.files path with
+  | Some st -> st
+  | None ->
+      let st = { synced = 0; written = 0 } in
+      Hashtbl.replace t.files path st;
+      st
+
+let env t : Env.t =
+  let base = t.base in
+  let create_writer path =
+    Mutex.protect t.m (fun () ->
+        tick_locked t;
+        let w = base.Env.create_writer path in
+        (* O_TRUNC: a fresh incarnation of the file. *)
+        Hashtbl.replace t.files path { synced = 0; written = 0 };
+        let st = state_for_locked t path in
+        {
+          Env.w_append =
+            (fun s ->
+              Mutex.protect t.m (fun () ->
+                  tick_locked t;
+                  if chance_locked t t.append_fail_1_in then begin
+                    t.injected_faults <- t.injected_faults + 1;
+                    (* Torn write: a prefix reaches the OS, then ENOSPC. *)
+                    let keep = Random.State.int t.rng (String.length s + 1) in
+                    (try w.Env.w_append (String.sub s 0 keep)
+                     with Env.Error _ -> ());
+                    st.written <- st.written + keep;
+                    raise
+                      (Env.Error
+                         {
+                           op = "append";
+                           path;
+                           message = "injected fault: No space left on device";
+                         })
+                  end
+                  else begin
+                    w.Env.w_append s;
+                    st.written <- st.written + String.length s
+                  end));
+          w_fsync =
+            (fun () ->
+              Mutex.protect t.m (fun () ->
+                  tick_locked t;
+                  if chance_locked t t.fsync_fail_1_in then begin
+                    t.injected_faults <- t.injected_faults + 1;
+                    (* The sync did not happen: durability unchanged. *)
+                    raise
+                      (Env.Error
+                         {
+                           op = "fsync";
+                           path;
+                           message = "injected fault: Input/output error";
+                         })
+                  end
+                  else begin
+                    w.Env.w_fsync ();
+                    st.synced <- st.written
+                  end));
+          w_close = (fun () -> try w.Env.w_close () with _ -> ());
+        })
+  in
+  let open_random path =
+    Mutex.protect t.m (fun () ->
+        check_locked t;
+        let rf = base.Env.open_random path in
+        {
+          rf with
+          Env.rf_read =
+            (fun ~pos ~len ->
+              Mutex.protect t.m (fun () ->
+                  check_locked t;
+                  rf.Env.rf_read ~pos ~len));
+        })
+  in
+  {
+    Env.create_writer;
+    open_random;
+    read_file =
+      (fun path ->
+        Mutex.protect t.m (fun () ->
+            check_locked t;
+            base.Env.read_file path));
+    rename =
+      (fun ~src ~dst ->
+        Mutex.protect t.m (fun () ->
+            tick_locked t;
+            base.Env.rename ~src ~dst;
+            match Hashtbl.find_opt t.files src with
+            | Some st ->
+                Hashtbl.remove t.files src;
+                Hashtbl.replace t.files dst st
+            | None -> ()));
+    remove =
+      (fun path ->
+        Mutex.protect t.m (fun () ->
+            tick_locked t;
+            base.Env.remove path;
+            Hashtbl.remove t.files path));
+    mkdir =
+      (fun path ->
+        Mutex.protect t.m (fun () ->
+            tick_locked t;
+            base.Env.mkdir path));
+    file_exists =
+      (fun path ->
+        Mutex.protect t.m (fun () ->
+            check_locked t;
+            base.Env.file_exists path));
+    list_dir =
+      (fun path ->
+        Mutex.protect t.m (fun () ->
+            check_locked t;
+            base.Env.list_dir path));
+  }
+
+(* Reconstruct the post-crash directory image: each written file keeps its
+   synced prefix plus a seed-chosen slice of the unsynced tail (a torn
+   final write). Operates on the real file system directly — the wrapped
+   environment is already dead. *)
+let install_crash_image t =
+  Mutex.protect t.m (fun () ->
+      Hashtbl.iter
+        (fun path st ->
+          if Sys.file_exists path && st.written > st.synced then begin
+            let torn = Random.State.int t.rng (st.written - st.synced + 1) in
+            let keep = st.synced + torn in
+            let actual = (Unix.stat path).Unix.st_size in
+            if keep < actual then Unix.truncate path keep
+          end)
+        t.files)

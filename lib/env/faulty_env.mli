@@ -1,0 +1,54 @@
+(** Fault-injecting storage environment (deterministic, seeded).
+
+    Wraps a base {!Env.t} and injects, on a schedule derived from the
+    seed:
+
+    - [fsync] failures (EIO, without syncing — durability unchanged);
+    - torn/short writes: a prefix of the payload reaches the OS, then the
+      append raises ENOSPC;
+    - a hard {e crash point}: after [crash_after] mutating operations
+      every operation raises {!Env.Crashed} and the directory image is
+      frozen.
+
+    After a crash, {!install_crash_image} rewrites the real directory to
+    what a machine crash would have left: every file keeps its
+    fsync-covered prefix plus a seed-chosen (possibly empty) slice of its
+    unsynced tail. Reopening the store on that image with a fresh
+    environment simulates a restart. *)
+
+type t
+(** The injection handle — shared state behind the {!Env.t} returned by
+    {!env}. Thread-safe. *)
+
+val create :
+  ?seed:int ->
+  ?fsync_fail_1_in:int ->
+  ?append_fail_1_in:int ->
+  ?base:Env.t ->
+  unit ->
+  t
+(** Fault rates are "1 in N" per operation; [0] (default) disables that
+    fault class. No crash point is armed initially. *)
+
+val env : t -> Env.t
+(** The wrapped environment to hand to the store via [Options.env]. *)
+
+val arm : t -> crash_after:int -> unit
+(** Crash after [crash_after] further mutating operations (appends,
+    fsyncs, creates, renames, removes). [0] crashes on the very next
+    one. *)
+
+val disarm : t -> unit
+val set_fault_rates : t -> ?fsync_fail_1_in:int -> ?append_fail_1_in:int -> unit -> unit
+
+val crashed : t -> bool
+val mutating_ops : t -> int
+(** Mutating operations observed so far (crashed or not). *)
+
+val injected_faults : t -> int
+(** Probabilistic faults injected so far (crash points not included). *)
+
+val install_crash_image : t -> unit
+(** Truncate every tracked file on the real file system to its durable
+    prefix (+ torn tail slice). Call after the crash, before reopening
+    the directory with a fresh environment. *)

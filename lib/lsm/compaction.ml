@@ -120,6 +120,7 @@ type output_state = {
   cfg : Lsm_config.t;
   dir : string;
   cache : Clsm_sstable.Block.t Clsm_sstable.Cache.t option;
+  env : Clsm_env.Env.t;
   alloc_number : unit -> int;
   mutable builder : (int * Clsm_sstable.Table_builder.t) option;
   mutable files : Version.file list; (* reversed *)
@@ -136,6 +137,7 @@ let builder_of st =
           ~bits_per_key:st.cfg.Lsm_config.bits_per_key
           ~compress:st.cfg.Lsm_config.compress
           ~filter_key_of:Internal_key.user_key_of ~cmp:Internal_key.comparator
+          ~env:st.env
           ~path:(Table_file.table_path ~dir:st.dir number)
           ()
       in
@@ -151,10 +153,28 @@ let finish_current st =
         Clsm_sstable.Table_builder.abandon b
       else begin
         ignore (Clsm_sstable.Table_builder.finish b);
-        let tf = Table_file.open_number ?cache:st.cache ~dir:st.dir number in
+        let tf =
+          Table_file.open_number ?cache:st.cache ~env:st.env ~dir:st.dir number
+        in
         st.files <-
           Refcounted.create ~release:Table_file.release tf :: st.files
       end
+
+(* A merge that dies mid-run (ENOSPC, crash point) must not leak its
+   partial outputs: the in-flight builder's temp file is dropped and the
+   already-finished tables are closed and deleted (all best-effort — any
+   survivor is an orphan the next recovery collects). *)
+let cleanup_failed st =
+  (match st.builder with
+  | Some (_, b) -> ( try Clsm_sstable.Table_builder.abandon b with _ -> ())
+  | None -> ());
+  st.builder <- None;
+  List.iter
+    (fun f ->
+      Table_file.mark_obsolete (Refcounted.value f);
+      Refcounted.decr f)
+    st.files;
+  st.files <- []
 
 let emit st ~key ~value =
   let b = builder_of st in
@@ -164,10 +184,10 @@ let emit st ~key ~value =
     >= st.cfg.Lsm_config.target_file_size
   then finish_current st
 
-let write_sorted_run ~cfg ~dir ?cache ~alloc_number ~snapshots ~drop_tombstones
-    iter =
+let write_sorted_run ~cfg ~dir ?cache ?(env = Clsm_env.Env.unix) ~alloc_number
+    ~snapshots ~drop_tombstones iter =
   let snapshots = List.sort_uniq Int.compare snapshots in
-  let st = { cfg; dir; cache; alloc_number; builder = None; files = [] } in
+  let st = { cfg; dir; cache; env; alloc_number; builder = None; files = [] } in
   iter.Iter.seek_to_first ();
   (* Collect one user key's versions (ascending ts), deduplicating exact
      internal-key ties from merge inputs, then GC and emit. *)
@@ -208,19 +228,23 @@ let write_sorted_run ~cfg ~dir ?cache ~alloc_number ~snapshots ~drop_tombstones
           versions;
         pump ()
   in
-  pump ();
-  finish_current st;
+  (try
+     pump ();
+     finish_current st
+   with e ->
+     cleanup_failed st;
+     raise e);
   List.rev st.files
 
 let file_iter f = Iter.of_table (Refcounted.value f).Table_file.table
 
-let run ~cfg ~dir ?cache ~alloc_number ~snapshots task =
+let run ~cfg ~dir ?cache ?env ~alloc_number ~snapshots task =
   let inputs = task.inputs_lo @ task.inputs_hi in
   let merged =
     Merge_iter.merge ~cmp:Internal_key.compare_encoded
       (List.map file_iter inputs)
   in
-  write_sorted_run ~cfg ~dir ?cache ~alloc_number ~snapshots
+  write_sorted_run ~cfg ~dir ?cache ?env ~alloc_number ~snapshots
     ~drop_tombstones:task.drop_tombstones merged
 
 let same_file a b =

@@ -46,6 +46,7 @@ val write_sorted_run :
   cfg:Lsm_config.t ->
   dir:string ->
   ?cache:Clsm_sstable.Block.t Clsm_sstable.Cache.t ->
+  ?env:Clsm_env.Env.t ->
   alloc_number:(unit -> int) ->
   snapshots:int list ->
   drop_tombstones:bool ->
@@ -54,12 +55,16 @@ val write_sorted_run :
 (** Stream a sorted (by internal key) iterator through GC into one or more
     table files cut at [target_file_size]. Duplicate internal keys (ties
     across merge inputs) are deduplicated keeping the first. Returns the
-    new files (each with one owning reference), sorted, possibly empty. *)
+    new files (each with one owning reference), sorted, possibly empty.
+    On IO failure the partial outputs (in-flight temp file and any
+    finished tables) are deleted best-effort before the exception
+    propagates. *)
 
 val run :
   cfg:Lsm_config.t ->
   dir:string ->
   ?cache:Clsm_sstable.Block.t Clsm_sstable.Cache.t ->
+  ?env:Clsm_env.Env.t ->
   alloc_number:(unit -> int) ->
   snapshots:int list ->
   task ->

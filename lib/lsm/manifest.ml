@@ -1,4 +1,5 @@
 open Clsm_util
+module Env = Clsm_env.Env
 
 type t = {
   next_file_number : int;
@@ -19,29 +20,28 @@ let body t =
     t.files;
   Buffer.contents buf
 
-let save ~dir t =
+let save ?(env = Env.unix) ~dir t =
   let contents = body t in
   let contents =
     contents ^ Printf.sprintf "crc %08x\n" (Crc32c.string contents)
   in
   let path = Table_file.manifest_path ~dir in
   let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  let oc = Unix.out_channel_of_descr fd in
-  output_string oc contents;
-  flush oc;
-  Unix.fsync fd;
-  close_out oc;
-  Unix.rename tmp path
+  let w = env.Env.create_writer tmp in
+  (* Contents must be durable before the rename publishes them; a failure
+     leaves only the [.tmp] file, which recovery deletes. *)
+  Fun.protect
+    ~finally:(fun () -> w.Env.w_close ())
+    (fun () ->
+      w.Env.w_append contents;
+      w.Env.w_fsync ());
+  env.Env.rename ~src:tmp ~dst:path
 
-let load ~dir =
+let load ?(env = Env.unix) ~dir () =
   let path = Table_file.manifest_path ~dir in
-  if not (Sys.file_exists path) then None
+  if not (env.Env.file_exists path) then None
   else begin
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let contents = really_input_string ic len in
-    close_in ic;
+    let contents = env.Env.read_file path in
     let lines = String.split_on_char '\n' contents in
     let rec split_crc acc = function
       | [ crc_line; "" ] | [ crc_line ] -> (List.rev acc, crc_line)

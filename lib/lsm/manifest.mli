@@ -9,7 +9,10 @@ type t = {
   files : (int * int) list; (** (level, table number); level 0 newest first *)
 }
 
-val save : dir:string -> t -> unit
-val load : dir:string -> t option
+val save : ?env:Clsm_env.Env.t -> dir:string -> t -> unit
+(** Raises {!Clsm_env.Env.Error} on IO failure; the previous manifest is
+    then still in place (the temp file never replaces it). *)
+
+val load : ?env:Clsm_env.Env.t -> dir:string -> unit -> t option
 (** [None] when no manifest exists (fresh store). Raises [Failure] on a
     corrupt manifest (CRC mismatch or malformed contents). *)

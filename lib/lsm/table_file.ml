@@ -1,3 +1,5 @@
+module Env = Clsm_env.Env
+
 type t = {
   number : int;
   table : Clsm_sstable.Table.t;
@@ -5,16 +7,17 @@ type t = {
   smallest : string;
   largest : string;
   obsolete : bool Atomic.t;
+  env : Env.t;
 }
 
 let table_path ~dir number = Filename.concat dir (Printf.sprintf "%06d.sst" number)
 let wal_path ~dir number = Filename.concat dir (Printf.sprintf "%06d.log" number)
 let manifest_path ~dir = Filename.concat dir "MANIFEST"
 
-let open_number ?cache ~dir number =
+let open_number ?cache ?(env = Env.unix) ~dir number =
   let path = table_path ~dir number in
   let table =
-    Clsm_sstable.Table.open_file ?cache ~cmp:Internal_key.comparator path
+    Clsm_sstable.Table.open_file ?cache ~env ~cmp:Internal_key.comparator path
   in
   let props = Clsm_sstable.Table.properties table in
   {
@@ -24,6 +27,7 @@ let open_number ?cache ~dir number =
     smallest = props.Clsm_sstable.Table_format.smallest;
     largest = props.Clsm_sstable.Table_format.largest;
     obsolete = Atomic.make false;
+    env;
   }
 
 let mark_obsolete t = Atomic.set t.obsolete true
@@ -32,4 +36,6 @@ let release t =
   let path = Clsm_sstable.Table.path t.table in
   Clsm_sstable.Table.close t.table;
   if Atomic.get t.obsolete then
-    try Sys.remove path with Sys_error _ -> ()
+    (* Best effort: the file is already unreferenced by any manifest, so a
+       failed delete only leaves an orphan for recovery to collect. *)
+    try t.env.Env.remove path with _ -> ()

@@ -10,6 +10,7 @@ type t = {
   smallest : string; (** smallest internal key, "" when empty *)
   largest : string;
   obsolete : bool Atomic.t;
+  env : Clsm_env.Env.t; (** the environment the file was opened through *)
 }
 
 val table_path : dir:string -> int -> string
@@ -17,7 +18,11 @@ val wal_path : dir:string -> int -> string
 val manifest_path : dir:string -> string
 
 val open_number :
-  ?cache:Clsm_sstable.Block.t Clsm_sstable.Cache.t -> dir:string -> int -> t
+  ?cache:Clsm_sstable.Block.t Clsm_sstable.Cache.t ->
+  ?env:Clsm_env.Env.t ->
+  dir:string ->
+  int ->
+  t
 (** Open table file [number] in [dir] with the internal-key comparator. *)
 
 val mark_obsolete : t -> unit

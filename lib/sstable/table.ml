@@ -1,4 +1,5 @@
 open Clsm_util
+module Env = Clsm_env.Env
 
 exception Corrupt of string
 
@@ -7,7 +8,7 @@ let next_table_id = Atomic.make 0
 type t = {
   id : int;
   path : string;
-  file : Mmap_file.t;
+  file : Env.random_file;
   cmp : Comparator.t;
   cache : Block.t Cache.t option;
   index : Block.t;
@@ -16,11 +17,11 @@ type t = {
 }
 
 (* Read a block payload at [handle], verifying the CRC trailer. *)
-let read_block_raw file handle =
+let read_block_raw (file : Env.random_file) handle =
   let { Block_handle.offset; size } = handle in
   let raw =
     try
-      Mmap_file.read file ~pos:offset
+      file.Env.rf_read ~pos:offset
         ~len:(size + Table_format.block_trailer_length)
     with Invalid_argument _ -> raise (Corrupt "block handle out of bounds")
   in
@@ -36,12 +37,12 @@ let read_block_raw file handle =
       with Invalid_argument m -> raise (Corrupt m))
   | _ -> raise (Corrupt "unknown block type")
 
-let open_file ?cache ~cmp path =
-  let file = Mmap_file.open_ro path in
-  let len = Mmap_file.length file in
+let open_file ?cache ?(env = Env.unix) ~cmp path =
+  let file = env.Env.open_random path in
+  let len = file.Env.rf_length in
   if len < Table_format.footer_length then raise (Corrupt "file too short");
   let footer_str =
-    Mmap_file.read file
+    file.Env.rf_read
       ~pos:(len - Table_format.footer_length)
       ~len:Table_format.footer_length
   in
@@ -74,10 +75,10 @@ let open_file ?cache ~cmp path =
     props;
   }
 
-let close t = Mmap_file.close t.file
+let close t = t.file.Env.rf_close ()
 let path t = t.path
 let properties t = t.props
-let file_size t = Mmap_file.length t.file
+let file_size t = t.file.Env.rf_length
 let may_contain t filter_key = Bloom.mem t.filter filter_key
 
 let load_block t handle =

@@ -8,12 +8,14 @@ type t
 
 val open_file :
   ?cache:Block.t Cache.t ->
+  ?env:Clsm_env.Env.t ->
   cmp:Comparator.t ->
   string ->
   t
-(** Open and validate a table file. The index, filter and properties blocks
-    are loaded eagerly; data blocks are read on demand (through [cache] when
-    provided). Raises {!Corrupt} or [Unix.Unix_error]. *)
+(** Open and validate a table file through [env] (default
+    {!Clsm_env.Env.unix}). The index, filter and properties blocks are
+    loaded eagerly; data blocks are read on demand (through [cache] when
+    provided). Raises {!Corrupt} or {!Clsm_env.Env.Error}. *)
 
 val close : t -> unit
 val path : t -> string

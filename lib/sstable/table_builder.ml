@@ -1,4 +1,5 @@
 open Clsm_util
+module Env = Clsm_env.Env
 
 type t = {
   cmp : Comparator.t;
@@ -6,9 +7,10 @@ type t = {
   bits_per_key : int;
   compress : bool;
   filter_key_of : string -> string;
-  path : string;
-  fd : Unix.file_descr;
-  oc : out_channel;
+  path : string; (* final path; the builder writes to [tmp_path] *)
+  tmp_path : string;
+  env : Env.t;
+  writer : Env.writer;
   data : Block_builder.t;
   index : Block_builder.t;
   mutable offset : int;
@@ -21,12 +23,15 @@ type t = {
   mutable finished : bool;
 }
 
+(* Crash safety: the table is built at [path ^ ".tmp"] and renamed to its
+   final name only after the full contents are fsynced, so a [.sst] that
+   exists is always complete; a crash mid-build leaves only a [.tmp] file
+   that recovery deletes. *)
 let create ?(block_size = 4096) ?(restart_interval = 16) ?(bits_per_key = 10)
-    ?(compress = false) ?(filter_key_of = Fun.id) ~cmp ~path () =
+    ?(compress = false) ?(filter_key_of = Fun.id) ?(env = Env.unix) ~cmp ~path
+    () =
   if block_size < 64 then invalid_arg "Table_builder.create: block_size";
-  let fd =
-    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-  in
+  let tmp_path = path ^ ".tmp" in
   {
     cmp;
     block_size;
@@ -34,8 +39,9 @@ let create ?(block_size = 4096) ?(restart_interval = 16) ?(bits_per_key = 10)
     compress;
     filter_key_of;
     path;
-    fd;
-    oc = Unix.out_channel_of_descr fd;
+    tmp_path;
+    env;
+    writer = env.Env.create_writer tmp_path;
     data = Block_builder.create ~restart_interval ();
     index = Block_builder.create ~restart_interval:1 ();
     offset = 0;
@@ -61,14 +67,14 @@ let emit_block ?(try_compress = false) t payload =
     else (payload, '\000')
   in
   let handle = { Block_handle.offset = t.offset; size = String.length payload } in
-  output_string t.oc payload;
+  t.writer.Env.w_append payload;
   let trailer = Buffer.create Table_format.block_trailer_length in
   Buffer.add_char trailer block_type;
   let crc =
     Crc32c.string ~init:(Crc32c.string payload) (String.make 1 block_type)
   in
   Binary.write_fixed32 trailer (Crc32c.mask crc);
-  output_string t.oc (Buffer.contents trailer);
+  t.writer.Env.w_append (Buffer.contents trailer);
   t.offset <-
     t.offset + String.length payload + Table_format.block_trailer_length;
   handle
@@ -137,15 +143,17 @@ let finish t =
   in
   let props_handle = emit_block t (Table_format.encode_properties props) in
   let index_handle = emit_block t (Block_builder.finish t.index) in
-  output_string t.oc
+  t.writer.Env.w_append
     (Table_format.encode_footer
        { Table_format.filter_handle; props_handle; index_handle });
-  flush t.oc;
-  Unix.fsync t.fd;
-  close_out t.oc;
+  (* Publish order: contents durable first, then the rename that makes the
+     table visible under its final name. *)
+  t.writer.Env.w_fsync ();
+  t.writer.Env.w_close ();
+  t.env.Env.rename ~src:t.tmp_path ~dst:t.path;
   props
 
 let abandon t =
   t.finished <- true;
-  close_out_noerr t.oc;
-  try Sys.remove t.path with Sys_error _ -> ()
+  t.writer.Env.w_close ();
+  try t.env.Env.remove t.tmp_path with _ -> ()

@@ -1,7 +1,12 @@
 (** Streaming writer of sorted table files (the SSTables forming the disk
     component). Keys must be added in strictly increasing comparator order;
     data blocks are cut at [block_size], an index entry records the last key
-    of each block, and one Bloom filter covers the whole table. *)
+    of each block, and one Bloom filter covers the whole table.
+
+    The table is built at [path ^ ".tmp"] and atomically renamed to [path]
+    by {!finish} after an fsync, so a table file that exists under its
+    final name is always complete; a crash mid-build leaves only the
+    [.tmp] file, which recovery deletes. *)
 
 type t
 
@@ -11,18 +16,21 @@ val create :
   ?bits_per_key:int ->
   ?compress:bool ->
   ?filter_key_of:(string -> string) ->
+  ?env:Clsm_env.Env.t ->
   cmp:Comparator.t ->
   path:string ->
   unit ->
   t
 (** Defaults: [block_size] 4096 bytes, [restart_interval] 16,
     [bits_per_key] 10, [compress] false (data blocks LZSS-compressed when it
-    shrinks them), [filter_key_of] identity. [filter_key_of] maps each
-    stored key to the key the Bloom filter indexes — the LSM layer passes
-    the user-key extractor so probes by user key work across versions. *)
+    shrinks them), [filter_key_of] identity, [env] {!Clsm_env.Env.unix}.
+    [filter_key_of] maps each stored key to the key the Bloom filter
+    indexes — the LSM layer passes the user-key extractor so probes by
+    user key work across versions. *)
 
 val add : t -> key:string -> value:string -> unit
-(** Raises [Invalid_argument] if keys are not strictly increasing. *)
+(** Raises [Invalid_argument] if keys are not strictly increasing, and
+    {!Clsm_env.Env.Error} on IO failure. *)
 
 val num_entries : t -> int
 
@@ -31,8 +39,10 @@ val estimated_file_size : t -> int
     output files at the target size. *)
 
 val finish : t -> Table_format.properties
-(** Flush all blocks, write filter/props/index/footer, fsync and close.
-    Returns the table's properties. The builder must not be reused. *)
+(** Flush all blocks, write filter/props/index/footer, fsync, close and
+    rename into place. Returns the table's properties. The builder must
+    not be reused. Raises {!Clsm_env.Env.Error} on IO failure (the [.tmp]
+    file is then left for recovery to delete). *)
 
 val abandon : t -> unit
-(** Close and delete the partially written file. *)
+(** Close and delete the partially written [.tmp] file (best effort). *)

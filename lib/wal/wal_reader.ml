@@ -1,14 +1,24 @@
-type outcome = Clean | Torn_tail
+module Env = Clsm_env.Env
 
-let read_records path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let contents = really_input_string ic len in
-  close_in ic;
+type outcome = Clean | Torn_tail | Corrupt_tail
+
+exception Corrupt of string
+
+let read_records ?(env = Env.unix) ?(strict = false) path =
+  let contents = env.Env.read_file path in
   let rec go pos acc =
     match Wal_record.decode contents ~pos with
     | `End -> (List.rev acc, Clean)
     | `Torn -> (List.rev acc, Torn_tail)
+    | `Corrupt -> (List.rev acc, Corrupt_tail)
     | `Record (payload, next) -> go next (payload :: acc)
   in
-  go 0 []
+  let records, outcome = go 0 [] in
+  (if strict then
+     match outcome with
+     | Clean -> ()
+     | Torn_tail ->
+         raise (Corrupt (path ^ ": torn record at tail (crash mid-write?)"))
+     | Corrupt_tail ->
+         raise (Corrupt (path ^ ": checksum mismatch in tail record")));
+  (records, outcome)

@@ -1,10 +1,22 @@
-(** Recovery-side reader: returns all intact records in file order and
-    whether the log ended cleanly. cLSM relaxes the single-writer constraint
-    so records may be out of timestamp order on disk (paper §4); callers
-    restore the correct order from the timestamps embedded in the
-    payloads. *)
+(** Recovery-side reader: returns all intact records in file order and how
+    the log ended. cLSM relaxes the single-writer constraint so records may
+    be out of timestamp order on disk (paper §4); callers restore the
+    correct order from the timestamps embedded in the payloads.
 
-type outcome = Clean | Torn_tail
+    Salvage semantics (the default): replay stops at the first record that
+    is short ([Torn_tail]) or fails its checksum ([Corrupt_tail]); the
+    valid prefix is returned. Recovery then re-logs the salvaged records
+    into a fresh WAL and deletes this one, which is the logical equivalent
+    of truncating at the corruption point. In [strict] mode a non-clean
+    tail raises {!Corrupt} instead — for deployments where a torn tail
+    should be investigated rather than repaired over. *)
 
-val read_records : string -> string list * outcome
-(** Raises [Sys_error] if the file cannot be read. *)
+type outcome = Clean | Torn_tail | Corrupt_tail
+
+exception Corrupt of string
+
+val read_records :
+  ?env:Clsm_env.Env.t -> ?strict:bool -> string -> string list * outcome
+(** Raises {!Clsm_env.Env.Error} if the file cannot be read, and
+    {!Corrupt} in [strict] mode (default [false]) when the log does not
+    end cleanly. *)

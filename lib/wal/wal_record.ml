@@ -14,8 +14,8 @@ let decode s ~pos =
   else
     let stored = Crc32c.unmask (Binary.get_fixed32 s ~pos) in
     let len = Binary.get_fixed32 s ~pos:(pos + 4) in
-    if pos + header_length + len > n then `Torn
+    if len < 0 || pos + header_length + len > n then `Torn
     else
       let payload = String.sub s (pos + header_length) len in
-      if Crc32c.string payload <> stored then `Torn
+      if Crc32c.string payload <> stored then `Corrupt
       else `Record (payload, pos + header_length + len)

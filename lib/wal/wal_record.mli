@@ -2,15 +2,20 @@
 
     {v record := crc32c(masked, fixed32) length(fixed32) payload v}
 
-    The CRC covers the payload. A torn tail (crash mid-write) is detected by
-    a short read or CRC mismatch and treated as end-of-log. *)
+    The CRC covers the payload. A torn tail (crash mid-write) shows up as
+    a short record; a bit flip in a complete record shows up as a CRC
+    mismatch. Recovery treats both as end-of-log but reports them
+    distinctly (see {!Wal_reader.outcome}). *)
 
 val header_length : int
 
 val encode : Buffer.t -> string -> unit
 (** Append one framed record to [buf]. *)
 
-val decode : string -> pos:int -> [ `Record of string * int | `End | `Torn ]
+val decode :
+  string -> pos:int -> [ `Record of string * int | `End | `Torn | `Corrupt ]
 (** [decode s ~pos] reads the record starting at [pos]. [`Record (payload,
-    next_pos)] on success; [`End] exactly at end of input; [`Torn] on a
-    truncated or corrupt record (recovery stops there). *)
+    next_pos)] on success; [`End] exactly at end of input; [`Torn] when the
+    record is cut short by the end of input (crash mid-write); [`Corrupt]
+    when the record is complete but its checksum does not match (bit flip /
+    overwrite). *)

@@ -1,30 +1,38 @@
 open Clsm_primitives
+module Env = Clsm_env.Env
 
 type mode = Sync | Async
 
 type t = {
   mode : mode;
   file_path : string;
-  fd : Unix.file_descr;
-  oc : out_channel;
+  writer : Env.writer;
   queue : string Mpmc_queue.t;
   io_mutex : Mutex.t; (* serializes the drain/write path *)
   mutable closed : bool;
+  mutable poisoned : exn option;
+      (* first IO failure; written under [io_mutex], monotonic None->Some *)
 }
 
-let create ?(mode = Async) file_path =
-  let fd =
-    Unix.openfile file_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-  in
+let create ?(mode = Async) ?(env = Env.unix) file_path =
   {
     mode;
     file_path;
-    fd;
-    oc = Unix.out_channel_of_descr fd;
+    writer = env.Env.create_writer file_path;
     queue = Mpmc_queue.create ();
     io_mutex = Mutex.create ();
     closed = false;
+    poisoned = None;
   }
+
+(* Fsync-gate semantics: after any append or fsync failure the durability
+   of previously acknowledged bytes is unknown, so the writer is
+   permanently poisoned — every later operation re-raises the original
+   failure instead of silently retrying over a gap. *)
+let check_poisoned t = match t.poisoned with Some e -> raise e | None -> ()
+
+(* Must hold [io_mutex]. *)
+let poison_locked t e = if t.poisoned = None then t.poisoned <- Some e
 
 (* Must hold [io_mutex]. *)
 let drain_locked t =
@@ -37,51 +45,72 @@ let drain_locked t =
     | None -> ()
   in
   pump ();
-  if Buffer.length buf > 0 then begin
-    output_string t.oc (Buffer.contents buf);
-    flush t.oc
-  end
+  if Buffer.length buf > 0 then t.writer.Env.w_append (Buffer.contents buf)
 
 let append t payload =
   if t.closed then invalid_arg "Wal_writer.append: closed";
+  check_poisoned t;
   match t.mode with
   | Sync ->
       Mutex.lock t.io_mutex;
-      let buf = Buffer.create (String.length payload + Wal_record.header_length) in
-      Wal_record.encode buf payload;
-      output_string t.oc (Buffer.contents buf);
-      flush t.oc;
-      Unix.fsync t.fd;
-      Mutex.unlock t.io_mutex
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.io_mutex)
+        (fun () ->
+          check_poisoned t;
+          let buf =
+            Buffer.create (String.length payload + Wal_record.header_length)
+          in
+          Wal_record.encode buf payload;
+          try
+            t.writer.Env.w_append (Buffer.contents buf);
+            t.writer.Env.w_fsync ()
+          with e ->
+            poison_locked t e;
+            raise e)
   | Async ->
       Mpmc_queue.push t.queue payload;
-      (* Opportunistic group commit: whoever gets the lock drains for all. *)
+      (* Opportunistic group commit: whoever gets the lock drains for all.
+         A failure here poisons the writer; it surfaces on the next
+         [append] or [flush] (an async append itself acknowledges
+         nothing). *)
       if Mutex.try_lock t.io_mutex then begin
-        drain_locked t;
+        (match t.poisoned with
+        | Some _ -> ()
+        | None -> ( try drain_locked t with e -> poison_locked t e));
         Mutex.unlock t.io_mutex
       end
 
 let flush t =
   Mutex.lock t.io_mutex;
-  drain_locked t;
-  (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
-  Mutex.unlock t.io_mutex
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.io_mutex)
+    (fun () ->
+      check_poisoned t;
+      try
+        drain_locked t;
+        t.writer.Env.w_fsync ()
+      with e ->
+        poison_locked t e;
+        raise e)
 
 let close t =
   if not t.closed then begin
-    flush t;
     t.closed <- true;
-    close_out_noerr t.oc
+    (* The descriptor is released even when the final flush fails; the
+       failure still propagates (a swallowed fsync error here would
+       silently drop acknowledged-durable guarantees). *)
+    Fun.protect ~finally:(fun () -> t.writer.Env.w_close ()) (fun () -> flush t)
   end
 
 let abandon t =
   if not t.closed then begin
     t.closed <- true;
-    (* flush OCaml's channel buffer (bytes the OS already had in a real
-       crash would be a superset; dropping the queue models the loss) *)
-    (try Stdlib.flush t.oc with Sys_error _ -> ());
-    close_out_noerr t.oc
+    (* Crash simulation: bytes already handed to the OS survive (the env
+       writer is unbuffered); the queue's unacknowledged records are
+       dropped, modeling the loss. *)
+    try t.writer.Env.w_close () with _ -> ()
   end
 
 let path t = t.file_path
 let queued t = Mpmc_queue.length t.queue
+let poisoned t = t.poisoned <> None

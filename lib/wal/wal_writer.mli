@@ -7,24 +7,39 @@
     the file opportunistically by whichever appender wins a try-lock (group
     commit), or synchronously by {!flush}.
 
-    In [Sync] mode every [append] writes and fsyncs before returning. *)
+    In [Sync] mode every [append] writes and fsyncs before returning.
+
+    {b Failure model (fsync-gate).} All IO goes through the store's
+    {!Clsm_env.Env.t}. The first append or fsync failure {e poisons} the
+    writer permanently: the failing operation raises, and every later
+    [append]/[flush]/[close] re-raises the original exception instead of
+    silently retrying — once an fsync has failed, the durability of
+    earlier acknowledged bytes is unknown and no further write may be
+    acknowledged on this log. *)
 
 type t
 type mode = Sync | Async
 
-val create : ?mode:mode -> string -> t
+val create : ?mode:mode -> ?env:Clsm_env.Env.t -> string -> t
 (** Open (create/truncate) the log file at the given path.
-    Default mode: [Async]. *)
+    Default mode: [Async]; default env: {!Clsm_env.Env.unix}. *)
 
 val append : t -> string -> unit
 (** Log one record. Thread-safe; non-blocking in [Async] mode except for an
-    opportunistic drain attempt. *)
+    opportunistic drain attempt. Raises {!Clsm_env.Env.Error} (or the
+    original poisoning exception) on IO failure — in [Sync] mode the
+    record is then {e not} acknowledged. *)
 
 val flush : t -> unit
-(** Drain the queue, write everything out and [fsync]. *)
+(** Drain the queue, write everything out and [fsync]. Raises on failure
+    and poisons the writer. *)
 
 val close : t -> unit
-(** {!flush} then close the file. *)
+(** {!flush} then close the file. The descriptor is always released, but a
+    flush/fsync failure still propagates. *)
+
+val poisoned : t -> bool
+(** True once an IO failure has permanently disabled the writer. *)
 
 val path : t -> string
 val queued : t -> int
@@ -32,4 +47,4 @@ val queued : t -> int
 
 val abandon : t -> unit
 (** Close the file without draining the queue or syncing — test hook that
-    leaves the file exactly as a crash would. *)
+    leaves the file exactly as a crash would. Never raises. *)

@@ -1,0 +1,251 @@
+(* Fault-injection tests: the Faulty_env wrapper itself, the WAL
+   writer's fsync-gate, read-only degradation on ENOSPC, orphan cleanup
+   after a mid-flush crash, and strict WAL recovery. The multi-seed
+   crash-recovery torture harness lives in test_torture.ml. *)
+
+open Clsm_core
+open Clsm_lsm
+open Clsm_env
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "clsm_test_fault_%d_%d" (Unix.getpid ()) !counter)
+    in
+    let rec rm path =
+      if Sys.file_exists path then
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+    in
+    rm d;
+    d
+
+let small_opts ?(env = Env.unix) ?(wal_enabled = true) ?(sync_wal = false)
+    ?(strict_wal = false) ?(memtable_bytes = 16 * 1024) dir =
+  let base = Options.default ~dir in
+  {
+    base with
+    Options.memtable_bytes;
+    wal_enabled;
+    sync_wal;
+    strict_wal;
+    env;
+    cache_bytes = 1 lsl 20;
+    maintenance_workers = 1;
+    maintenance_tick = 0.01;
+    lsm =
+      {
+        base.Options.lsm with
+        Lsm_config.level1_max_bytes = 64 * 1024;
+        target_file_size = 8 * 1024;
+        l0_compaction_trigger = 3;
+        block_size = 1024;
+      };
+  }
+
+(* ---------- Faulty_env mechanics ---------- *)
+
+let crash_countdown () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let f = Faulty_env.create ~seed:42 () in
+  let env = Faulty_env.env f in
+  Faulty_env.arm f ~crash_after:2;
+  let w = Env.(env.create_writer) (Filename.concat dir "a") in
+  Env.(w.w_append) "survives";
+  (match Env.(w.w_append) "boom" with
+  | () -> Alcotest.fail "expected crash on the third mutating op"
+  | exception Env.Crashed -> ());
+  Alcotest.(check bool) "crashed flag" true (Faulty_env.crashed f);
+  (* Every operation after the crash point raises, reads included. *)
+  (match Env.(env.file_exists) dir with
+  | _ -> Alcotest.fail "post-crash op must raise"
+  | exception Env.Crashed -> ());
+  Env.(w.w_close) ()
+
+let crash_image_keeps_synced_prefix () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "img" in
+  let f = Faulty_env.create ~seed:9 () in
+  let env = Faulty_env.env f in
+  let w = Env.(env.create_writer) path in
+  Env.(w.w_append) "durable!";
+  Env.(w.w_fsync) ();
+  Env.(w.w_append) "-unsynced-tail";
+  Faulty_env.arm f ~crash_after:0;
+  (match Env.(w.w_append) "x" with
+  | () -> Alcotest.fail "expected crash"
+  | exception Env.Crashed -> ());
+  Env.(w.w_close) ();
+  Faulty_env.install_crash_image f;
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check bool) "synced prefix intact" true
+    (String.length contents >= 8 && String.sub contents 0 8 = "durable!");
+  Alcotest.(check bool) "no bytes beyond written" true
+    (String.length contents <= String.length "durable!-unsynced-tail")
+
+(* ---------- WAL fsync-gate ---------- *)
+
+let fsync_gate_poisons_writer () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let f = Faulty_env.create ~seed:7 ~fsync_fail_1_in:1 () in
+  let path = Filename.concat dir "gate.log" in
+  let w =
+    Clsm_wal.Wal_writer.create ~mode:Clsm_wal.Wal_writer.Sync
+      ~env:(Faulty_env.env f) path
+  in
+  (match Clsm_wal.Wal_writer.append w "r1" with
+  | () -> Alcotest.fail "expected fsync failure"
+  | exception Env.Error _ -> ());
+  (* The fault is gone, but the writer must stay poisoned: it cannot know
+     which of its earlier acknowledgements actually reached disk. *)
+  Faulty_env.set_fault_rates f ~fsync_fail_1_in:0 ();
+  (match Clsm_wal.Wal_writer.append w "r2" with
+  | () -> Alcotest.fail "writer must stay poisoned after an IO failure"
+  | exception Env.Error _ -> ());
+  Alcotest.(check bool) "poisoned" true (Clsm_wal.Wal_writer.poisoned w);
+  Clsm_wal.Wal_writer.abandon w
+
+(* ---------- read-only degradation ---------- *)
+
+let enospc_degrades_to_read_only () =
+  let dir = fresh_dir () in
+  let f = Faulty_env.create ~seed:3 () in
+  let opts =
+    small_opts ~env:(Faulty_env.env f) ~wal_enabled:false
+      ~memtable_bytes:(1 lsl 20) dir
+  in
+  let db = Db.open_store opts in
+  for i = 1 to 200 do
+    Db.put db ~key:(Printf.sprintf "k%04d" i) ~value:(String.make 40 'v')
+  done;
+  (* From here every append fails: the flush inside compact_now hits
+     ENOSPC, which must degrade the store, not kill it. *)
+  Faulty_env.set_fault_rates f ~append_fail_1_in:1 ();
+  Db.compact_now db;
+  (match Db.health db with
+  | `Degraded _ -> ()
+  | `Ok -> Alcotest.fail "store should be degraded after ENOSPC flush");
+  (* Reads still serve from the in-memory components... *)
+  Alcotest.(check (option string)) "reads survive" (Some (String.make 40 'v'))
+    (Db.get db "k0001");
+  (* ...writes are refused with the original failure as context. *)
+  (match Db.put db ~key:"new" ~value:"x" with
+  | () -> Alcotest.fail "writes must be refused when degraded"
+  | exception Store_sig.Degraded _ -> ());
+  (match Db.write_batch db [ Db.Batch_put ("b", "1") ] with
+  | () -> Alcotest.fail "batches must be refused when degraded"
+  | exception Store_sig.Degraded _ -> ());
+  Faulty_env.set_fault_rates f ~append_fail_1_in:0 ();
+  Db.close db;
+  (* The directory reopens cleanly with a healthy environment. *)
+  let db = Db.open_store { opts with Options.env = Env.unix } in
+  Alcotest.(check (list string)) "consistent after reopen" []
+    (Db.verify_integrity db);
+  Db.close db
+
+(* ---------- orphan cleanup after a mid-flush crash ---------- *)
+
+let mid_flush_crash_leaves_no_orphans () =
+  let dir = fresh_dir () in
+  let f = Faulty_env.create ~seed:11 () in
+  let opts = small_opts ~env:(Faulty_env.env f) ~sync_wal:true dir in
+  let db = Db.open_store opts in
+  for i = 1 to 300 do
+    Db.put db ~key:(Printf.sprintf "k%04d" i) ~value:(String.make 64 'o')
+  done;
+  (* Crash a few IO operations into the flush: the table builder dies
+     with a half-written .sst.tmp (and possibly published .sst files a
+     later manifest save never recorded). *)
+  Faulty_env.arm f ~crash_after:4;
+  Db.compact_now db;
+  Db.simulate_crash db;
+  Faulty_env.install_crash_image f;
+  let db = Db.open_store { opts with Options.env = Env.unix } in
+  let listing = Sys.readdir dir |> Array.to_list in
+  List.iter
+    (fun name ->
+      if Filename.check_suffix name ".tmp" then
+        Alcotest.failf "stray temp file survived recovery: %s" name)
+    listing;
+  (match Manifest.load ~dir () with
+  | None -> Alcotest.fail "manifest must exist after recovery"
+  | Some m ->
+      let live = List.map snd m.Manifest.files in
+      List.iter
+        (fun name ->
+          match String.split_on_char '.' name with
+          | [ num; "sst" ] ->
+              let n = int_of_string num in
+              if not (List.mem n live) then
+                Alcotest.failf "orphan table survived recovery: %s" name
+          | _ -> ())
+        listing);
+  (* All synchronously acknowledged writes are still there. *)
+  for i = 1 to 300 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "k%04d recovered" i)
+      (Some (String.make 64 'o'))
+      (Db.get db (Printf.sprintf "k%04d" i))
+  done;
+  Alcotest.(check (list string)) "healthy" [] (Db.verify_integrity db);
+  Db.close db
+
+(* ---------- strict WAL recovery ---------- *)
+
+let strict_wal_fails_on_corrupt_tail () =
+  let dir = fresh_dir () in
+  let opts = small_opts ~sync_wal:true ~memtable_bytes:(1 lsl 20) dir in
+  let db = Db.open_store opts in
+  Db.put db ~key:"a" ~value:"1";
+  Db.put db ~key:"b" ~value:"2";
+  Db.put db ~key:"c" ~value:"3";
+  Db.simulate_crash db;
+  (* Flip a byte near the end of the live log: the final record's CRC no
+     longer matches. *)
+  let log =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun n -> Filename.check_suffix n ".log")
+    |> List.sort compare |> List.rev |> List.hd
+  in
+  let path = Filename.concat dir log in
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string contents in
+  let i = Bytes.length b - 1 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc b);
+  (* Strict mode refuses to open... *)
+  (match Db.open_store { opts with Options.strict_wal = true } with
+  | db ->
+      Db.close db;
+      Alcotest.fail "strict_wal open must fail on a corrupt tail"
+  | exception Clsm_wal.Wal_reader.Corrupt _ -> ());
+  (* ...default mode salvages the prefix. *)
+  let db = Db.open_store opts in
+  Alcotest.(check (option string)) "prefix salvaged" (Some "2") (Db.get db "b");
+  Alcotest.(check (option string)) "torn record dropped" None (Db.get db "c");
+  Db.close db
+
+let suites =
+  [
+    ( "fault",
+      [
+        Alcotest.test_case "crash countdown" `Quick crash_countdown;
+        Alcotest.test_case "crash image" `Quick crash_image_keeps_synced_prefix;
+        Alcotest.test_case "fsync gate" `Quick fsync_gate_poisons_writer;
+        Alcotest.test_case "enospc degrades" `Quick enospc_degrades_to_read_only;
+        Alcotest.test_case "no orphans after crash" `Quick
+          mid_flush_crash_leaves_no_orphans;
+        Alcotest.test_case "strict wal" `Quick strict_wal_fails_on_corrupt_tail;
+      ] );
+  ]

@@ -333,7 +333,7 @@ let repair_rebuilds_manifest () =
   Db.close db;
   (* lose the manifest *)
   Sys.remove (Clsm_lsm.Table_file.manifest_path ~dir);
-  Db.repair ~dir;
+  Db.repair ~dir ();
   let db = Db.open_store opts in
   let missing = ref 0 in
   for i = 2 to 599 do
@@ -371,7 +371,7 @@ let repair_sets_aside_damaged_tables () =
   ignore (Unix.write fd (Bytes.make 8 '\xff') 0 8);
   Unix.close fd;
   Sys.remove (Clsm_lsm.Table_file.manifest_path ~dir);
-  Db.repair ~dir;
+  Db.repair ~dir ();
   Alcotest.(check bool) "victim renamed aside" true
     (Sys.file_exists (victim ^ ".damaged"));
   let db = Db.open_store opts in

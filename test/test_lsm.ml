@@ -229,7 +229,7 @@ let manifest_roundtrip () =
     }
   in
   Manifest.save ~dir:tmp_dir m;
-  (match Manifest.load ~dir:tmp_dir with
+  (match Manifest.load ~dir:tmp_dir () with
   | Some m' ->
       Alcotest.(check int) "next_file" 42 m'.Manifest.next_file_number;
       Alcotest.(check int) "last_ts" 99999 m'.Manifest.last_ts;
@@ -242,12 +242,12 @@ let manifest_roundtrip () =
   let contents = In_channel.with_open_bin path In_channel.input_all in
   let tampered = String.map (fun c -> if c = '4' then '5' else c) contents in
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc tampered);
-  (match Manifest.load ~dir:tmp_dir with
+  (match Manifest.load ~dir:tmp_dir () with
   | exception Failure _ -> ()
   | Some _ -> Alcotest.fail "tampered manifest accepted"
   | None -> Alcotest.fail "tampered manifest vanished");
   Sys.remove path;
-  Alcotest.(check bool) "absent manifest" true (Manifest.load ~dir:tmp_dir = None)
+  Alcotest.(check bool) "absent manifest" true (Manifest.load ~dir:tmp_dir () = None)
 
 (* ---------- Lsm_config ---------- *)
 

@@ -17,6 +17,7 @@ let record_roundtrip () =
     | `Record (p, next) -> collect next (p :: acc)
     | `End -> List.rev acc
     | `Torn -> Alcotest.fail "unexpected torn record"
+    | `Corrupt -> Alcotest.fail "unexpected corrupt record"
   in
   Alcotest.(check (list string)) "roundtrip" payloads (collect 0 [])
 
@@ -26,8 +27,9 @@ let record_detects_corruption () =
   let s = Bytes.of_string (Buffer.contents buf) in
   Bytes.set s (Wal_record.header_length + 2) 'X';
   match Wal_record.decode (Bytes.to_string s) ~pos:0 with
-  | `Torn -> ()
-  | `Record _ | `End -> Alcotest.fail "expected Torn"
+  | `Corrupt -> ()
+  | `Torn -> Alcotest.fail "expected Corrupt, got Torn"
+  | `Record _ | `End -> Alcotest.fail "expected Corrupt"
 
 let writer_sync_roundtrip () =
   let path = tmp_path "sync.log" in
@@ -90,6 +92,78 @@ let torn_tail_recovery () =
   Alcotest.(check (list string)) "intact prefix" [ "keep-1"; "keep-2" ] records;
   Alcotest.(check bool) "torn" true (outcome = Wal_reader.Torn_tail)
 
+let read_whole path = In_channel.with_open_bin path In_channel.input_all
+
+let write_whole path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* Strict mode turns the salvage of a truncated final record into a hard
+   failure. *)
+let torn_tail_strict_raises () =
+  let path = tmp_path "torn_strict.log" in
+  let w = Wal_writer.create ~mode:Wal_writer.Sync path in
+  Wal_writer.append w "keep-1";
+  Wal_writer.append w "will-be-torn";
+  Wal_writer.close w;
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (size - 4);
+  Unix.close fd;
+  match Wal_reader.read_records ~strict:true path with
+  | _ -> Alcotest.fail "expected Wal_reader.Corrupt"
+  | exception Wal_reader.Corrupt _ -> ()
+
+(* A bit flip inside a complete record fails its CRC: the valid prefix is
+   salvaged and the outcome distinguishes corruption from tearing. *)
+let bit_flip_corrupt_tail () =
+  let path = tmp_path "bitflip.log" in
+  let w = Wal_writer.create ~mode:Wal_writer.Sync path in
+  Wal_writer.append w "keep-1";
+  Wal_writer.append w "keep-2";
+  Wal_writer.append w "victim-payload";
+  Wal_writer.close w;
+  let contents = read_whole path in
+  let idx =
+    (* locate the last record's payload and flip one of its bytes *)
+    let needle = "victim-payload" in
+    let rec find i =
+      if String.sub contents i (String.length needle) = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let b = Bytes.of_string contents in
+  Bytes.set b idx (Char.chr (Char.code (Bytes.get b idx) lxor 0x40));
+  write_whole path (Bytes.to_string b);
+  let records, outcome = Wal_reader.read_records path in
+  Alcotest.(check (list string)) "prefix" [ "keep-1"; "keep-2" ] records;
+  Alcotest.(check bool) "corrupt tail" true (outcome = Wal_reader.Corrupt_tail);
+  (match Wal_reader.read_records ~strict:true path with
+  | _ -> Alcotest.fail "strict must raise on corrupt tail"
+  | exception Wal_reader.Corrupt _ -> ())
+
+(* A zero-length file is what a crash right after WAL creation leaves:
+   legal, clean, no records. *)
+let zero_length_file () =
+  let path = tmp_path "zero.log" in
+  write_whole path "";
+  let records, outcome = Wal_reader.read_records path in
+  Alcotest.(check (list string)) "no records" [] records;
+  Alcotest.(check bool) "clean" true (outcome = Wal_reader.Clean)
+
+(* Garbage shorter than a record header after valid records reads as a
+   torn (incomplete) trailer. *)
+let garbage_trailer () =
+  let path = tmp_path "garbage.log" in
+  let w = Wal_writer.create ~mode:Wal_writer.Sync path in
+  Wal_writer.append w "keep-1";
+  Wal_writer.append w "keep-2";
+  Wal_writer.close w;
+  write_whole path (read_whole path ^ "\xde\xad\xbe");
+  let records, outcome = Wal_reader.read_records path in
+  Alcotest.(check (list string)) "prefix" [ "keep-1"; "keep-2" ] records;
+  Alcotest.(check bool) "torn" true (outcome = Wal_reader.Torn_tail)
+
 let empty_log () =
   let path = tmp_path "empty.log" in
   let w = Wal_writer.create path in
@@ -119,6 +193,10 @@ let suites =
         Alcotest.test_case "async flush" `Quick writer_async_flush;
         Alcotest.test_case "concurrent appends" `Quick writer_concurrent_appends;
         Alcotest.test_case "torn tail recovery" `Quick torn_tail_recovery;
+        Alcotest.test_case "torn tail strict" `Quick torn_tail_strict_raises;
+        Alcotest.test_case "bit-flipped tail" `Quick bit_flip_corrupt_tail;
+        Alcotest.test_case "zero-length file" `Quick zero_length_file;
+        Alcotest.test_case "garbage trailer" `Quick garbage_trailer;
         Alcotest.test_case "empty log" `Quick empty_log;
       ] );
     ("wal.props", List.map QCheck_alcotest.to_alcotest [ prop_wal_roundtrip ]);
