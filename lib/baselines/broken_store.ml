@@ -1,0 +1,66 @@
+module SMap = Map.Make (String)
+
+type t = {
+  map : string SMap.t Atomic.t;
+  mutable stale : string SMap.t; (* racy by design: plain field *)
+  reads : int Atomic.t;
+  refresh_every : int;
+  race_window : float;
+}
+
+let create ?(refresh_every = 4) ?(race_window = 2e-4) () =
+  {
+    map = Atomic.make SMap.empty;
+    stale = SMap.empty;
+    reads = Atomic.make 0;
+    refresh_every;
+    race_window;
+  }
+
+(* puts and deletes are correct (CAS loop) — the bugs live in the read and
+   RMW paths, so the checker has to localize them rather than flag
+   everything. *)
+let rec update t f =
+  let cur = Atomic.get t.map in
+  if not (Atomic.compare_and_set t.map cur (f cur)) then update t f
+
+let put t ~key ~value = update t (SMap.add key value)
+let delete t ~key = update t (SMap.remove key)
+
+let get t key =
+  let n = Atomic.fetch_and_add t.reads 1 in
+  if n mod t.refresh_every = 0 then t.stale <- Atomic.get t.map;
+  SMap.find_opt key t.stale
+
+type rmw_decision = Clsm_core.Db.rmw_decision = Set of string | Remove | Abort
+
+let rmw t ~key f =
+  let m = Atomic.get t.map in
+  let pre = SMap.find_opt key m in
+  match f pre with
+  | Abort -> pre
+  | decision ->
+      if t.race_window > 0. then Unix.sleepf t.race_window;
+      let m' =
+        match decision with
+        | Set v -> SMap.add key v m
+        | Remove -> SMap.remove key m
+        | Abort -> assert false
+      in
+      (* blind install: loses every update that landed since the read *)
+      Atomic.set t.map m';
+      pre
+
+let put_if_absent t ~key ~value =
+  let installed = ref false in
+  ignore
+    (rmw t ~key (function
+      | Some _ ->
+          installed := false;
+          Abort
+      | None ->
+          installed := true;
+          Set value));
+  !installed
+
+let scan t = SMap.bindings t.stale

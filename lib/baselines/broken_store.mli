@@ -1,0 +1,34 @@
+(** A deliberately non-linearizable in-memory store — the lincheck
+    harness's negative control. A checker that cannot fail proves nothing;
+    this store plants two classic synchronization bugs for it to find:
+
+    - {b stale reads}: [get] (and [scan]) serve from a cached snapshot of
+      the map that is only refreshed every [refresh_every] reads, so a read
+      can return a value that a completed write already overwrote — the
+      observable effect of skipping the shared lock on the read path;
+    - {b lost updates}: [rmw] reads the map, computes the decision, sleeps
+      through an artificial race window and then installs with a blind
+      store instead of a CAS, so two concurrent RMWs can both act on the
+      same pre-image (and clobber concurrent puts wholesale).
+
+    The lincheck self-test asserts that the checker reports histories from
+    this store as non-linearizable. Never use it for anything else. *)
+
+type t
+
+val create : ?refresh_every:int -> ?race_window:float -> unit -> t
+(** [refresh_every] (default 4): reads between snapshot refreshes.
+    [race_window] (default 200 µs): sleep between an RMW's read and its
+    blind install. *)
+
+val put : t -> key:string -> value:string -> unit
+val delete : t -> key:string -> unit
+val get : t -> string -> string option
+
+type rmw_decision = Clsm_core.Db.rmw_decision = Set of string | Remove | Abort
+
+val rmw : t -> key:string -> (string option -> rmw_decision) -> string option
+val put_if_absent : t -> key:string -> value:string -> bool
+
+val scan : t -> (string * string) list
+(** Bindings of the stale snapshot — a torn, lagging view. *)

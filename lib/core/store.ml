@@ -64,6 +64,25 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     in
     loop ()
 
+  (* Blind writers (put/delete) additionally register in [put_active],
+     the set an RMW's in-flight fence drains. The registration must
+     precede the snapTime check so the store-load handshake with the
+     RMW's advance_to/find_min pair cannot miss: either the writer sees
+     the fence and re-draws, or the RMW sees the writer and waits. *)
+  let get_put_ts t =
+    let rec loop () =
+      let ts = Monotonic_counter.inc_and_get t.time_counter in
+      let h = Active_set.add t.active ts in
+      let hp = Active_set.add t.put_active ts in
+      if ts <= Monotonic_counter.get t.snap_time then begin
+        Active_set.remove t.put_active hp;
+        Active_set.remove t.active h;
+        loop ()
+      end
+      else (ts, h, hp)
+    in
+    loop ()
+
   (* Graduated admission control (see {!Backpressure}), checked outside the
      shared lock so a delayed or stalled writer cannot block the merge.
      A degraded store counts as stopped: the stall it is waiting out
@@ -115,13 +134,17 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     Fun.protect
       ~finally:(fun () -> Shared_lock.unlock_shared t.lock)
       (fun () ->
-        let ts, h = get_ts t in
+        let ts, h, hp = get_put_ts t in
+        (* The Active entries guard visibility (snapshots and RMWs wait
+           on them), which is established by the memtable insert; holding
+           them across the WAL append would only stall those on group
+           commit. *)
         Fun.protect
-          ~finally:(fun () -> Active_set.remove t.active h)
-          (fun () ->
-            M.add mc.mem ~user_key ~ts entry;
-            wal_append t mc
-              (Log_record.encode { Log_record.ts; user_key; entry })));
+          ~finally:(fun () ->
+            Active_set.remove t.put_active hp;
+            Active_set.remove t.active h)
+          (fun () -> M.add mc.mem ~user_key ~ts entry);
+        wal_append t mc (Log_record.encode { Log_record.ts; user_key; entry }));
     maybe_wake_for_rotation t mc
 
   let put t ~key ~value =
@@ -215,23 +238,48 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
             | Remove -> Entry.Tombstone
             | Abort -> assert false
           in
-          (* Lines 5-6: locate the insertion point for (k, ∞); a predecessor
-             version newer than what we read is a conflict. *)
+          (* Line 9 first: the fresh timestamp, then fence out the
+             blind spot the paper's line order leaves open — a put that
+             drew an older timestamp but has not yet published its node
+             would slot in *beneath* ours, invisible to the read above
+             and to the conflict check below, and its value would be
+             lost without the RMW ever observing it. Advancing snapTime
+             makes any such straddling writer re-draw a newer timestamp
+             (the getTS retry), and the put_active wait drains the ones
+             already committed to theirs — the same handshake getSnap
+             relies on. Only blind writers need draining: an older RMW
+             locates after its own drain, so it detects our newer
+             version as a conflict by itself; waiting on [active] here
+             would needlessly serialize independent RMWs. Progress: the
+             oldest active writer never waits, so every wait iteration
+             implies system-wide progress. *)
+          let ts, h = get_ts t in
+          ignore (Monotonic_counter.advance_to t.snap_time (ts - 1));
+          let b = Backoff.create () in
+          let rec wait () =
+            match Active_set.find_min t.put_active with
+            | Some m when m < ts ->
+                Backoff.once b;
+                wait ()
+            | Some _ | None -> ()
+          in
+          wait ();
+          (* Lines 5-6: locate the insertion point for (k, ∞); a
+             predecessor version newer than what we read is a conflict.
+             Every version with a timestamp below ours has landed by
+             now, so a clean check really means no intervening write. *)
           let prev_ts, loc = M.locate_rmw pm.mem ~user_key:key in
           match prev_ts with
           | Some p when p > seen_ts ->
+              Active_set.remove t.active h;
               Stats.incr_rmw_conflicts t.stats;
               attempt ()
           | _ ->
-              (* Lines 9-12: fresh timestamp, then publish with a CAS. *)
-              let ts, h = get_ts t in
+              (* Lines 10-12: publish with a CAS. *)
               if M.try_install pm.mem loc ~user_key:key ~ts entry then begin
-                Fun.protect
-                  ~finally:(fun () -> Active_set.remove t.active h)
-                  (fun () ->
-                    wal_append t pm
-                      (Log_record.encode
-                         { Log_record.ts; user_key = key; entry }));
+                Active_set.remove t.active h;
+                wal_append t pm
+                  (Log_record.encode { Log_record.ts; user_key = key; entry });
                 pre_image
               end
               else begin
@@ -498,6 +546,7 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
         lock = Shared_lock.create ();
         time_counter = Monotonic_counter.create r.Recover.last_ts;
         active = Active_set.create ~capacity:opts.active_set_capacity ();
+        put_active = Active_set.create ~capacity:opts.active_set_capacity ();
         snap_time = Monotonic_counter.create 0;
         snapshots = Snapshot_registry.create ();
         pm =

@@ -42,6 +42,10 @@ module Make (M : Memtable_intf.S) = struct
     lock : Shared_lock.t;
     time_counter : Monotonic_counter.t;
     active : Active_set.t;
+    put_active : Active_set.t;
+        (* blind writers only (put/delete), a subset of [active]: what an
+           RMW's in-flight fence drains — older RMWs self-detect via their
+           conflict check, so waiting on them would serialize all RMWs *)
     snap_time : Monotonic_counter.t;
     snapshots : Snapshot_registry.t;
     pm : memcomp Rcu_box.t;

@@ -1,0 +1,176 @@
+type violation = {
+  vkey : string;
+  witness : History.event list;
+  total_events : int;
+}
+
+type result = {
+  keys_checked : int;
+  events_checked : int;
+  violations : violation list;
+  inconclusive : string list;
+}
+
+(* One linearization step: [Some state'] if [op] is legal on [state]. *)
+let apply state (op : History.op) =
+  match op with
+  | History.Get r -> if r = state then Some state else None
+  | History.Put v -> Some (Some v)
+  | History.Delete -> Some None
+  | History.Rmw { pre; decision } ->
+      if pre <> state then None
+      else
+        Some
+          (match decision with
+          | History.Set v -> Some v
+          | History.Remove -> None
+          | History.Abort -> state)
+  | History.Put_if_absent { value; won } -> (
+      match (state, won) with
+      | None, true -> Some (Some value)
+      | Some _, false -> Some state
+      | None, false | Some _, true -> None)
+
+exception Budget
+
+let check_key_events ?(max_states = 1_000_000) events =
+  let evs =
+    Array.of_list
+      (List.sort (fun a b -> compare a.History.inv b.History.inv) events)
+  in
+  let n = Array.length evs in
+  if n = 0 then `Linearizable
+  else begin
+    let nbytes = (n + 7) / 8 in
+    (* pending-operation bitset, mutated in place along the DFS *)
+    let remaining = Bytes.make nbytes '\000' in
+    let is_set i = Char.code (Bytes.get remaining (i lsr 3)) land (1 lsl (i land 7)) <> 0 in
+    let set_bit i =
+      Bytes.set remaining (i lsr 3)
+        (Char.chr (Char.code (Bytes.get remaining (i lsr 3)) lor (1 lsl (i land 7))))
+    in
+    let clear_bit i =
+      Bytes.set remaining (i lsr 3)
+        (Char.chr
+           (Char.code (Bytes.get remaining (i lsr 3)) land lnot (1 lsl (i land 7))))
+    in
+    for i = 0 to n - 1 do set_bit i done;
+    (* memoized dead configurations: (pending set, register value) *)
+    let memo = Hashtbl.create 4096 in
+    let states = ref 0 in
+    let rec dfs state left =
+      if left = 0 then true
+      else begin
+        let ckey =
+          Bytes.to_string remaining
+          ^ (match state with None -> "\x00" | Some v -> "\x01" ^ v)
+        in
+        if Hashtbl.mem memo ckey then false
+        else begin
+          incr states;
+          if !states > max_states then raise Budget;
+          (* Only real-time-minimal pending ops may linearize next: op [i]
+             qualifies iff no pending op responded before [i] was invoked,
+             i.e. inv(i) < min res over pending ops. *)
+          let min_res = ref max_int in
+          for i = 0 to n - 1 do
+            if is_set i && evs.(i).History.res < !min_res then
+              min_res := evs.(i).History.res
+          done;
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < n do
+            (if is_set !i && evs.(!i).History.inv < !min_res then
+               match apply state evs.(!i).History.op with
+               | Some state' ->
+                   clear_bit !i;
+                   if dfs state' (left - 1) then ok := true else set_bit !i
+               | None -> ());
+            incr i
+          done;
+          if not !ok then Hashtbl.add memo ckey ();
+          !ok
+        end
+      end
+    in
+    match dfs None n with
+    | true -> `Linearizable
+    | false -> `Non_linearizable
+    | exception Budget -> `Inconclusive
+  end
+
+(* Greedy delta-reduction of a non-linearizable subhistory: drop every
+   event whose removal keeps the remainder non-linearizable. The result is
+   a small witness that still fails on its own (it may isolate a different
+   facet of the same race, as delta debugging does). *)
+let minimize ?(max_states = 100_000) events =
+  let current = ref events in
+  List.iter
+    (fun (e : History.event) ->
+      if List.length !current > 2 then begin
+        let without =
+          List.filter (fun (x : History.event) -> x.History.id <> e.History.id)
+            !current
+        in
+        match check_key_events ~max_states without with
+        | `Non_linearizable -> current := without
+        | `Linearizable | `Inconclusive -> ()
+      end)
+    events;
+  !current
+
+let check ?max_states (h : History.t) =
+  let by_key : (string, History.event list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : History.event) ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt by_key e.History.key)
+      in
+      Hashtbl.replace by_key e.History.key (e :: prev))
+    h.History.events;
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) by_key [] |> List.sort compare
+  in
+  let violations = ref [] and inconclusive = ref [] and total = ref 0 in
+  List.iter
+    (fun key ->
+      let events = Hashtbl.find by_key key in
+      total := !total + List.length events;
+      match check_key_events ?max_states events with
+      | `Linearizable -> ()
+      | `Inconclusive -> inconclusive := key :: !inconclusive
+      | `Non_linearizable ->
+          let witness =
+            minimize events
+            |> List.sort (fun a b -> compare a.History.inv b.History.inv)
+          in
+          violations :=
+            { vkey = key; witness; total_events = List.length events }
+            :: !violations)
+    keys;
+  {
+    keys_checked = List.length keys;
+    events_checked = !total;
+    violations = List.rev !violations;
+    inconclusive = List.rev !inconclusive;
+  }
+
+let ok r = r.violations = [] && r.inconclusive = []
+
+let pp_violation v =
+  Printf.sprintf
+    "key %S is NOT linearizable — minimized witness (%d of %d events):\n%s"
+    v.vkey (List.length v.witness) v.total_events
+    (String.concat "\n"
+       (List.map (fun e -> "  " ^ History.pp_event e) v.witness))
+
+let pp_result r =
+  if ok r then
+    Printf.sprintf "linearizable: %d keys, %d events" r.keys_checked
+      r.events_checked
+  else
+    String.concat "\n"
+      (List.map pp_violation r.violations
+      @ List.map
+          (fun k -> Printf.sprintf "key %S: search budget exceeded" k)
+          r.inconclusive)

@@ -1,0 +1,113 @@
+open Clsm_primitives
+
+type decision = Set of string | Remove | Abort
+
+type op =
+  | Get of string option
+  | Put of string
+  | Delete
+  | Rmw of { pre : string option; decision : decision }
+  | Put_if_absent of { value : string; won : bool }
+
+type event = {
+  id : int;
+  domain : int;
+  key : string;
+  op : op;
+  inv : int;
+  res : int;
+}
+
+type scan = {
+  scan_domain : int;
+  scan_inv : int;
+  scan_res : int;
+  snap_ts : int option;
+  result : (string * string) list;
+}
+
+type entry = Ev of event | Sc of scan
+
+type recorder = {
+  seq : int Atomic.t;
+  next_id : int Atomic.t;
+  next_dom : int Atomic.t;
+  (* registration order; buffers are appended with a CAS on an immutable
+     list so registration from concurrently-spawning domains is safe *)
+  buffers : (int * entry Event_buffer.t) list Atomic.t;
+}
+
+type dom = { dom_idx : int; buf : entry Event_buffer.t; rec_ : recorder }
+
+let create () =
+  {
+    seq = Atomic.make 0;
+    next_id = Atomic.make 0;
+    next_dom = Atomic.make 0;
+    buffers = Atomic.make [];
+  }
+
+let register rec_ =
+  let dom_idx = Atomic.fetch_and_add rec_.next_dom 1 in
+  let buf = Event_buffer.create () in
+  let rec link () =
+    let cur = Atomic.get rec_.buffers in
+    if not (Atomic.compare_and_set rec_.buffers cur ((dom_idx, buf) :: cur))
+    then link ()
+  in
+  link ();
+  { dom_idx; buf; rec_ }
+
+let next_seq rec_ = Atomic.fetch_and_add rec_.seq 1
+let dom_seq dom = next_seq dom.rec_
+
+let record dom ~key ~inv ~res op =
+  let id = Atomic.fetch_and_add dom.rec_.next_id 1 in
+  Event_buffer.push dom.buf
+    (Ev { id; domain = dom.dom_idx; key; op; inv; res })
+
+let record_scan dom ~inv ~res ~snap_ts result =
+  Event_buffer.push dom.buf
+    (Sc
+       {
+         scan_domain = dom.dom_idx;
+         scan_inv = inv;
+         scan_res = res;
+         snap_ts;
+         result;
+       })
+
+type t = { events : event list; scans : scan list }
+
+let collect rec_ =
+  let events = ref [] and scans = ref [] in
+  List.iter
+    (fun (_, buf) ->
+      Event_buffer.iter
+        (function Ev e -> events := e :: !events | Sc s -> scans := s :: !scans)
+        buf)
+    (Atomic.get rec_.buffers);
+  {
+    events = List.sort (fun a b -> compare a.inv b.inv) !events;
+    scans = List.sort (fun a b -> compare a.scan_inv b.scan_inv) !scans;
+  }
+
+let pp_value = function None -> "∅" | Some v -> Printf.sprintf "%S" v
+
+let pp_decision = function
+  | Set v -> Printf.sprintf "Set %S" v
+  | Remove -> "Remove"
+  | Abort -> "Abort"
+
+let pp_op = function
+  | Get r -> Printf.sprintf "get -> %s" (pp_value r)
+  | Put v -> Printf.sprintf "put %S" v
+  | Delete -> "delete"
+  | Rmw { pre; decision } ->
+      Printf.sprintf "rmw pre=%s -> %s" (pp_value pre) (pp_decision decision)
+  | Put_if_absent { value; won } ->
+      Printf.sprintf "put_if_absent %S -> %b" value won
+
+let pp_event e =
+  Printf.sprintf "[d%d] #%d inv=%d res=%d %S %s" e.domain e.id e.inv e.res
+    e.key (pp_op e.op)

@@ -1,0 +1,70 @@
+(** Concurrent-history recording for the linearizability checker.
+
+    A {!recorder} owns a global atomic sequence counter and one
+    {!Clsm_primitives.Event_buffer} per registered domain. Each operation is
+    logged as one completed event carrying the counter values read at
+    invocation ([inv]) and at response ([res]): operation A really precedes
+    operation B iff [A.res < B.inv], which is exactly the real-time partial
+    order the checker must respect. Recording is lock-free (a fetch-and-add
+    per edge plus an append to the domain-local buffer), so the recorder
+    does not serialize the interleavings it observes. *)
+
+type decision = Set of string | Remove | Abort
+(** Mirror of {!Clsm_core.Store_sig.S.rmw_decision}, decoupled so the
+    checker does not depend on a particular store instance. *)
+
+type op =
+  | Get of string option  (** observed value *)
+  | Put of string
+  | Delete
+  | Rmw of { pre : string option; decision : decision }
+      (** pre-image read by the successful attempt, and the decision of the
+          final invocation of the user function *)
+  | Put_if_absent of { value : string; won : bool }
+
+type event = {
+  id : int;  (** unique within the history *)
+  domain : int;  (** registration index, not [Domain.id] *)
+  key : string;
+  op : op;
+  inv : int;
+  res : int;
+}
+
+type scan = {
+  scan_domain : int;
+  scan_inv : int;
+  scan_res : int;
+  snap_ts : int option;  (** store snapshot timestamp, when exposed *)
+  result : (string * string) list;  (** full-range scan result *)
+}
+
+type recorder
+type dom  (** per-domain recording handle *)
+
+val create : unit -> recorder
+
+val register : recorder -> dom
+(** Call once from each worker domain before its first operation. *)
+
+val next_seq : recorder -> int
+(** Draw the next global sequence number (invocation / response edge). *)
+
+val dom_seq : dom -> int
+(** {!next_seq} through a per-domain handle. *)
+
+val record : dom -> key:string -> inv:int -> res:int -> op -> unit
+val record_scan : dom -> inv:int -> res:int -> snap_ts:int option ->
+  (string * string) list -> unit
+
+type t = { events : event list; scans : scan list }
+(** A collected history. [events] are sorted by [inv]. *)
+
+val collect : recorder -> t
+(** Gather all per-domain buffers. Call after every worker has finished
+    (joined); a concurrent call sees a consistent prefix per domain. *)
+
+val pp_value : string option -> string
+val pp_op : op -> string
+val pp_event : event -> string
+(** One-line rendering: [[d2] #17 inv=340 res=345 rmw "k03" pre=...]. *)

@@ -1,0 +1,164 @@
+type violation = { scan : History.scan; reason : string }
+
+type write = { winv : int; wres : int; effect : string option }
+
+let effect_of (op : History.op) =
+  match op with
+  | History.Put v -> Some (Some v)
+  | History.Delete -> Some None
+  | History.Rmw { decision = History.Set v; _ } -> Some (Some v)
+  | History.Rmw { decision = History.Remove; _ } -> Some None
+  | History.Rmw { decision = History.Abort; _ } -> None
+  | History.Put_if_absent { value; won = true } -> Some (Some value)
+  | History.Put_if_absent { won = false; _ } -> None
+  | History.Get _ -> None
+
+let writes_by_key (h : History.t) =
+  let tbl : (string, write list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : History.event) ->
+      match effect_of e.History.op with
+      | None -> ()
+      | Some effect ->
+          let w =
+            { winv = e.History.inv; wres = e.History.res; effect }
+          in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt tbl e.History.key)
+          in
+          Hashtbl.replace tbl e.History.key (w :: prev))
+    h.History.events;
+  tbl
+
+(* Cuts at which [v] is a possible value of the key: one interval per
+   write of [v] — from its invocation until just before the first distinct
+   write that started after it finished completes — plus, for [None], the
+   initial segment before any write completes. *)
+let intervals writes v =
+  let supersede_bound w =
+    List.fold_left
+      (fun acc w' ->
+        if w' != w && w'.winv >= w.wres then min acc w'.wres else acc)
+      max_int writes
+  in
+  let from_writes =
+    List.filter_map
+      (fun w ->
+        if w.effect = v then
+          let hi =
+            let s = supersede_bound w in
+            if s = max_int then max_int else s - 1
+          in
+          if hi >= w.winv then Some (w.winv, hi) else None
+        else None)
+      writes
+  in
+  if v = None then
+    let first_res =
+      List.fold_left (fun acc w -> min acc w.wres) max_int writes
+    in
+    (min_int, if first_res = max_int then max_int else first_res - 1)
+    :: from_writes
+  else from_writes
+
+let check_one_scan ~mode by_key (s : History.scan) =
+  let lo_bound =
+    match mode with `Serializable -> min_int | `Linearizable -> s.History.scan_inv
+  in
+  let hi_bound = s.History.scan_res in
+  let universe =
+    let keys = Hashtbl.create 32 in
+    Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) by_key;
+    List.iter (fun (k, _) -> Hashtbl.replace keys k ()) s.History.result;
+    Hashtbl.fold (fun k () acc -> k :: acc) keys []
+  in
+  (* Per key: the clipped cut intervals at which the reported value is
+     possible. *)
+  let per_key =
+    List.map
+      (fun k ->
+        let reported = List.assoc_opt k s.History.result in
+        let writes = Option.value ~default:[] (Hashtbl.find_opt by_key k) in
+        let ivals =
+          intervals writes reported
+          |> List.filter_map (fun (lo, hi) ->
+                 let lo = max lo lo_bound and hi = min hi hi_bound in
+                 if lo <= hi then Some (lo, hi) else None)
+        in
+        (k, reported, ivals))
+      universe
+  in
+  match List.find_opt (fun (_, _, ivals) -> ivals = []) per_key with
+  | Some (k, reported, _) ->
+      Some
+        {
+          scan = s;
+          reason =
+            Printf.sprintf
+              "key %S: reported value %s is impossible at every cut in \
+               [%s, %d]"
+              k
+              (History.pp_value reported)
+              (if lo_bound = min_int then "-inf" else string_of_int lo_bound)
+              hi_bound;
+        }
+  | None ->
+      (* A common cut exists iff one of the interval lower bounds (or the
+         window floor) lies in every key's interval union. *)
+      let candidates =
+        lo_bound
+        :: List.concat_map (fun (_, _, ivals) -> List.map fst ivals) per_key
+      in
+      let covers t (_, _, ivals) =
+        List.exists (fun (lo, hi) -> lo <= t && t <= hi) ivals
+      in
+      if
+        List.exists (fun t -> List.for_all (covers t) per_key) candidates
+      then None
+      else
+        Some
+          {
+            scan = s;
+            reason =
+              "no single cut makes every reported value possible (torn \
+               snapshot)";
+          }
+
+let check_ts_monotone (scans : History.scan list) =
+  (* scans are sorted by invocation; compare each against every earlier
+     scan that finished before it started *)
+  let rec go acc = function
+    | [] -> []
+    | (s : History.scan) :: rest ->
+        let bad =
+          List.exists
+            (fun (p : History.scan) ->
+              p.History.scan_res < s.History.scan_inv
+              &&
+              match (p.History.snap_ts, s.History.snap_ts) with
+              | Some tp, Some ts -> tp > ts
+              | _ -> false)
+            acc
+        in
+        let acc' = s :: acc in
+        if bad then
+          { scan = s; reason = "snapshot timestamp moved backwards" }
+          :: go acc' rest
+        else go acc' rest
+  in
+  go [] scans
+
+let check ?(mode = `Serializable) (h : History.t) =
+  let by_key = writes_by_key h in
+  let torn =
+    List.filter_map (check_one_scan ~mode by_key) h.History.scans
+  in
+  torn @ check_ts_monotone h.History.scans
+
+let pp_violation v =
+  Printf.sprintf "scan [d%d] inv=%d res=%d ts=%s: %s" v.scan.History.scan_domain
+    v.scan.History.scan_inv v.scan.History.scan_res
+    (match v.scan.History.snap_ts with
+    | None -> "-"
+    | Some t -> string_of_int t)
+    v.reason

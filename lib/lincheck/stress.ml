@@ -1,0 +1,109 @@
+type config = {
+  seed : int;
+  domains : int;
+  ops_per_domain : int;
+  key_space : int;
+  dist : [ `Uniform | `Zipf | `Skewed_blocks | `Heavy_tail ];
+  read_pct : int;
+  put_pct : int;
+  delete_pct : int;
+  rmw_pct : int;
+  scan_every : int;
+  compact_every : int;
+}
+
+let default =
+  {
+    seed = 0;
+    domains = 4;
+    ops_per_domain = 300;
+    key_space = 8;
+    dist = `Uniform;
+    read_pct = 30;
+    put_pct = 25;
+    delete_pct = 10;
+    rmw_pct = 20;
+    scan_every = 40;
+    compact_every = 150;
+  }
+
+(* Key popularity comes from the benchmark harness's generators, so the
+   checker exercises the same access shapes the paper's experiments use.
+   Each worker owns its distribution instance (they carry per-shape
+   state) seeded deterministically from (seed, domain). *)
+let make_keygen cfg d =
+  let module KD = Clsm_workload.Key_dist in
+  let dist =
+    match cfg.dist with
+    | `Uniform -> KD.uniform cfg.key_space
+    | `Zipf -> KD.zipf cfg.key_space
+    | `Skewed_blocks -> KD.skewed_blocks cfg.key_space
+    | `Heavy_tail -> KD.heavy_tail cfg.key_space
+  in
+  let wrng = Clsm_workload.Rng.create ((cfg.seed * 8191) + d) in
+  fun () -> Printf.sprintf "k%02d" (KD.next_index dist wrng)
+
+(* RMW flavors. The user function must be deterministic in the pre-image
+   (it can be re-invoked after a conflict), so all randomness is drawn
+   before the call. *)
+let rmw_fn flavor fresh (pre : string option) =
+  match (flavor, pre) with
+  | 0, _ -> History.Set fresh (* unconditional overwrite *)
+  | 1, None -> History.Set fresh (* toggle: install / remove *)
+  | 1, Some _ -> History.Remove
+  | 2, None -> History.Abort (* update only if present *)
+  | 2, Some _ -> History.Set fresh
+  | _, _ -> History.Abort (* pure read through the RMW path *)
+
+let worker cfg ops rec_ gate d () =
+  let dom = History.register rec_ in
+  let iops = Target.instrument dom ops in
+  let rng = Random.State.make [| cfg.seed; d; 0x11c4ec |] in
+  let next_key = make_keygen cfg d in
+  while not (Atomic.get gate) do
+    Domain.cpu_relax ()
+  done;
+  for i = 1 to cfg.ops_per_domain do
+    (match iops.Target.scan with
+    | Some scan
+      when cfg.scan_every > 0 && (i + (d * 7)) mod cfg.scan_every = 0 ->
+        ignore (scan ())
+    | _ -> ());
+    (match iops.Target.compact with
+    | Some compact
+      when d = 0 && cfg.compact_every > 0 && i mod cfg.compact_every = 0 ->
+        compact ()
+    | _ -> ());
+    let key = next_key () in
+    let fresh = Printf.sprintf "d%d-%d" d i in
+    let roll = Random.State.int rng 100 in
+    if roll < cfg.read_pct then ignore (iops.Target.get key)
+    else if roll < cfg.read_pct + cfg.put_pct then
+      iops.Target.put ~key ~value:fresh
+    else if roll < cfg.read_pct + cfg.put_pct + cfg.delete_pct then
+      iops.Target.delete ~key
+    else if roll < cfg.read_pct + cfg.put_pct + cfg.delete_pct + cfg.rmw_pct
+    then begin
+      match iops.Target.rmw with
+      | Some rmw ->
+          let flavor = Random.State.int rng 4 in
+          ignore (rmw ~key (rmw_fn flavor fresh))
+      | None -> iops.Target.put ~key ~value:fresh
+    end
+    else begin
+      match iops.Target.put_if_absent with
+      | Some pia -> ignore (pia ~key ~value:fresh)
+      | None -> iops.Target.put ~key ~value:fresh
+    end
+  done
+
+let run cfg ops =
+  let rec_ = History.create () in
+  let gate = Atomic.make false in
+  let workers =
+    List.init cfg.domains (fun d ->
+        Domain.spawn (worker cfg ops rec_ gate d))
+  in
+  Atomic.set gate true;
+  List.iter Domain.join workers;
+  History.collect rec_

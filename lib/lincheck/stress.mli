@@ -1,0 +1,35 @@
+(** Seeded multi-domain stress driver: generates adversarial concurrent
+    histories for the checker.
+
+    Each worker domain draws its operation stream from an RNG seeded by
+    [(seed, domain index)], so a schedule is reproducible up to OS
+    interleaving: re-running a seed replays the same operation mix onto
+    the same small, contended key space. Workers start together behind a
+    gate; domain 0 additionally injects scans and synchronous
+    flush+compaction at fixed strides so memtable rotations and level
+    merges run concurrently with the recorded operations. *)
+
+type config = {
+  seed : int;
+  domains : int;
+  ops_per_domain : int;
+  key_space : int;  (** small on purpose: contention finds races *)
+  dist : [ `Uniform | `Zipf | `Skewed_blocks | `Heavy_tail ];
+      (** key popularity shape, reusing the benchmark harness's
+          {!Clsm_workload.Key_dist} generators; non-uniform shapes
+          concentrate even a small key space further *)
+  read_pct : int;
+  put_pct : int;
+  delete_pct : int;
+  rmw_pct : int;  (** remainder of 100 goes to [put_if_absent] *)
+  scan_every : int;  (** ops between scans per domain; 0 = never *)
+  compact_every : int;  (** domain-0 ops between compactions; 0 = never *)
+}
+
+val default : config
+(** 4 domains × 300 ops over 8 keys, 30/25/10/20 mix, scans every 40 ops,
+    compaction every 150. *)
+
+val run : config -> Target.ops -> History.t
+(** Spawn the workers, drive the instrumented target, join, and collect
+    the history. Raises whatever the target raises. *)

@@ -1,0 +1,54 @@
+(* Chunked single-writer log. Slots are plain writes; [published] is the
+   atomic head: the writer fills a slot and then bumps [published], the
+   reader loads [published] and only reads slots below it, so every slot
+   read happens-after the write that filled it (no data race). *)
+
+let chunk_size = 1024
+
+type 'a chunk = { data : 'a option array; next : 'a chunk option Atomic.t }
+
+let make_chunk () =
+  { data = Array.make chunk_size None; next = Atomic.make None }
+
+type 'a t = {
+  head : 'a chunk;
+  mutable tail : 'a chunk; (* owner-domain only *)
+  published : int Atomic.t;
+}
+
+let create () =
+  let c = make_chunk () in
+  { head = c; tail = c; published = Atomic.make 0 }
+
+let push t x =
+  let n = Atomic.get t.published in
+  let off = n mod chunk_size in
+  (if off = 0 && n > 0 then begin
+     let c = make_chunk () in
+     Atomic.set t.tail.next (Some c);
+     t.tail <- c
+   end);
+  t.tail.data.(off) <- Some x;
+  Atomic.set t.published (n + 1)
+
+let length t = Atomic.get t.published
+
+let iter f t =
+  let n = Atomic.get t.published in
+  let rec go chunk i =
+    if i < n then begin
+      let off = i mod chunk_size in
+      (match chunk.data.(off) with Some x -> f x | None -> assert false);
+      if off = chunk_size - 1 then
+        match Atomic.get chunk.next with
+        | Some c -> go c (i + 1)
+        | None -> assert (i + 1 >= n)
+      else go chunk (i + 1)
+    end
+  in
+  go t.head 0
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,27 @@
+(** Single-writer lock-free append-only buffer.
+
+    One buffer per domain: the owning domain appends, any domain may read.
+    The lincheck history recorder uses one per worker so that recording an
+    operation never takes a lock (a lock in the recorder would serialize the
+    very interleavings the checker is trying to observe).
+
+    Appends publish with a release store on an atomic head; readers snapshot
+    with an acquire load, so a reader sees a consistent prefix of the
+    writer's appends. Only the owning domain may call {!push}. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Append one element. Wait-free; owner domain only. *)
+
+val length : 'a t -> int
+(** Elements published so far. *)
+
+val to_list : 'a t -> 'a list
+(** All published elements, oldest first. Safe from any domain; reflects a
+    prefix of the owner's appends. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest-first iteration over the published prefix. *)

@@ -1,0 +1,254 @@
+(* Deterministic unit tests for the linearizability checker and the scan
+   validator: hand-built histories with known verdicts, plus a small
+   single-process stress smoke through the whole pipeline. These run in
+   the tier-1 suite; the seeded multi-domain campaigns live in
+   test_lincheck.ml behind `dune build @lincheck`. *)
+
+open Clsm_lincheck
+
+let ev id domain key op inv res =
+  { History.id; domain; key; op; inv; res }
+
+let history ?(scans = []) events = { History.events; scans }
+
+let scan ?snap_ts ~inv ~res result =
+  {
+    History.scan_domain = 0;
+    scan_inv = inv;
+    scan_res = res;
+    snap_ts;
+    result;
+  }
+
+let check_verdict name expected h =
+  let r = Checker.check h in
+  Alcotest.(check bool) name expected (Checker.ok r)
+
+(* ---------- checker: accepting ---------- *)
+
+let sequential_ok () =
+  check_verdict "put then get" true
+    (history
+       [
+         ev 0 0 "a" (History.Put "v1") 0 1;
+         ev 1 0 "a" (History.Get (Some "v1")) 2 3;
+         ev 2 0 "a" History.Delete 4 5;
+         ev 3 0 "a" (History.Get None) 6 7;
+       ])
+
+let concurrent_overlap_ok () =
+  (* the get overlaps the put and may linearize before it *)
+  check_verdict "overlapping get sees pre-state" true
+    (history
+       [
+         ev 0 0 "a" (History.Put "v1") 0 3;
+         ev 1 1 "a" (History.Get None) 1 2;
+       ])
+
+let rmw_chain_ok () =
+  check_verdict "rmw chain" true
+    (history
+       [
+         ev 0 0 "a" (History.Put "0") 0 1;
+         ev 1 0 "a"
+           (History.Rmw { pre = Some "0"; decision = History.Set "1" })
+           2 3;
+         ev 2 1 "a"
+           (History.Rmw { pre = Some "1"; decision = History.Remove })
+           4 5;
+         ev 3 1 "a" (History.Get None) 6 7;
+       ])
+
+(* ---------- checker: rejecting ---------- *)
+
+let stale_read_flagged () =
+  check_verdict "stale read" false
+    (history
+       [
+         ev 0 0 "a" (History.Put "v1") 0 1;
+         ev 1 0 "a" (History.Put "v2") 2 3;
+         ev 2 1 "a" (History.Get (Some "v1")) 4 5;
+       ])
+
+let lost_update_flagged () =
+  (* two RMWs acting on the same pre-image cannot both linearize *)
+  let h =
+    history
+      [
+        ev 0 0 "a" (History.Put "0") 0 1;
+        ev 1 0 "a"
+          (History.Rmw { pre = Some "0"; decision = History.Set "1" })
+          2 3;
+        ev 2 1 "a"
+          (History.Rmw { pre = Some "0"; decision = History.Set "2" })
+          4 5;
+      ]
+  in
+  let r = Checker.check h in
+  Alcotest.(check bool) "flagged" false (Checker.ok r);
+  match r.Checker.violations with
+  | [ v ] ->
+      Alcotest.(check string) "key" "a" v.Checker.vkey;
+      Alcotest.(check bool) "witness nonempty" true (v.Checker.witness <> []);
+      Alcotest.(check bool) "witness minimized" true
+        (List.length v.Checker.witness <= v.Checker.total_events)
+  | other ->
+      Alcotest.failf "expected one violation, got %d" (List.length other)
+
+let double_pia_flagged () =
+  check_verdict "two winning put_if_absent" false
+    (history
+       [
+         ev 0 0 "a"
+           (History.Put_if_absent { value = "x"; won = true })
+           0 1;
+         ev 1 1 "a"
+           (History.Put_if_absent { value = "y"; won = true })
+           2 3;
+       ])
+
+let per_key_isolation () =
+  (* one bad key must not implicate the good one, and vice versa *)
+  let r =
+    Checker.check
+      (history
+         [
+           ev 0 0 "good" (History.Put "g1") 0 1;
+           ev 1 0 "good" (History.Get (Some "g1")) 2 3;
+           ev 2 0 "bad" (History.Put "b1") 4 5;
+           ev 3 0 "bad" (History.Get None) 6 7;
+         ])
+  in
+  Alcotest.(check int) "one violation" 1 (List.length r.Checker.violations);
+  Alcotest.(check string) "bad key" "bad"
+    (List.hd r.Checker.violations).Checker.vkey
+
+(* ---------- scan validator ---------- *)
+
+let torn_scan_flagged () =
+  (* the scan mixes k1's newest value (written last) with a k2 value that
+     was definitely superseded before that write began: no cut, past or
+     present, explains both *)
+  let h =
+    history
+      ~scans:[ scan ~inv:8 ~res:9 [ ("k1", "x2"); ("k2", "y1") ] ]
+      [
+        ev 0 0 "k1" (History.Put "x1") 0 1;
+        ev 1 0 "k2" (History.Put "y1") 2 3;
+        ev 2 0 "k2" (History.Put "y2") 4 5;
+        ev 3 0 "k1" (History.Put "x2") 6 7;
+      ]
+  in
+  Alcotest.(check bool) "serializable flags it" true
+    (Scan_checker.check ~mode:`Serializable h <> []);
+  (* the consistent lagging cut (t between 2 and 4) is accepted *)
+  let ok_h =
+    history
+      ~scans:[ scan ~inv:8 ~res:9 [ ("k1", "x1"); ("k2", "y1") ] ]
+      [
+        ev 0 0 "k1" (History.Put "x1") 0 1;
+        ev 1 0 "k2" (History.Put "y1") 2 3;
+        ev 2 0 "k2" (History.Put "y2") 4 5;
+      ]
+  in
+  Alcotest.(check bool) "consistent past cut accepted" true
+    (Scan_checker.check ~mode:`Serializable ok_h = [])
+
+let lagging_scan_modes () =
+  (* consistent but in the past: legal for the serializable getSnap,
+     illegal for the linearizable one *)
+  let h =
+    history
+      ~scans:[ scan ~inv:6 ~res:7 [ ("k2", "y1") ] ]
+      [
+        ev 0 0 "k2" (History.Put "y1") 0 1;
+        ev 1 0 "k2" (History.Put "y2") 2 3;
+      ]
+  in
+  Alcotest.(check bool) "serializable accepts" true
+    (Scan_checker.check ~mode:`Serializable h = []);
+  Alcotest.(check bool) "linearizable rejects" true
+    (Scan_checker.check ~mode:`Linearizable h <> [])
+
+let half_visible_scan_flagged () =
+  (* both keys written strictly before the scan, but the scan reports one
+     new value and one initial absence: no cut explains it even in the
+     past *)
+  let h =
+    history
+      ~scans:[ scan ~inv:8 ~res:9 [ ("k2", "y1") ] ]
+      [
+        ev 0 0 "k1" (History.Put "x1") 0 1;
+        ev 1 0 "k2" (History.Put "y1") 2 3;
+      ]
+  in
+  (* scan reports k2 present (written second) but k1 absent (written
+     first): y1's interval starts at 2, k1-absent ends at 0 *)
+  Alcotest.(check bool) "half-visible prefix flagged" true
+    (Scan_checker.check ~mode:`Serializable h <> [])
+
+let snap_ts_monotone () =
+  let good =
+    history
+      ~scans:
+        [
+          scan ~snap_ts:5 ~inv:0 ~res:1 [];
+          scan ~snap_ts:5 ~inv:2 ~res:3 [];
+          scan ~snap_ts:9 ~inv:4 ~res:5 [];
+        ]
+      []
+  in
+  Alcotest.(check bool) "monotone ok" true (Scan_checker.check good = []);
+  let bad =
+    history
+      ~scans:
+        [
+          scan ~snap_ts:9 ~inv:0 ~res:1 [];
+          scan ~snap_ts:5 ~inv:2 ~res:3 [];
+        ]
+      []
+  in
+  Alcotest.(check bool) "backwards ts flagged" true
+    (Scan_checker.check bad <> [])
+
+(* ---------- end-to-end smoke on the bare memtable ---------- *)
+
+let memtable_smoke () =
+  let cfg =
+    {
+      Stress.default with
+      Stress.seed = 42;
+      domains = 2;
+      ops_per_domain = 150;
+      scan_every = 0;
+      compact_every = 0;
+    }
+  in
+  let h = Stress.run cfg (Target.of_memtable ()) in
+  let r = Checker.check h in
+  if not (Checker.ok r) then
+    Alcotest.failf "memtable smoke: %s" (Checker.pp_result r);
+  Alcotest.(check bool) "events recorded" true
+    (List.length h.History.events >= 2 * 150)
+
+let suites =
+  [
+    ( "lincheck-unit",
+      [
+        Alcotest.test_case "sequential ok" `Quick sequential_ok;
+        Alcotest.test_case "concurrent overlap ok" `Quick concurrent_overlap_ok;
+        Alcotest.test_case "rmw chain ok" `Quick rmw_chain_ok;
+        Alcotest.test_case "stale read flagged" `Quick stale_read_flagged;
+        Alcotest.test_case "lost update flagged" `Quick lost_update_flagged;
+        Alcotest.test_case "double put_if_absent flagged" `Quick
+          double_pia_flagged;
+        Alcotest.test_case "per-key isolation" `Quick per_key_isolation;
+        Alcotest.test_case "torn scan flagged" `Quick torn_scan_flagged;
+        Alcotest.test_case "lagging scan: serializable vs linearizable" `Quick
+          lagging_scan_modes;
+        Alcotest.test_case "half-visible scan flagged" `Quick
+          half_visible_scan_flagged;
+        Alcotest.test_case "snap_ts monotone" `Quick snap_ts_monotone;
+        Alcotest.test_case "memtable stress smoke" `Quick memtable_smoke;
+      ] );
+  ]

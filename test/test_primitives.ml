@@ -275,6 +275,188 @@ let rcu_with_ref () =
   let cur = Rcu_box.peek box in
   Alcotest.(check int) "count back to 1" 1 (Refcounted.count cur)
 
+(* ---------- Event_buffer ---------- *)
+
+let event_buffer_order () =
+  let b = Event_buffer.create () in
+  let n = 3_000 (* crosses chunk boundaries *) in
+  for i = 0 to n - 1 do Event_buffer.push b i done;
+  Alcotest.(check int) "length" n (Event_buffer.length b);
+  Alcotest.(check (list int)) "order preserved" (List.init n Fun.id)
+    (Event_buffer.to_list b)
+
+let event_buffer_concurrent_reader () =
+  (* A reader must always observe a prefix 0..k-1 of the writer's appends,
+     never a torn or reordered view. *)
+  let b = Event_buffer.create () in
+  let n = 10_000 in
+  let writer () =
+    for i = 0 to n - 1 do Event_buffer.push b i done;
+    0
+  in
+  let reader () =
+    let bad = ref 0 in
+    while Event_buffer.length b < n do
+      let expect = ref 0 in
+      Event_buffer.iter
+        (fun v ->
+          if v <> !expect then incr bad;
+          incr expect)
+        b
+    done;
+    !bad
+  in
+  let results = spawn_all [ writer; reader; reader ] in
+  List.iter (fun bad -> Alcotest.(check int) "prefix snapshots" 0 bad) results
+
+(* ---------- qcheck model properties under 2-4 domains ---------- *)
+
+(* Active_set vs a multiset model: each domain publishes its script's
+   timestamps (offset into a private range), immediately unpublishing the
+   ones not marked [keep]; the survivors must be exactly what the model
+   predicts, and [find_min]/[cardinal] must agree with it. *)
+let prop_active_set_model =
+  let gen =
+    QCheck.(
+      pair (int_range 2 4)
+        (list_of_size Gen.(1 -- 25) (pair (int_range 1 50_000) bool)))
+  in
+  QCheck.Test.make ~name:"active_set multiset model (2-4 domains)" ~count:10
+    gen (fun (domains, script) ->
+      let s = Active_set.create ~capacity:256 () in
+      let worker d () =
+        List.iter
+          (fun (ts, keep) ->
+            let h = Active_set.add s ((d * 1_000_000) + ts) in
+            if not keep then Active_set.remove s h)
+          script;
+        0
+      in
+      ignore (spawn_all (List.init domains (fun d -> worker (d + 1))));
+      let expected =
+        List.concat
+          (List.init domains (fun d ->
+               List.filter_map
+                 (fun (ts, keep) ->
+                   if keep then Some (((d + 1) * 1_000_000) + ts) else None)
+                 script))
+        |> List.sort Int.compare
+      in
+      Active_set.values s = expected
+      && Active_set.cardinal s = List.length expected
+      && Active_set.find_min s
+         = (match expected with [] -> None | m :: _ -> Some m))
+
+type counter_op = Inc | Advance of int
+
+(* Monotonic_counter under concurrent inc_and_get / advance_to: per-domain
+   observations never go backwards, and the final value sits inside the
+   model bounds (every inc adds exactly one; every advance raises the
+   counter to at least its target and by at most max(0, target-initial)). *)
+let prop_counter_model =
+  let gen =
+    QCheck.(
+      triple (int_range 2 4) (int_range 0 100)
+        (list_of_size Gen.(1 -- 30)
+           (map
+              (function None -> Inc | Some t -> Advance t)
+              (option (int_range 0 5_000)))))
+  in
+  QCheck.Test.make ~name:"monotonic_counter CAS-max model (2-4 domains)"
+    ~count:10 gen (fun (domains, initial, script) ->
+      let c = Monotonic_counter.create initial in
+      let worker () =
+        let monotone = ref true in
+        let last = ref min_int in
+        List.iter
+          (fun op ->
+            let v =
+              match op with
+              | Inc -> Monotonic_counter.inc_and_get c
+              | Advance t -> Monotonic_counter.advance_to c t
+            in
+            if v < !last then monotone := false;
+            last := v)
+          script;
+        if !monotone then 1 else 0
+      in
+      let oks = spawn_all (List.init domains (fun _ -> worker)) in
+      let incs =
+        List.length (List.filter (function Inc -> true | _ -> false) script)
+      in
+      let advances =
+        List.filter_map (function Advance t -> Some t | Inc -> None) script
+      in
+      let max_target = List.fold_left max 0 advances in
+      let slack =
+        domains
+        * List.fold_left (fun acc t -> acc + max 0 (t - initial)) 0 advances
+      in
+      let final = Monotonic_counter.get c in
+      List.for_all (fun ok -> ok = 1) oks
+      && final >= initial + (domains * incs)
+      && final >= max_target
+      && final <= initial + (domains * incs) + slack)
+
+(* Mpmc_queue: every pushed item pops exactly once, and each consumer sees
+   every producer's items in push order (FIFO per producer). *)
+let prop_queue_fifo_per_producer =
+  let gen =
+    QCheck.(triple (int_range 2 3) (int_range 1 2) (int_range 1 400))
+  in
+  QCheck.Test.make ~name:"mpmc_queue FIFO per producer (2-4 domains)"
+    ~count:10 gen (fun (producers, consumers, n) ->
+      let q = Mpmc_queue.create () in
+      let total = producers * n in
+      let got = Atomic.make 0 in
+      let producer tag () =
+        for i = 0 to n - 1 do Mpmc_queue.push q (tag, i) done;
+        []
+      in
+      let consumer () =
+        let mine = ref [] in
+        let continue = ref true in
+        while !continue do
+          match Mpmc_queue.pop q with
+          | Some item ->
+              mine := item :: !mine;
+              ignore (Atomic.fetch_and_add got 1)
+          | None ->
+              if Atomic.get got >= total then continue := false
+              else Domain.cpu_relax ()
+        done;
+        List.rev !mine
+      in
+      let results =
+        spawn_all
+          (List.init producers (fun p -> producer p)
+          @ List.init consumers (fun _ -> consumer))
+      in
+      let popped = List.concat results in
+      let complete =
+        List.sort compare popped
+        = List.sort compare
+            (List.concat
+               (List.init producers (fun p -> List.init n (fun i -> (p, i)))))
+      in
+      let per_producer_fifo =
+        List.for_all
+          (fun stream ->
+            let last = Hashtbl.create 4 in
+            List.for_all
+              (fun (tag, i) ->
+                let ok =
+                  match Hashtbl.find_opt last tag with
+                  | Some prev -> prev < i
+                  | None -> true
+                in
+                Hashtbl.replace last tag i;
+                ok)
+              stream)
+          results
+      in
+      complete && per_producer_fifo)
+
 (* ---------- Backoff ---------- *)
 
 let backoff_progresses () =
@@ -310,6 +492,18 @@ let suites =
         Alcotest.test_case "concurrent sum" `Quick queue_concurrent_sum;
         Alcotest.test_case "per-producer order" `Quick queue_per_producer_order;
       ] );
+    ( "primitives.event_buffer",
+      [
+        Alcotest.test_case "order across chunks" `Quick event_buffer_order;
+        Alcotest.test_case "concurrent reader sees prefix" `Quick
+          event_buffer_concurrent_reader;
+      ] );
+    ( "primitives.props",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_active_set_model; prop_counter_model;
+          prop_queue_fifo_per_producer;
+        ] );
     ( "primitives.rcu",
       [
         Alcotest.test_case "release exactly once" `Quick refcount_release_once;

@@ -147,6 +147,105 @@ let prop_find_le_matches_model =
       in
       SL.find_le sl probe = model_le && SL.find_ge sl probe = model_ge)
 
+(* Random mixed workloads driving the Raw locate/try_insert substrate the
+   store's rmw (Algorithm 3) is built on: each user key holds a chain of
+   versioned entries "key#%08d"; an upsert locates the insertion point at
+   (key, +inf), reads the newest version off [prev_binding] and
+   CAS-installs the successor version, retrying on conflict. *)
+
+let versioned_upsert sl key v =
+  let rec attempt () =
+    let loc = SL.Raw.locate sl (key ^ "#\xff") in
+    let plen = String.length key + 1 in
+    let next_version =
+      match SL.Raw.prev_binding loc with
+      | Some (pk, _)
+        when String.length pk > plen && String.sub pk 0 plen = key ^ "#" ->
+          1 + int_of_string (String.sub pk plen 8)
+      | Some _ | None -> 1
+    in
+    let new_key = Printf.sprintf "%s#%08d" key next_version in
+    if not (SL.Raw.try_insert sl loc new_key v) then attempt ()
+    else new_key
+  in
+  attempt ()
+
+let newest_version sl key =
+  let plen = String.length key + 1 in
+  match SL.Raw.prev_binding (SL.Raw.locate sl (key ^ "#\xff")) with
+  | Some (pk, v)
+    when String.length pk > plen && String.sub pk 0 plen = key ^ "#" ->
+      Some (pk, v)
+  | Some _ | None -> None
+
+let prop_raw_upsert_vs_model =
+  (* ops over a small keyspace: [Some v] = upsert through the Algorithm-3
+     path, [None] = read newest version; both checked against a Map model
+     of every version ever installed *)
+  let gen_ops =
+    QCheck.(
+      list_of_size Gen.(1 -- 120) (pair (int_range 0 7) (option small_int)))
+  in
+  QCheck.Test.make ~name:"raw versioned upsert matches Map model" ~count:150
+    gen_ops (fun ops ->
+      let sl = SL.create () in
+      let model =
+        List.fold_left
+          (fun m (ki, op) ->
+            let key = Printf.sprintf "k%d" ki in
+            match op with
+            | Some v ->
+                let vk = versioned_upsert sl key v in
+                if IntMap.mem vk m then raise Exit;
+                IntMap.add vk v m
+            | None ->
+                let model_newest =
+                  IntMap.fold
+                    (fun k v acc ->
+                      if
+                        String.length k > String.length key
+                        && String.sub k 0 (String.length key + 1) = key ^ "#"
+                      then Some (k, v)
+                      else acc)
+                    m None
+                in
+                if newest_version sl key <> model_newest then raise Exit;
+                m)
+          IntMap.empty ops
+      in
+      SL.to_list sl = IntMap.bindings model)
+
+let prop_raw_upsert_concurrent =
+  (* 2-3 domains replay the same random key script through the CAS-retry
+     loop; every increment must survive, so each key's newest version is
+     exactly domains x occurrences *)
+  let gen =
+    QCheck.(pair (int_range 2 3) (list_of_size Gen.(5 -- 60) (int_range 0 4)))
+  in
+  QCheck.Test.make ~name:"raw upsert CAS path under domains" ~count:10 gen
+    (fun (domains, script) ->
+      let sl = SL.create () in
+      let worker () =
+        List.iter
+          (fun ki ->
+            ignore (versioned_upsert sl (Printf.sprintf "k%d" ki) ki))
+          script;
+        0
+      in
+      ignore (spawn_all (List.init domains (fun _ -> worker)));
+      List.for_all
+        (fun ki ->
+          let key = Printf.sprintf "k%d" ki in
+          let occurrences =
+            List.length (List.filter (fun k -> k = ki) script)
+          in
+          match newest_version sl key with
+          | Some (vk, _) ->
+              int_of_string (String.sub vk (String.length key + 1) 8)
+              = domains * occurrences
+          | None -> occurrences = 0)
+        (List.init 5 Fun.id))
+
 (* ---------- Concurrency ---------- *)
 
 let concurrent_disjoint_inserts () =
@@ -300,7 +399,10 @@ let suites =
       ] );
     ( "skiplist.props",
       List.map QCheck_alcotest.to_alcotest
-        [ prop_model_based; prop_find_le_matches_model ] );
+        [
+          prop_model_based; prop_find_le_matches_model;
+          prop_raw_upsert_vs_model; prop_raw_upsert_concurrent;
+        ] );
     ( "skiplist.concurrent",
       [
         Alcotest.test_case "disjoint inserts" `Quick concurrent_disjoint_inserts;

@@ -218,7 +218,19 @@ let run_one_seed seed =
   Db.close db;
   rm_rf dir
 
-let seeds = List.init 50 (fun i -> 1000 + (i * 77))
+(* Seed count: TORTURE_SEEDS (default 200). CI pins a smaller budget to
+   stay fast; local runs can go as deep as patience allows. The seed
+   formula is unchanged from the original 50-seed harness, so the first 50
+   schedules are the ones every previous CI run has passed. *)
+let num_seeds =
+  match Sys.getenv_opt "TORTURE_SEEDS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> failwith "TORTURE_SEEDS must be a positive integer")
+  | None -> 200
+
+let seeds = List.init num_seeds (fun i -> 1000 + (i * 77))
 
 let () =
   Alcotest.run "clsm-torture"
