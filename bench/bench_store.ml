@@ -1,0 +1,358 @@
+(* Reproducible compaction + mixed-workload benchmark against the real
+   store, emitting a stable machine-readable JSON schema
+   ("clsm-bench/1") so per-PR runs accumulate into a perf trajectory
+   (BENCH_compaction.json checked in, BENCH_smoke.json as a CI
+   artifact).
+
+   Two phases:
+
+   1. [compaction_merge] — a large fully-overlapping L0→L1 merge driven
+      directly through {!Clsm_lsm.Compaction.run_parallel} at
+      max_subcompactions ∈ {1, 2, 4}, one domain per subrange via
+      {!Clsm_maintenance.Scheduler.fan_out}. Verifies the parallel
+      output's entry stream is identical to the sequential one and
+      reports per-setting wall-clock + the speedup ratio.
+
+   2. [mixed_workload] — multi-domain writers against an open store with
+      a small memtable (so flushes and L0→L1 merges dominate), once with
+      sequential compactions and once with max_subcompactions=4;
+      reports ops/s, put p50/p99, writer stall seconds and compaction
+      seconds from the store's own counters. *)
+
+open Clsm_lsm
+open Clsm_primitives
+module Scheduler = Clsm_maintenance.Scheduler
+module Histogram = Clsm_workload.Histogram
+module Db = Clsm_core.Db
+module Options = Clsm_core.Options
+module Stats = Clsm_core.Stats
+
+type scale = Smoke | Full
+
+let scale_name = function Smoke -> "smoke" | Full -> "full"
+
+(* ---------- tiny JSON writer (objects ordered, floats fixed) ---------- *)
+
+module J = struct
+  type t =
+    | Int of int
+    | Float of float
+    | Bool of bool
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let rec emit b = function
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (Printf.sprintf "%.6f" f)
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Str s -> Buffer.add_string b (Printf.sprintf "%S" s)
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            emit b x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (Printf.sprintf "%S:" k);
+            emit b v)
+          fields;
+        Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 4096 in
+    emit b t;
+    Buffer.contents b
+end
+
+(* ---------- scratch directories ---------- *)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "clsm_bench_%d_%d" (Unix.getpid ()) !counter)
+    in
+    let rec rm path =
+      if Sys.file_exists path then
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+    in
+    rm d;
+    Unix.mkdir d 0o755;
+    d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+(* ---------- phase 1: the L0→L1 merge itself ---------- *)
+
+let merge_cfg =
+  {
+    Lsm_config.default with
+    Lsm_config.target_file_size = 1 lsl 20;
+    block_size = 4096;
+  }
+
+(* [num_files] fully-overlapping L0 runs: file i holds every key with
+   index ≡ i (mod num_files), so every subrange draws from every input —
+   the worst case the boundary planner has to balance. *)
+let build_l0_inputs ~dir ~num_files ~entries_per_file ~value_bytes =
+  let alloc = Atomic.make 1 in
+  let value i = String.init value_bytes (fun j -> Char.chr ((i + j) mod 26 + 97)) in
+  List.init num_files (fun fi ->
+      let number = Atomic.fetch_and_add alloc 1 in
+      let b =
+        Clsm_sstable.Table_builder.create ~block_size:merge_cfg.Lsm_config.block_size
+          ~filter_key_of:Internal_key.user_key_of ~cmp:Internal_key.comparator
+          ~path:(Table_file.table_path ~dir number)
+          ()
+      in
+      for e = 0 to entries_per_file - 1 do
+        let idx = (e * num_files) + fi in
+        Clsm_sstable.Table_builder.add b
+          ~key:(Internal_key.make (Printf.sprintf "key%010d" idx) (idx + 1))
+          ~value:(Entry.encode (Entry.Value (value idx)))
+      done;
+      ignore (Clsm_sstable.Table_builder.finish b);
+      Refcounted.create ~release:Table_file.release
+        (Table_file.open_number ~dir number))
+
+let output_entries outputs =
+  List.concat_map
+    (fun f ->
+      Clsm_sstable.Table.fold
+        (fun k v acc -> (k, Hashtbl.hash v) :: acc)
+        (Refcounted.value f).Table_file.table []
+      |> List.rev)
+    outputs
+
+let drop_outputs outputs =
+  List.iter
+    (fun f ->
+      Table_file.mark_obsolete (Refcounted.value f);
+      Refcounted.retire f)
+    outputs
+
+let run_merge_phase ~scale =
+  let num_files = 8 in
+  let entries_per_file = match scale with Smoke -> 2_000 | Full -> 50_000 in
+  let value_bytes = 100 in
+  let dir = fresh_dir () in
+  let inputs = build_l0_inputs ~dir ~num_files ~entries_per_file ~value_bytes in
+  let input_bytes =
+    List.fold_left (fun a f -> a + (Refcounted.value f).Table_file.size) 0 inputs
+  in
+  let task =
+    {
+      Compaction.src_level = 0;
+      inputs_lo = inputs;
+      inputs_hi = [];
+      target_level = 1;
+      drop_tombstones = true;
+    }
+  in
+  let alloc = Atomic.make 100_000 in
+  let run_once m =
+    let t0 = Unix.gettimeofday () in
+    let outputs, fanout =
+      Compaction.run_parallel ~cfg:merge_cfg ~dir
+        ~alloc_number:(fun () -> Atomic.fetch_and_add alloc 1)
+        ~snapshots:[] ~fan_out:Scheduler.fan_out ~max_subcompactions:m task
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    (wall, fanout, outputs)
+  in
+  let repeats = match scale with Smoke -> 1 | Full -> 3 in
+  let baseline = ref [] in
+  let rows =
+    List.map
+      (fun m ->
+        (* best-of-N to shave scheduler noise; correctness checked on
+           every run *)
+        let best = ref infinity and fanout = ref 1 and identical = ref true in
+        let output_files = ref 0 and output_bytes = ref 0 and entries = ref 0 in
+        for _ = 1 to repeats do
+          let wall, f, outputs = run_once m in
+          let ents = output_entries outputs in
+          if m = 1 && !baseline = [] then baseline := ents
+          else identical := !identical && ents = !baseline;
+          output_files := List.length outputs;
+          output_bytes :=
+            List.fold_left
+              (fun a f -> a + (Refcounted.value f).Table_file.size)
+              0 outputs;
+          entries := List.length ents;
+          drop_outputs outputs;
+          if wall < !best then best := wall;
+          fanout := f
+        done;
+        ( m,
+          J.Obj
+            [
+              ("max_subcompactions", J.Int m);
+              ("fanout", J.Int !fanout);
+              ("wall_s", J.Float !best);
+              ("entries", J.Int !entries);
+              ("input_bytes", J.Int input_bytes);
+              ("output_files", J.Int !output_files);
+              ("output_bytes", J.Int !output_bytes);
+              ("identical_to_sequential", J.Bool !identical);
+            ],
+          !best ))
+      [ 1; 2; 4 ]
+  in
+  List.iter
+    (fun f ->
+      Table_file.mark_obsolete (Refcounted.value f);
+      Refcounted.retire f)
+    inputs;
+  rm_rf dir;
+  let seq_wall =
+    List.find_map (fun (m, _, w) -> if m = 1 then Some w else None) rows
+    |> Option.get
+  in
+  let speedups =
+    List.filter_map
+      (fun (m, _, w) ->
+        if m = 1 || w <= 0. then None
+        else Some (string_of_int m, J.Float (seq_wall /. w)))
+      rows
+  in
+  ( J.List (List.map (fun (_, row, _) -> row) rows),
+    J.Obj speedups )
+
+(* ---------- phase 2: mixed workload against the open store ---------- *)
+
+let mixed_opts ~dir ~max_subcompactions =
+  let base = Options.default ~dir in
+  {
+    base with
+    Options.memtable_bytes = 256 * 1024;
+    wal_enabled = false;
+    maintenance_workers = 2;
+    max_subcompactions;
+    lsm =
+      {
+        Lsm_config.default with
+        Lsm_config.level1_max_bytes = 2 * 1024 * 1024;
+        target_file_size = 256 * 1024;
+        l0_compaction_trigger = 4;
+        l0_slowdown_trigger = 8;
+        l0_stall_limit = 12;
+      };
+  }
+
+(* Deterministic per-domain key stream (split-mix style) over a shared
+   key space so compactions see real overlap. *)
+let next_key state ~key_space =
+  (* split-mix-style, constants truncated to OCaml's 63-bit ints *)
+  state := !state + 0x1E3779B97F4A7C15;
+  let z = !state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int mod key_space
+
+let run_mixed_phase ~scale =
+  let writers = 2 in
+  let ops_per_writer = match scale with Smoke -> 4_000 | Full -> 50_000 in
+  let key_space = match scale with Smoke -> 10_000 | Full -> 100_000 in
+  let value = String.make 256 'v' in
+  List.map
+    (fun max_subcompactions ->
+      let dir = fresh_dir () in
+      let db = Db.open_store (mixed_opts ~dir ~max_subcompactions) in
+      let t0 = Unix.gettimeofday () in
+      let worker w =
+        let h = Histogram.create () in
+        let state = ref (w * 7919) in
+        for i = 1 to ops_per_writer do
+          let k = Printf.sprintf "user%08d" (next_key state ~key_space) in
+          let op_start = Unix.gettimeofday () in
+          if i mod 10 = 0 then ignore (Db.get db k)
+          else Db.put db ~key:k ~value;
+          Histogram.record h (Unix.gettimeofday () -. op_start)
+        done;
+        h
+      in
+      let domains =
+        List.init (writers - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1)))
+      in
+      let h0 = worker 0 in
+      let hists = h0 :: List.map Domain.join domains in
+      let wall = Unix.gettimeofday () -. t0 in
+      let h = Histogram.merge hists in
+      let s = Db.stats db in
+      Db.close db;
+      rm_rf dir;
+      let ops = writers * ops_per_writer in
+      J.Obj
+        [
+          ("max_subcompactions", J.Int max_subcompactions);
+          ("writers", J.Int writers);
+          ("ops", J.Int ops);
+          ("wall_s", J.Float wall);
+          ("ops_per_s", J.Float (float_of_int ops /. wall));
+          ("op_p50_us", J.Float (Histogram.percentile h 50.0 *. 1e6));
+          ("op_p99_us", J.Float (Histogram.percentile h 99.0 *. 1e6));
+          ("stall_s", J.Float (float_of_int s.Stats.stall_ns /. 1e9));
+          ("write_stalls", J.Int s.Stats.write_stalls);
+          ( "slowdown_s",
+            J.Float (float_of_int s.Stats.slowdown_delay_ns /. 1e9) );
+          ("compaction_s", J.Float (float_of_int s.Stats.compaction_ns /. 1e9));
+          ("compactions", J.Int s.Stats.compactions);
+          ("subcompactions", J.Int s.Stats.subcompactions);
+          ("max_compaction_fanout", J.Int s.Stats.max_compaction_fanout);
+          ("flushes", J.Int s.Stats.flushes);
+          ("bytes_flushed", J.Int s.Stats.bytes_flushed);
+          ("bytes_compacted", J.Int s.Stats.bytes_compacted);
+        ])
+    [ 1; 4 ]
+
+(* ---------- entry point ---------- *)
+
+let run ~scale ~out =
+  Printf.printf "clsm compaction bench (%s scale, %d core(s))\n%!"
+    (scale_name scale)
+    (Domain.recommended_domain_count ());
+  let merge_rows, speedups = run_merge_phase ~scale in
+  Printf.printf "  merge phase done\n%!";
+  let mixed_rows = run_mixed_phase ~scale in
+  Printf.printf "  mixed-workload phase done\n%!";
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "clsm-bench/1");
+        ("bench", J.Str "compaction");
+        ("scale", J.Str (scale_name scale));
+        ( "host",
+          J.Obj
+            [ ("recommended_domains", J.Int (Domain.recommended_domain_count ())) ]
+        );
+        ("compaction_merge", merge_rows);
+        ("merge_speedup_vs_sequential", speedups);
+        ("mixed_workload", J.List mixed_rows);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out

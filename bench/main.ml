@@ -5,11 +5,25 @@
                    fig8 fig9 fig10 fig11)
    --calibrate     Bechamel microbenchmarks of the real implementation
    --real [quick]  real-execution cross-checks (multi-domain driver)
-   --ablations     design-choice ablation sweeps *)
+   --ablations     design-choice ablation sweeps
+   --compaction [smoke] [--out FILE]
+                   parallel-subcompaction + mixed-workload bench; emits
+                   the clsm-bench/1 JSON schema (default
+                   BENCH_compaction.json) *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
+  | "--compaction" :: rest ->
+      let scale =
+        if List.mem "smoke" rest then Bench_store.Smoke else Bench_store.Full
+      in
+      let rec out_of = function
+        | "--out" :: path :: _ -> path
+        | _ :: tl -> out_of tl
+        | [] -> "BENCH_compaction.json"
+      in
+      Bench_store.run ~scale ~out:(out_of rest)
   | [] | [ "--figures" ] ->
       print_endline
         "cLSM benchmark harness: regenerating all paper figures (simulated \

@@ -35,18 +35,33 @@ let hard_blocked o config =
 
 let admit t ~observe ~wake =
   let b = Backoff.create ~max_spins:4096 () in
-  let rec wait_hard stalled =
+  (* [since] is the wall-clock instant this writer first found itself
+     hard-blocked (None while unblocked); the elapsed stall is accounted
+     once, when the writer gets through (or gives up on a stopped
+     store), so stall seconds in stats are real writer-observed time. *)
+  let record_stall = function
+    | None -> ()
+    | Some t0 ->
+        Stats.add_stall_ns t.stats
+          (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+  in
+  let rec wait_hard since =
     let o = observe () in
-    if o.stopped then ()
+    if o.stopped then record_stall since
     else if hard_blocked o t.config then begin
-      if not stalled then begin
-        Stats.incr_write_stalls t.stats;
-        wake ()
-      end;
+      let since =
+        match since with
+        | None ->
+            Stats.incr_write_stalls t.stats;
+            wake ();
+            Some (Unix.gettimeofday ())
+        | Some _ -> since
+      in
       Backoff.once b;
-      wait_hard true
+      wait_hard since
     end
     else begin
+      record_stall since;
       let d = delay_ns t.config ~l0_files:o.l0_files in
       if d > 0 then begin
         Stats.add_slowdown t.stats ~delay_ns:d;
@@ -56,4 +71,4 @@ let admit t ~observe ~wake =
       end
     end
   in
-  wait_hard false
+  wait_hard None

@@ -9,6 +9,7 @@ type t = {
   active_set_capacity : int;
   maintenance_workers : int;
   maintenance_tick : float;
+  max_subcompactions : int;
   backpressure_max_delay_us : int;
   lsm : Clsm_lsm.Lsm_config.t;
   env : Clsm_env.Env.t;
@@ -27,6 +28,7 @@ let default ~dir =
     active_set_capacity = 4096;
     maintenance_workers = 2;
     maintenance_tick = 0.25;
+    max_subcompactions = 1;
     backpressure_max_delay_us = 1000;
     lsm = Clsm_lsm.Lsm_config.default;
     env = Clsm_env.Env.unix;

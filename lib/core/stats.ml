@@ -15,9 +15,14 @@ type t = {
   flushes : int Atomic.t;
   compactions : int Atomic.t;
   compactions_per_level : int Atomic.t array; (* by source level *)
+  subcompactions : int Atomic.t;
+  parallel_compactions : int Atomic.t;
+  max_compaction_fanout : int Atomic.t;
+  compaction_ns : int Atomic.t;
   bytes_flushed : int Atomic.t;
   bytes_compacted : int Atomic.t;
   write_stalls : int Atomic.t;
+  stall_ns : int Atomic.t;
   write_slowdowns : int Atomic.t;
   slowdown_delay_ns : int Atomic.t;
   maintenance_wakeups : int Atomic.t;
@@ -35,9 +40,14 @@ type snapshot = {
   flushes : int;
   compactions : int;
   compactions_per_level : int array;
+  subcompactions : int;
+  parallel_compactions : int;
+  max_compaction_fanout : int;
+  compaction_ns : int;
   bytes_flushed : int;
   bytes_compacted : int;
   write_stalls : int;
+  stall_ns : int;
   write_slowdowns : int;
   slowdown_delay_ns : int;
   maintenance_wakeups : int;
@@ -56,9 +66,14 @@ let create () : t =
     flushes = Atomic.make 0;
     compactions = Atomic.make 0;
     compactions_per_level = Array.init max_levels (fun _ -> Atomic.make 0);
+    subcompactions = Atomic.make 0;
+    parallel_compactions = Atomic.make 0;
+    max_compaction_fanout = Atomic.make 0;
+    compaction_ns = Atomic.make 0;
     bytes_flushed = Atomic.make 0;
     bytes_compacted = Atomic.make 0;
     write_stalls = Atomic.make 0;
+    stall_ns = Atomic.make 0;
     write_slowdowns = Atomic.make 0;
     slowdown_delay_ns = Atomic.make 0;
     maintenance_wakeups = Atomic.make 0;
@@ -81,9 +96,25 @@ let incr_compactions (t : t) ?src_level () =
       Atomic.incr t.compactions_per_level.(l)
   | Some _ | None -> ()
 
+(* Parallelism/duration accounting for one finished compaction job, from
+   whichever maintenance worker ran it; the max-fanout watermark is a CAS
+   loop so concurrent jobs on disjoint level ranges cannot lose an
+   update. *)
+let record_compaction_run (t : t) ~fanout ~duration_ns =
+  ignore (Atomic.fetch_and_add t.subcompactions (max 1 fanout));
+  if fanout > 1 then Atomic.incr t.parallel_compactions;
+  ignore (Atomic.fetch_and_add t.compaction_ns (max 0 duration_ns));
+  let rec bump () =
+    let cur = Atomic.get t.max_compaction_fanout in
+    if fanout > cur && not (Atomic.compare_and_set t.max_compaction_fanout cur fanout)
+    then bump ()
+  in
+  bump ()
+
 let add_bytes_flushed (t : t) n = ignore (Atomic.fetch_and_add t.bytes_flushed n)
 let add_bytes_compacted (t : t) n = ignore (Atomic.fetch_and_add t.bytes_compacted n)
 let incr_write_stalls (t : t) = Atomic.incr t.write_stalls
+let add_stall_ns (t : t) n = ignore (Atomic.fetch_and_add t.stall_ns (max 0 n))
 
 let add_slowdown (t : t) ~delay_ns =
   Atomic.incr t.write_slowdowns;
@@ -104,9 +135,14 @@ let read (t : t) : snapshot =
     flushes = Atomic.get t.flushes;
     compactions = Atomic.get t.compactions;
     compactions_per_level = Array.map Atomic.get t.compactions_per_level;
+    subcompactions = Atomic.get t.subcompactions;
+    parallel_compactions = Atomic.get t.parallel_compactions;
+    max_compaction_fanout = Atomic.get t.max_compaction_fanout;
+    compaction_ns = Atomic.get t.compaction_ns;
     bytes_flushed = Atomic.get t.bytes_flushed;
     bytes_compacted = Atomic.get t.bytes_compacted;
     write_stalls = Atomic.get t.write_stalls;
+    stall_ns = Atomic.get t.stall_ns;
     write_slowdowns = Atomic.get t.write_slowdowns;
     slowdown_delay_ns = Atomic.get t.slowdown_delay_ns;
     maintenance_wakeups = Atomic.get t.maintenance_wakeups;
@@ -124,12 +160,17 @@ let pp ppf s =
     "@[<v>puts=%d gets=%d deletes=%d rmws=%d (conflicts=%d)@,\
      snapshots=%d scans=%d@,\
      rotations=%d flushes=%d compactions=%d%s@,\
+     subcompactions=%d parallel=%d max_fanout=%d compaction_ms=%.3f@,\
      bytes_flushed=%d bytes_compacted=%d@,\
-     stalls=%d slowdowns=%d slowdown_delay_ms=%.3f wakeups=%d@]"
+     stalls=%d stall_ms=%.3f slowdowns=%d slowdown_delay_ms=%.3f wakeups=%d@]"
     s.puts s.gets s.deletes s.rmws s.rmw_conflicts s.snapshots_taken s.scans
     s.memtable_rotations s.flushes s.compactions
     (if per_level = "" then "" else " [" ^ per_level ^ "]")
-    s.bytes_flushed s.bytes_compacted s.write_stalls s.write_slowdowns
+    s.subcompactions s.parallel_compactions s.max_compaction_fanout
+    (float_of_int s.compaction_ns /. 1e6)
+    s.bytes_flushed s.bytes_compacted s.write_stalls
+    (float_of_int s.stall_ns /. 1e6)
+    s.write_slowdowns
     (float_of_int s.slowdown_delay_ns /. 1e6)
     s.maintenance_wakeups
 
@@ -154,9 +195,14 @@ let to_json (s : snapshot) =
       Buffer.add_string b (string_of_int n))
     s.compactions_per_level;
   Buffer.add_string b "],";
+  field "subcompactions" s.subcompactions;
+  field "parallel_compactions" s.parallel_compactions;
+  field "max_compaction_fanout" s.max_compaction_fanout;
+  field "compaction_ns" s.compaction_ns;
   field "bytes_flushed" s.bytes_flushed;
   field "bytes_compacted" s.bytes_compacted;
   field "write_stalls" s.write_stalls;
+  field "stall_ns" s.stall_ns;
   field "write_slowdowns" s.write_slowdowns;
   field "slowdown_delay_ns" s.slowdown_delay_ns;
   Buffer.add_string b

@@ -18,9 +18,16 @@ type snapshot = {
   compactions : int;
   compactions_per_level : int array;
       (** indexed by source level: [.(0)] counts L0→L1 merges *)
+  subcompactions : int;
+      (** subrange merges executed; equals [compactions] when every job
+          ran sequentially *)
+  parallel_compactions : int;  (** jobs that fanned out to > 1 subranges *)
+  max_compaction_fanout : int;  (** high-watermark subranges of one job *)
+  compaction_ns : int;  (** cumulative compaction job wall-clock, ns *)
   bytes_flushed : int;
   bytes_compacted : int;
   write_stalls : int;  (** hard stops (L0 at [l0_stall_limit] or memtable full) *)
+  stall_ns : int;  (** cumulative time writers spent hard-stalled, ns *)
   write_slowdowns : int;  (** puts delayed by the graduated controller *)
   slowdown_delay_ns : int;  (** cumulative injected delay, nanoseconds *)
   maintenance_wakeups : int;  (** scheduler signals sent by foreground paths *)
@@ -40,9 +47,17 @@ val incr_flushes : t -> unit
 val incr_compactions : t -> ?src_level:int -> unit -> unit
 (** Count a compaction, attributed to [src_level] when given. *)
 
+val record_compaction_run : t -> fanout:int -> duration_ns:int -> unit
+(** Account one finished compaction job: [fanout] subrange merges
+    (1 = sequential) taking [duration_ns] of wall-clock. Safe from any
+    worker domain. *)
+
 val add_bytes_flushed : t -> int -> unit
 val add_bytes_compacted : t -> int -> unit
 val incr_write_stalls : t -> unit
+
+val add_stall_ns : t -> int -> unit
+(** Add one writer's hard-stall wait duration (nanoseconds). *)
 
 val add_slowdown : t -> delay_ns:int -> unit
 (** Record one graduated-backpressure delay of [delay_ns]. *)

@@ -101,6 +101,32 @@ let concat subs =
         end);
   }
 
+let clamp ?lo ?hi ~cmp it =
+  (* Forward-only view of [lo, hi): entries below [lo] are skipped by
+     seeking, iteration reports invalid at the first key >= [hi]. The
+     underlying iterator may sit past [hi]; it is never advanced once the
+     view is invalid, so several clamped views over fresh iterators of
+     the same sources are independent. *)
+  let below_hi () =
+    match hi with None -> true | Some h -> cmp (it.key ()) h < 0
+  in
+  let valid () = it.valid () && below_hi () in
+  let seek target =
+    match lo with
+    | Some l when cmp target l < 0 -> it.seek l
+    | Some _ | None -> it.seek target
+  in
+  {
+    seek_to_first =
+      (fun () ->
+        match lo with None -> it.seek_to_first () | Some l -> it.seek l);
+    seek;
+    valid;
+    key = it.key;
+    value = it.value;
+    next = (fun () -> if valid () then it.next ());
+  }
+
 let fold f it acc =
   it.seek_to_first ();
   let rec go acc =

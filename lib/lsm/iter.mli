@@ -25,6 +25,16 @@ val concat : t list -> t
     files of one level). [seek] probes sources left to right; [next] falls
     through to the following source when one is exhausted. *)
 
+val clamp :
+  ?lo:string -> ?hi:string -> cmp:(string -> string -> int) -> t -> t
+(** Half-open range view [\[lo, hi)] under [cmp]: [seek_to_first] lands on
+    the first entry [>= lo], [seek target] never goes below [lo], and the
+    view reports invalid at the first entry [>= hi]. The underlying
+    iterator is not advanced past that entry. With internal keys,
+    clamping to [Internal_key.make uk 0] boundaries yields an exact
+    user-key partition: every version of one user key falls in exactly
+    one subrange (range-partitioned subcompactions rely on this). *)
+
 val fold : (string -> string -> 'acc -> 'acc) -> t -> 'acc -> 'acc
 (** Runs [seek_to_first] then folds over every entry. *)
 

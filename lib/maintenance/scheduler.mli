@@ -48,3 +48,12 @@ val jobs_run : t -> int
 
 val wakes : t -> int
 (** Total {!wake} signals delivered (for stats and tests). *)
+
+val fan_out : (unit -> 'a) list -> ('a, exn) result list
+(** Run the thunks concurrently and join them all: the first on the
+    calling domain, each of the rest on a freshly spawned domain (n
+    thunks cost n-1 spawns). Results are returned in input order;
+    an exception inside a thunk becomes its [Error] — none is lost,
+    none escapes. Used to fan a claimed compaction out into
+    range-partitioned subcompactions without tying up other pool
+    workers. *)

@@ -168,6 +168,20 @@ module Iter = struct
     | None -> ()
 end
 
+let index_anchors t =
+  let it = Block.Iter.make t.index in
+  Block.Iter.seek_to_first it;
+  let rec go acc =
+    if Block.Iter.valid it then begin
+      let k = Block.Iter.key it in
+      let h = handle_of_index_value (Block.Iter.value it) in
+      Block.Iter.next it;
+      go ((k, h.Block_handle.size) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
 let find_first_ge t probe =
   let it = Iter.make t in
   Iter.seek it probe;

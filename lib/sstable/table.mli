@@ -22,6 +22,12 @@ val path : t -> string
 val properties : t -> Table_format.properties
 val file_size : t -> int
 
+val index_anchors : t -> (string * int) list
+(** One [(last key, stored payload bytes)] pair per data block, in key
+    order, straight from the in-memory index — no data-block IO. These
+    are byte-weighted split-point candidates for range-partitioning a
+    compaction's key space (RocksDB's approximate key anchors). *)
+
 val may_contain : t -> string -> bool
 (** Bloom-filter check. The argument is the {e filter key} (the value
     [filter_key_of] produced at build time, e.g. the user key). *)

@@ -200,6 +200,90 @@ let mid_flush_crash_leaves_no_orphans () =
   Alcotest.(check (list string)) "healthy" [] (Db.verify_integrity db);
   Db.close db
 
+(* ---------- orphan cleanup after a mid-subcompaction crash ---------- *)
+
+let mid_subcompaction_crash_leaves_no_orphans () =
+  let dir = fresh_dir () in
+  let f = Faulty_env.create ~seed:23 () in
+  let base = small_opts ~env:(Faulty_env.env f) ~sync_wal:true dir in
+  let opts =
+    {
+      base with
+      (* Large enough that nothing flushes until compact_now rotates, so
+         each round's flush cost is deterministic and measurable; one
+         flush = one L0 file (a ~21 KiB batch stays under the 32 KiB
+         file-size cap), so rounds 1 and 2 are flush-only and the L0→L1
+         merge fires exactly once, in round 3. *)
+      Options.memtable_bytes = 1 lsl 20;
+      max_subcompactions = 4;
+      lsm = { base.Options.lsm with Lsm_config.target_file_size = 32 * 1024 };
+    }
+  in
+  let db = Db.open_store opts in
+  let put_batch round =
+    for i = 1 to 300 do
+      Db.put db
+        ~key:(Printf.sprintf "k%04d" i)
+        ~value:(Printf.sprintf "r%d-%s" round (String.make 60 'v'))
+    done
+  in
+  (* Rounds 1 and 2: flush-only (l0_compaction_trigger = 3 means two L0
+     files never start a compaction). The second round's mutating-op
+     delta measures the cost of flushing one batch. *)
+  put_batch 1;
+  Db.compact_now db;
+  put_batch 2;
+  let before = Faulty_env.mutating_ops f in
+  Db.compact_now db;
+  let flush_cost = Faulty_env.mutating_ops f - before in
+  (* Round 3: the flush inside compact_now produces the third L0 file and
+     the drain immediately runs the L0→L1 compaction, fanned out over 4
+     subranges. Crash a few IO operations past the (identical) flush:
+     several subcompaction domains die mid-write, leaving half-written
+     .sst.tmp files and possibly renamed tables no manifest records. *)
+  put_batch 3;
+  Faulty_env.arm f ~crash_after:(flush_cost + 6);
+  Db.compact_now db;
+  Alcotest.(check bool) "crash fired during the compaction" true
+    (Faulty_env.crashed f);
+  Db.simulate_crash db;
+  Faulty_env.install_crash_image f;
+  let db = Db.open_store { opts with Options.env = Env.unix } in
+  (* The recovered L0 is back over the compaction trigger, so background
+     workers restart the merge immediately; drain to quiescence before
+     listing the directory or a legitimately in-flight output .tmp would
+     race the stray-file check. *)
+  Db.compact_now db;
+  let listing = Sys.readdir dir |> Array.to_list in
+  List.iter
+    (fun name ->
+      if Filename.check_suffix name ".tmp" then
+        Alcotest.failf "stray temp file survived recovery: %s" name)
+    listing;
+  (match Manifest.load ~dir () with
+  | None -> Alcotest.fail "manifest must exist after recovery"
+  | Some m ->
+      let live = List.map snd m.Manifest.files in
+      List.iter
+        (fun name ->
+          match String.split_on_char '.' name with
+          | [ num; "sst" ] ->
+              let n = int_of_string num in
+              if not (List.mem n live) then
+                Alcotest.failf "orphan table survived recovery: %s" name
+          | _ -> ())
+        listing);
+  (* Every synchronously acknowledged write is still there, at its
+     newest version. *)
+  for i = 1 to 300 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "k%04d recovered" i)
+      (Some (Printf.sprintf "r3-%s" (String.make 60 'v')))
+      (Db.get db (Printf.sprintf "k%04d" i))
+  done;
+  Alcotest.(check (list string)) "healthy" [] (Db.verify_integrity db);
+  Db.close db
+
 (* ---------- strict WAL recovery ---------- *)
 
 let strict_wal_fails_on_corrupt_tail () =
@@ -246,6 +330,8 @@ let suites =
         Alcotest.test_case "enospc degrades" `Quick enospc_degrades_to_read_only;
         Alcotest.test_case "no orphans after crash" `Quick
           mid_flush_crash_leaves_no_orphans;
+        Alcotest.test_case "no orphans after subcompaction crash" `Quick
+          mid_subcompaction_crash_leaves_no_orphans;
         Alcotest.test_case "strict wal" `Quick strict_wal_fails_on_corrupt_tail;
       ] );
   ]

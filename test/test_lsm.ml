@@ -140,6 +140,99 @@ let prop_merge_seek =
       let expected = List.find_opt (fun k -> k >= target) all in
       got = expected)
 
+(* ---------- Iter.clamp (half-open range views) ---------- *)
+
+let simple_iter entries = Iter.of_sorted_list ~cmp:String.compare entries
+
+let clamp_keys ?lo ?hi entries =
+  let it = Iter.clamp ?lo ?hi ~cmp:String.compare (simple_iter entries) in
+  List.map fst (Iter.to_list it)
+
+let abc = [ ("a", "1"); ("b", "2"); ("c", "3"); ("d", "4"); ("e", "5") ]
+
+let clamp_basic () =
+  Alcotest.(check (list string)) "unclamped" [ "a"; "b"; "c"; "d"; "e" ]
+    (clamp_keys abc);
+  Alcotest.(check (list string)) "lo only" [ "c"; "d"; "e" ]
+    (clamp_keys ~lo:"c" abc);
+  Alcotest.(check (list string)) "hi only" [ "a"; "b" ] (clamp_keys ~hi:"c" abc);
+  Alcotest.(check (list string)) "both" [ "b"; "c" ]
+    (clamp_keys ~lo:"b" ~hi:"d" abc);
+  Alcotest.(check (list string)) "lo between keys" [ "c"; "d"; "e" ]
+    (clamp_keys ~lo:"bb" abc);
+  Alcotest.(check (list string)) "hi between keys" [ "a"; "b"; "c" ]
+    (clamp_keys ~hi:"cc" abc);
+  Alcotest.(check (list string)) "empty window" [] (clamp_keys ~lo:"c" ~hi:"c" abc);
+  Alcotest.(check (list string)) "window past end" []
+    (clamp_keys ~lo:"x" ~hi:"z" abc);
+  Alcotest.(check (list string)) "empty source" [] (clamp_keys ~lo:"a" ~hi:"z" [])
+
+let clamp_seek () =
+  let it = Iter.clamp ~lo:"b" ~hi:"d" ~cmp:String.compare (simple_iter abc) in
+  (* seek below lo lands on lo *)
+  it.Iter.seek "a";
+  Alcotest.(check string) "seek below lo" "b" (it.Iter.key ());
+  (* seek inside the window *)
+  it.Iter.seek "c";
+  Alcotest.(check string) "seek inside" "c" (it.Iter.key ());
+  (* seek at/above hi is invalid *)
+  it.Iter.seek "d";
+  Alcotest.(check bool) "seek at hi invalid" false (it.Iter.valid ());
+  (* next stops at hi and never advances the view past it *)
+  it.Iter.seek_to_first ();
+  it.Iter.next ();
+  Alcotest.(check string) "next inside" "c" (it.Iter.key ());
+  it.Iter.next ();
+  Alcotest.(check bool) "next hits hi" false (it.Iter.valid ());
+  it.Iter.next ();
+  Alcotest.(check bool) "next after invalid stays invalid" false (it.Iter.valid ())
+
+let clamp_user_key_partition () =
+  (* Internal-key clamping at [make uk 0] boundaries partitions by user
+     key: every version of a key lands in exactly one subrange. *)
+  let entries =
+    List.map
+      (fun (k, ts) -> (Internal_key.make k ts, Printf.sprintf "%s@%d" k ts))
+      [ ("a", 1); ("a", 9); ("b", 2); ("b", 7); ("c", 3) ]
+  in
+  let src () = Iter.of_sorted_list ~cmp:Internal_key.compare_encoded entries in
+  let keys_of it =
+    List.map
+      (fun (ik, _) -> (Internal_key.user_key_of ik, Internal_key.ts_of ik))
+      (Iter.to_list it)
+  in
+  let left =
+    Iter.clamp ~hi:(Internal_key.make "b" 0) ~cmp:Internal_key.compare_encoded
+      (src ())
+  in
+  let right =
+    Iter.clamp ~lo:(Internal_key.make "b" 0) ~cmp:Internal_key.compare_encoded
+      (src ())
+  in
+  Alcotest.(check (list (pair string int)))
+    "left has every a-version" [ ("a", 1); ("a", 9) ] (keys_of left);
+  Alcotest.(check (list (pair string int)))
+    "right has every b- and c-version"
+    [ ("b", 2); ("b", 7); ("c", 3) ]
+    (keys_of right)
+
+let prop_clamp_equals_filter =
+  QCheck.Test.make ~name:"clamp = filter on [lo, hi)" ~count:300
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 30) (string_of_size Gen.(0 -- 4)))
+        (string_of_size Gen.(0 -- 4))
+        (string_of_size Gen.(0 -- 4)))
+    (fun (raw, lo, hi) ->
+      let entries =
+        List.sort_uniq compare (List.map (fun k -> (k, k)) raw)
+      in
+      let got = clamp_keys ~lo ~hi entries in
+      let expected =
+        List.filter (fun (k, _) -> k >= lo && k < hi) entries |> List.map fst
+      in
+      got = expected)
+
 (* ---------- Compaction.filter_group (GC policy) ---------- *)
 
 let v ts = (ts, Entry.Value (string_of_int ts))
@@ -278,6 +371,13 @@ let suites =
         Alcotest.test_case "merge tie-break" `Quick merge_tie_break;
       ] );
     ("lsm.iter.props", qtests [ prop_merge_equals_sort; prop_merge_seek ]);
+    ( "lsm.iter.clamp",
+      [
+        Alcotest.test_case "windows" `Quick clamp_basic;
+        Alcotest.test_case "seek semantics" `Quick clamp_seek;
+        Alcotest.test_case "user-key partition" `Quick clamp_user_key_partition;
+      ] );
+    ("lsm.iter.clamp.props", qtests [ prop_clamp_equals_filter ]);
     ( "lsm.gc",
       [
         Alcotest.test_case "no snapshots" `Quick gc_no_snapshots;
