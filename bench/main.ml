@@ -9,7 +9,11 @@
    --compaction [smoke] [--out FILE]
                    parallel-subcompaction + mixed-workload bench; emits
                    the clsm-bench/1 JSON schema (default
-                   BENCH_compaction.json) *)
+                   BENCH_compaction.json)
+   --sharded [smoke] [--out FILE]
+                   mixed workload against the range-shard router at
+                   shards 1/2/4; same JSON schema (default
+                   BENCH_sharded.json) *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -24,6 +28,16 @@ let () =
         | [] -> "BENCH_compaction.json"
       in
       Bench_store.run ~scale ~out:(out_of rest)
+  | "--sharded" :: rest ->
+      let scale =
+        if List.mem "smoke" rest then Bench_store.Smoke else Bench_store.Full
+      in
+      let rec out_of = function
+        | "--out" :: path :: _ -> path
+        | _ :: tl -> out_of tl
+        | [] -> "BENCH_sharded.json"
+      in
+      Bench_sharded.run ~scale ~out:(out_of rest)
   | [] | [ "--figures" ] ->
       print_endline
         "cLSM benchmark harness: regenerating all paper figures (simulated \

@@ -5,6 +5,7 @@
      clsm_cli get  --dir /tmp/db mykey
      clsm_cli scan --dir /tmp/db --start a --stop z --limit 20
      clsm_cli incr --dir /tmp/db counter
+     clsm_cli put  --dir /tmp/db --shards 4 mykey myvalue
      clsm_cli bench --dir /tmp/db --threads 2 --ops 20000 --workload mixed
      clsm_cli stats --dir /tmp/db *)
 
@@ -15,41 +16,106 @@ let dir_arg =
   let doc = "Store directory (created if missing)." in
   Arg.(value & opt string "./clsm-data" & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
 
-let with_db dir f =
-  let db = Db.open_store (Options.default ~dir) in
-  let finally () = Db.close db in
-  Fun.protect ~finally (fun () -> f db)
+let shards_arg =
+  let doc =
+    "Open as a range-sharded store with $(docv) shards (one cLSM instance \
+     per contiguous key range, all sharing one logical clock). A directory \
+     that already holds a sharded store is detected automatically and its \
+     persisted layout wins over this flag."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let boundaries_arg =
+  let doc =
+    "Comma-separated ascending shard boundary keys (length shards - 1); \
+     default is a byte-uniform split of the keyspace."
+  in
+  Arg.(value & opt (some string) None & info [ "boundaries" ] ~docv:"K1,K2" ~doc)
+
+(* The three store-selection flags travel together. *)
+let store_args =
+  Term.(
+    const (fun dir shards boundaries -> (dir, shards, boundaries))
+    $ dir_arg $ shards_arg $ boundaries_arg)
+
+(* Commands are written once against [Store_sig.S] and run against either
+   [Db] or the [Sharded_db] router, picked at open time. *)
+type 'r app = {
+  apply : 'a. (module Store_sig.S with type t = 'a) -> 'a -> 'r;
+}
+
+let with_store (dir, shards, boundaries) { apply } =
+  let opts =
+    {
+      (Options.default ~dir) with
+      Options.shards;
+      shard_boundaries = Option.map (String.split_on_char ',') boundaries;
+    }
+  in
+  let sharded =
+    shards > 1 || Sys.file_exists (Filename.concat dir "SHARDING")
+  in
+  if sharded then begin
+    let db = Sharded_db.open_store opts in
+    Fun.protect
+      ~finally:(fun () -> Sharded_db.close db)
+      (fun () -> apply (module Sharded_db) db)
+  end
+  else begin
+    let db = Db.open_store opts in
+    Fun.protect
+      ~finally:(fun () -> Db.close db)
+      (fun () -> apply (module Db) db)
+  end
 
 (* ---------- point ops ---------- *)
 
 let put_cmd =
   let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
   let value = Arg.(required & pos 1 (some string) None & info [] ~docv:"VALUE") in
-  let run dir key value = with_db dir (fun db -> Db.put db ~key ~value) in
+  let run st key value =
+    with_store st
+      {
+        apply =
+          (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
+            S.put db ~key ~value);
+      }
+  in
   Cmd.v (Cmd.info "put" ~doc:"Store a key-value pair.")
-    Term.(const run $ dir_arg $ key $ value)
+    Term.(const run $ store_args $ key $ value)
 
 let get_cmd =
   let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
-  let run dir key =
-    with_db dir (fun db ->
-        match Db.get db key with
-        | Some v ->
-            print_endline v;
-            0
-        | None ->
-            prerr_endline "(not found)";
-            1)
+  let run st key =
+    with_store st
+      {
+        apply =
+          (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
+            match S.get db key with
+            | Some v ->
+                print_endline v;
+                0
+            | None ->
+                prerr_endline "(not found)";
+                1);
+      }
     |> exit
   in
   Cmd.v (Cmd.info "get" ~doc:"Print a key's value.")
-    Term.(const run $ dir_arg $ key)
+    Term.(const run $ store_args $ key)
 
 let del_cmd =
   let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
-  let run dir key = with_db dir (fun db -> Db.delete db ~key) in
+  let run st key =
+    with_store st
+      {
+        apply =
+          (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
+            S.delete db ~key);
+      }
+  in
   Cmd.v (Cmd.info "del" ~doc:"Delete a key (writes a deletion marker).")
-    Term.(const run $ dir_arg $ key)
+    Term.(const run $ store_args $ key)
 
 let scan_cmd =
   let start =
@@ -57,102 +123,151 @@ let scan_cmd =
   in
   let stop = Arg.(value & opt (some string) None & info [ "stop" ] ~docv:"KEY") in
   let limit = Arg.(value & opt int 100 & info [ "limit" ] ~docv:"N") in
-  let run dir start stop limit =
-    with_db dir (fun db ->
-        List.iter
-          (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
-          (Db.range ?start ?stop ~limit db))
+  let run st start stop limit =
+    with_store st
+      {
+        apply =
+          (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
+            List.iter
+              (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
+              (S.range ?start ?stop ~limit db));
+      }
   in
   Cmd.v
-    (Cmd.info "scan" ~doc:"Consistent snapshot range scan in key order.")
-    Term.(const run $ dir_arg $ start $ stop $ limit)
+    (Cmd.info "scan"
+       ~doc:
+         "Consistent snapshot range scan in key order (cross-shard scans \
+          merge under one snapshot timestamp).")
+    Term.(const run $ store_args $ start $ stop $ limit)
 
 let incr_cmd =
   let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
   let by = Arg.(value & opt int 1 & info [ "by" ] ~docv:"N") in
-  let run dir key by =
-    with_db dir (fun db ->
-        let result = ref 0 in
-        ignore
-          (Db.rmw db ~key (fun v ->
-               let n = match v with Some s -> int_of_string s | None -> 0 in
-               result := n + by;
-               Db.Set (string_of_int (n + by))));
-        Printf.printf "%d\n" !result)
+  let run st key by =
+    with_store st
+      {
+        apply =
+          (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
+            let result = ref 0 in
+            ignore
+              (S.rmw db ~key (fun v ->
+                   let n =
+                     match v with Some s -> int_of_string s | None -> 0
+                   in
+                   result := n + by;
+                   S.Set (string_of_int (n + by))));
+            Printf.printf "%d\n" !result);
+      }
   in
   Cmd.v
     (Cmd.info "incr"
        ~doc:"Atomically increment an integer value (non-blocking RMW).")
-    Term.(const run $ dir_arg $ key $ by)
+    Term.(const run $ store_args $ key $ by)
 
 (* ---------- maintenance / introspection ---------- *)
 
 let compact_cmd =
-  let run dir = with_db dir Db.compact_now in
+  let run st =
+    with_store st
+      {
+        apply =
+          (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
+            S.compact_now db);
+      }
+  in
   Cmd.v
     (Cmd.info "compact" ~doc:"Flush the memtable and compact all levels.")
-    Term.(const run $ dir_arg)
+    Term.(const run $ store_args)
 
 let verify_cmd =
-  let run dir =
-    with_db dir (fun db ->
-        match Db.verify_integrity db with
-        | [] ->
-            print_endline "ok: all table files verify; level invariants hold";
-            0
-        | problems ->
-            List.iter (Printf.eprintf "problem: %s\n") problems;
-            1)
+  let run st =
+    with_store st
+      {
+        apply =
+          (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
+            match S.verify_integrity db with
+            | [] ->
+                print_endline
+                  "ok: all table files verify; level invariants hold";
+                0
+            | problems ->
+                List.iter (Printf.eprintf "problem: %s\n") problems;
+                1);
+      }
     |> exit
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check every table file and the disk-component invariants.")
-    Term.(const run $ dir_arg)
+    Term.(const run $ store_args)
 
 let repair_cmd =
   let run dir =
-    Db.repair ~dir ();
+    (* [Sharded_db.repair] rebuilds each shard-* subdirectory and falls
+       back to single-store repair when the directory never was sharded. *)
+    Sharded_db.repair ~dir ();
     print_endline "manifest rebuilt; damaged tables (if any) renamed *.damaged"
   in
   Cmd.v
     (Cmd.info "repair"
-       ~doc:"Rebuild a lost/corrupt manifest from the table files present.")
+       ~doc:
+         "Rebuild a lost/corrupt manifest from the table files present \
+          (per shard on a sharded directory).")
     Term.(const run $ dir_arg)
 
 let stats_cmd =
-  let run dir =
-    with_db dir (fun db ->
-        Format.printf "%a@." Stats.pp (Db.stats db);
-        Format.printf "memtable bytes: %d@." (Db.memtable_bytes db);
-        Format.printf "files per level:";
-        List.iter (Format.printf " %d") (Db.level_file_counts db);
-        Format.printf "@.")
+  let run st =
+    with_store st
+      {
+        apply =
+          (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
+            Format.printf "%a@." Stats.pp (S.stats db);
+            Format.printf "memtable bytes: %d@." (S.memtable_bytes db);
+            Format.printf "files per level:";
+            List.iter (Format.printf " %d") (S.level_file_counts db);
+            Format.printf "@.";
+            match S.health db with
+            | `Ok -> ()
+            | `Degraded reason -> Format.printf "DEGRADED: %s@." reason);
+      }
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Print store statistics.")
-    Term.(const run $ dir_arg)
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print store statistics (per-shard roll-up on a sharded store).")
+    Term.(const run $ store_args)
 
 let batch_cmd =
   let doc =
     "Apply an atomic batch read from stdin: lines are 'put <key> <value>' \
      or 'del <key>'."
   in
-  let run dir =
+  let run st =
     let rec read acc =
       match input_line stdin with
       | line -> (
           match String.split_on_char ' ' (String.trim line) with
           | [ "" ] -> read acc
-          | [ "put"; k; v ] -> read (Db.Batch_put (k, v) :: acc)
-          | [ "del"; k ] -> read (Db.Batch_delete k :: acc)
+          | [ "put"; k; v ] -> read (`Put (k, v) :: acc)
+          | [ "del"; k ] -> read (`Del k :: acc)
           | _ -> failwith ("batch: malformed line: " ^ line))
       | exception End_of_file -> List.rev acc
     in
     let ops = read [] in
-    with_db dir (fun db -> Db.write_batch db ops);
+    with_store st
+      {
+        apply =
+          (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
+            S.write_batch db
+              (List.map
+                 (function
+                   | `Put (k, v) -> S.Batch_put (k, v)
+                   | `Del k -> S.Batch_delete k)
+                 ops));
+      };
     Printf.printf "applied %d operations atomically\n" (List.length ops)
   in
-  Cmd.v (Cmd.info "batch" ~doc) Term.(const run $ dir_arg)
+  Cmd.v (Cmd.info "batch" ~doc) Term.(const run $ store_args)
 
 (* ---------- traces ---------- *)
 

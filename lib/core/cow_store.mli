@@ -4,4 +4,4 @@
     component's concurrency differs (serialized writes, wait-free reads,
     mutex-based RMW installs). *)
 
-include Store_sig.S
+include Store_sig.EXTENDED

@@ -21,4 +21,4 @@
     background domain runs the maintenance service: memtable rotation,
     flush to level 0, and leveled compaction with snapshot-aware GC. *)
 
-include Store_sig.S
+include Store_sig.EXTENDED

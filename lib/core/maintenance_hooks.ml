@@ -82,10 +82,7 @@ module Make (M : Memtable_intf.S) = struct
     match current_imm t with
     | No_imm -> false
     | Imm mc ->
-        let snapshots =
-          Snapshot_registry.live_timestamps t.snapshots
-            ~now:(Unix.gettimeofday ())
-        in
+        let snapshots = Clock.live_snapshots t.clock ~now:(Unix.gettimeofday ()) in
         let bytes = M.approximate_bytes mc.mem in
         let outputs =
           Compaction.write_sorted_run ~cfg:t.opts.Options.lsm
@@ -136,9 +133,7 @@ module Make (M : Memtable_intf.S) = struct
   (* Run one claimed compaction: merge outside any lock, then install.
      Caller owns the claim on the task's level range. *)
   let run_claimed_compaction t { State.task; pinned } =
-    let snapshots =
-      Snapshot_registry.live_timestamps t.snapshots ~now:(Unix.gettimeofday ())
-    in
+    let snapshots = Clock.live_snapshots t.clock ~now:(Unix.gettimeofday ()) in
     let started = Unix.gettimeofday () in
     (* The expensive merge, range-partitioned across domains when the
        knob allows: each subrange gets its own clamped merge cursor and
@@ -292,8 +287,11 @@ module Make (M : Memtable_intf.S) = struct
           > t.opts.Options.memtable_bytes
         then if rotate t then ignore (flush_imm t))
 
-  let run t (job : Job.t) =
+  let rec run t (job : Job.t) =
     match job with
+    (* [In_shard] is the router's tag; a single store never claims one.
+       Unwrap defensively rather than crash a worker. *)
+    | Job.In_shard { job; _ } -> run t job
     | Job.Flush -> guard_io t ~what:"memtable flush" (fun () -> run_flush t)
     | Job.Compact { src_level; target_level } -> (
         let range = (src_level, target_level) in

@@ -14,6 +14,10 @@ type t = {
   lsm : Clsm_lsm.Lsm_config.t;
   env : Clsm_env.Env.t;
   strict_wal : bool;
+  clock : Clock.t option;
+  shards : int;
+  shard_boundaries : string list option;
+  external_maintenance : bool;
 }
 
 let default ~dir =
@@ -33,4 +37,8 @@ let default ~dir =
     lsm = Clsm_lsm.Lsm_config.default;
     env = Clsm_env.Env.unix;
     strict_wal = false;
+    clock = None;
+    shards = 1;
+    shard_boundaries = None;
+    external_maintenance = false;
   }

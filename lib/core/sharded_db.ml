@@ -1,0 +1,4 @@
+(* The range-sharded skip-list store: [Options.shards] instances of
+   {!Db} behind one {!Store_sig.S}, sharing one logical clock. *)
+
+include Sharded_store.Make (Db)

@@ -1,0 +1,566 @@
+(* The range-shard router: N independent cLSM instances behind one
+   {!Store_sig.S}, each owning a contiguous key range and a private
+   directory, all drawing timestamps from ONE shared {!Clock} — so the
+   union of their histories is a single serializable history and one
+   fenced snapshot timestamp is consistent across every shard.
+
+   Point operations route to the owning shard and inherit its lock-free
+   paths unchanged; contended structures (memtable, WAL tail, flush
+   pipeline) multiply by N. Cross-shard consistency costs exactly one
+   extra lock:
+
+   - [get_snap] runs ONE [Clock.snap_ts] fence and registers ONE
+     registry entry; per-shard views at that timestamp are materialized
+     with [S.snapshot_at] (no fence, no registration).
+   - [write_batch] stamps each shard's sub-batch with a bare
+     [Clock.batch_ts] (no Active registration) — legal only while no
+     snapshot fence can observe the written keys. The router-level
+     shared-exclusive lock provides that exclusion: batches hold it in
+     SHARED mode (batches on different shards proceed concurrently;
+     same-shard batches serialize on the shard's own exclusive lock),
+     cross-shard [get_snap] holds it in EXCLUSIVE mode. No snapshot
+     timestamp can land between two sub-batches of one router batch,
+     so the batch is atomic under every router snapshot. Plain [get]s
+     do not take the lock and may observe a prefix, exactly like the
+     single-store contract.
+   - Deadlock-freedom: router [get_snap] takes no shard lock; a router
+     batch holds router-shared and at most one shard-exclusive at a
+     time; shards never take the router lock.
+
+   Maintenance is arbitrated by ONE shared scheduler: shards are opened
+   with [external_maintenance] (no private pools), their wake signals
+   are re-pointed at the shared pool, and the pool's [next] round-robins
+   over shards' claim queues, wrapping claims as [Job.In_shard] so claim
+   bookkeeping stays inside the owning shard. *)
+
+open Clsm_primitives
+open Clsm_lsm
+module Env = Clsm_env.Env
+module Job = Clsm_maintenance.Job
+module Scheduler = Clsm_maintenance.Scheduler
+
+(* ---------- the persisted sharding layout ---------- *)
+
+(* The SHARDING file in the root directory records the boundary keys
+   (hex, one per line) so a reopen routes exactly as the writer did —
+   the file wins over whatever [Options.shards]/[shard_boundaries] say,
+   because data already placed under the old boundaries cannot move. *)
+
+let layout_file dir = Filename.concat dir "SHARDING"
+let layout_magic = "clsm-sharding/1"
+
+let to_hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let of_hex h =
+  if String.length h mod 2 <> 0 then
+    failwith "Sharded_store: odd-length hex boundary in SHARDING";
+  String.init
+    (String.length h / 2)
+    (fun i ->
+      try Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2))
+      with _ -> failwith "Sharded_store: bad hex in SHARDING")
+
+let persist_layout ~(env : Env.t) ~dir bounds =
+  let tmp = layout_file dir ^ ".tmp" in
+  let w = env.Env.create_writer tmp in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s %d\n" layout_magic (Array.length bounds + 1));
+  Array.iter (fun k -> Buffer.add_string b (to_hex k ^ "\n")) bounds;
+  w.Env.w_append (Buffer.contents b);
+  w.Env.w_fsync ();
+  w.Env.w_close ();
+  env.Env.rename ~src:tmp ~dst:(layout_file dir)
+
+let load_layout ~(env : Env.t) ~dir =
+  let path = layout_file dir in
+  if not (env.Env.file_exists path) then None
+  else
+    match String.split_on_char '\n' (String.trim (env.Env.read_file path)) with
+    | header :: rest -> (
+        match String.split_on_char ' ' header with
+        | [ magic; n ] when magic = layout_magic ->
+            let n =
+              try int_of_string n
+              with _ -> failwith "Sharded_store: bad shard count in SHARDING"
+            in
+            let bounds =
+              rest |> List.filter (fun l -> l <> "") |> List.map of_hex
+              |> Array.of_list
+            in
+            if Array.length bounds <> n - 1 then
+              failwith "Sharded_store: SHARDING boundary count mismatch";
+            Some bounds
+        | _ -> failwith "Sharded_store: unrecognized SHARDING header")
+    | [] -> failwith "Sharded_store: empty SHARDING file"
+
+let validate_bounds ~shards bounds =
+  if Array.length bounds <> shards - 1 then
+    invalid_arg "Sharded_store: shard_boundaries must have length shards - 1";
+  Array.iteri
+    (fun i b ->
+      if b = "" then invalid_arg "Sharded_store: empty shard boundary";
+      if i > 0 && String.compare bounds.(i - 1) b >= 0 then
+        invalid_arg "Sharded_store: shard boundaries must be strictly ascending")
+    bounds
+
+(* Byte-uniform default split: boundary j starts shard j at the single
+   byte floor(j*256/n) — even coverage of the full byte keyspace, which
+   real key distributions rarely are; pass explicit boundaries when the
+   hot range is known. *)
+let default_bounds n =
+  if n > 256 then
+    invalid_arg "Sharded_store: > 256 shards need explicit shard_boundaries";
+  Array.init (n - 1) (fun j -> String.make 1 (Char.chr ((j + 1) * 256 / n)))
+
+module Make (S : Store_sig.EXTENDED) = struct
+  type t = {
+    opts : Options.t;
+    clock : Clock.t;
+    shards : S.t array;
+    bounds : string array; (* length = shards - 1, strictly ascending *)
+    batch_lock : Shared_lock.t;
+        (* batches shared / cross-shard getSnap exclusive, see above *)
+    stats : Stats.t; (* router-level counters (snapshot fences) *)
+    mutable scheduler : Scheduler.t option;
+    rr : int Atomic.t; (* round-robin cursor of the shared [next] *)
+    mutable closed : bool;
+    close_mutex : Mutex.t;
+  }
+
+  (* Owning shard = number of boundaries <= key (binary search). *)
+  let shard_index t key =
+    let lo = ref 0 and hi = ref (Array.length t.bounds) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if String.compare t.bounds.(mid) key <= 0 then lo := mid + 1
+      else hi := mid
+    done;
+    !lo
+
+  let shard_of t key = t.shards.(shard_index t key)
+
+  (* ---------- open / close ---------- *)
+
+  let shard_dir root i = Filename.concat root (Printf.sprintf "shard-%d" i)
+
+  let make_next t () =
+    let n = Array.length t.shards in
+    let start = Atomic.fetch_and_add t.rr 1 in
+    let rec probe i =
+      if i >= n then None
+      else
+        let s = (start + i) mod n in
+        match S.maintenance_next t.shards.(s) with
+        | Some job -> Some (Job.In_shard { shard = s; job })
+        | None -> probe (i + 1)
+    in
+    probe 0
+
+  let run_job t = function
+    | Job.In_shard { shard; job } -> S.maintenance_run t.shards.(shard) job
+    (* [make_next] only emits In_shard; anything else has no claim to
+       release, so dropping it is safe. *)
+    | Job.Flush | Job.Compact _ -> ()
+
+  let open_store (opts : Options.t) =
+    let env = opts.Options.env in
+    if not (env.Env.file_exists opts.Options.dir) then
+      env.Env.mkdir opts.Options.dir;
+    let bounds =
+      match load_layout ~env ~dir:opts.Options.dir with
+      | Some persisted -> persisted (* the directory's layout wins *)
+      | None ->
+          let n = opts.Options.shards in
+          if n < 1 then
+            invalid_arg "Sharded_store.open_store: shards must be >= 1";
+          let bounds =
+            match opts.Options.shard_boundaries with
+            | Some bs ->
+                let a = Array.of_list bs in
+                validate_bounds ~shards:n a;
+                a
+            | None -> default_bounds n
+          in
+          persist_layout ~env ~dir:opts.Options.dir bounds;
+          bounds
+    in
+    let n = Array.length bounds + 1 in
+    let clock =
+      match opts.Options.clock with
+      | Some c -> c
+      | None ->
+          Clock.create ~active_set_capacity:opts.Options.active_set_capacity ()
+    in
+    let shard_opts i =
+      {
+        opts with
+        Options.dir = shard_dir opts.Options.dir i;
+        clock = Some clock;
+        external_maintenance = true;
+        shards = 1;
+        shard_boundaries = None;
+      }
+    in
+    (* If a later shard fails to open (corruption, injected fault), the
+       already-opened ones must not leak their WAL writers. *)
+    let opened = ref [] in
+    let shards =
+      try
+        Array.init n (fun i ->
+            let s = S.open_store (shard_opts i) in
+            opened := s :: !opened;
+            s)
+      with e ->
+        List.iter (fun s -> try S.close s with _ -> ()) !opened;
+        raise e
+    in
+    let t =
+      {
+        opts;
+        clock;
+        shards;
+        bounds;
+        batch_lock = Shared_lock.create ();
+        stats = Stats.create ();
+        scheduler = None;
+        rr = Atomic.make 0;
+        closed = false;
+        close_mutex = Mutex.create ();
+      }
+    in
+    if not opts.Options.external_maintenance then begin
+      let sched =
+        Scheduler.create ~num_workers:opts.Options.maintenance_workers
+          ~tick_interval:opts.Options.maintenance_tick ~next:(make_next t)
+          ~run:(run_job t) ()
+      in
+      t.scheduler <- Some sched;
+      Array.iter (fun s -> S.set_wake_hook s (fun () -> Scheduler.wake sched)) shards;
+      Scheduler.start sched
+    end;
+    t
+
+  let stop_scheduler t =
+    match t.scheduler with
+    | Some s ->
+        Scheduler.stop s;
+        t.scheduler <- None
+    | None -> ()
+
+  (* Close every shard even when one of them fails; the first failure
+     still reaches the caller. *)
+  let close_shards ~f t =
+    let first = ref None in
+    Array.iter
+      (fun s -> try f s with e -> if !first = None then first := Some e)
+      t.shards;
+    match !first with Some e -> raise e | None -> ()
+
+  let close t =
+    Mutex.lock t.close_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.close_mutex)
+      (fun () ->
+        if not t.closed then begin
+          t.closed <- true;
+          stop_scheduler t;
+          close_shards ~f:S.close t
+        end)
+
+  let simulate_crash t =
+    Mutex.lock t.close_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.close_mutex)
+      (fun () ->
+        if not t.closed then begin
+          t.closed <- true;
+          stop_scheduler t;
+          close_shards ~f:S.simulate_crash t
+        end)
+
+  (* ---------- point operations: route and delegate ---------- *)
+
+  let put t ~key ~value = S.put (shard_of t key) ~key ~value
+  let delete t ~key = S.delete (shard_of t key) ~key
+  let get t key = S.get (shard_of t key) key
+
+  type rmw_decision = Set of string | Remove | Abort
+
+  let rmw t ~key f =
+    S.rmw (shard_of t key) ~key (fun prev ->
+        match f prev with
+        | Set v -> S.Set v
+        | Remove -> S.Remove
+        | Abort -> S.Abort)
+
+  let put_if_absent t ~key ~value = S.put_if_absent (shard_of t key) ~key ~value
+
+  (* ---------- write batches ---------- *)
+
+  type batch_op = Batch_put of string * string | Batch_delete of string
+
+  let write_batch t ops =
+    if ops <> [] then
+      Shared_lock.with_shared t.batch_lock (fun () ->
+          let per = Array.make (Array.length t.shards) [] in
+          List.iter
+            (fun op ->
+              let key, sop =
+                match op with
+                | Batch_put (k, v) -> (k, S.Batch_put (k, v))
+                | Batch_delete k -> (k, S.Batch_delete k)
+              in
+              let i = shard_index t key in
+              per.(i) <- sop :: per.(i))
+            ops;
+          Array.iteri
+            (fun i sub ->
+              if sub <> [] then S.write_batch t.shards.(i) (List.rev sub))
+            per)
+
+  (* ---------- snapshots ---------- *)
+
+  type snapshot = {
+    snap_ts : int;
+    handle : Snapshot_registry.handle option;
+    released : bool Atomic.t;
+  }
+
+  let snapshot_mode t =
+    if t.opts.Options.unsafe_naive_snapshots then Clock.Unsafe_naive
+    else if t.opts.Options.linearizable_snapshots then Clock.Linearizable
+    else Clock.Serializable
+
+  (* ONE fence, ONE registry entry, valid across every shard (they share
+     the clock). Exclusive mode excludes in-flight router batches so
+     their bare batch timestamps stay unobservable — see the header. *)
+  let get_snap ?ttl t =
+    Stats.incr_snapshots t.stats;
+    Shared_lock.lock_exclusive t.batch_lock;
+    let ts = Clock.snap_ts t.clock ~mode:(snapshot_mode t) in
+    let handle =
+      Clock.register_snapshot t.clock ?ttl ~now:(Unix.gettimeofday ()) ts
+    in
+    Shared_lock.unlock_exclusive t.batch_lock;
+    { snap_ts = ts; handle; released = Atomic.make false }
+
+  let snapshot_ts s = s.snap_ts
+
+  let release_snapshot t s =
+    if not (Atomic.exchange s.released true) then
+      match s.handle with
+      | Some h -> Clock.release_snapshot t.clock h
+      | None -> ()
+
+  let get_at t s key =
+    if Atomic.get s.released then
+      invalid_arg "Sharded_store.get_at: released snapshot";
+    let shard = shard_of t key in
+    S.get_at shard (S.snapshot_at shard ~ts:s.snap_ts) key
+
+  let multi_get t keys =
+    let s = get_snap t in
+    let result = List.map (fun k -> (k, get_at t s k)) keys in
+    release_snapshot t s;
+    result
+
+  (* ---------- cross-shard iterators / scans ---------- *)
+
+  type iterator = {
+    snap : snapshot;
+    own_snapshot : bool;
+    merged : Iter.t;
+    subs : S.iterator array;
+    router : t;
+    mutable it_closed : bool;
+  }
+
+  let iter_of_sub sit =
+    {
+      Iter.seek_to_first = (fun () -> S.iter_seek_first sit);
+      seek = (fun target -> S.iter_seek sit target);
+      valid = (fun () -> S.iter_valid sit);
+      key = (fun () -> S.iter_key sit);
+      value = (fun () -> S.iter_value sit);
+      next = (fun () -> S.iter_next sit);
+    }
+
+  (* Each shard contributes its snapshot-filtered iterator (already
+     collapsed to visible user keys); the per-shard views are clamped to
+     the shard's [lo, hi) range — routing makes the clamp a no-op, but
+     it turns any routing bug into missing keys instead of a
+     mis-ordered merge — and merged on user-key order. Disjoint ranges
+     make the merge degenerate to concatenation; the k-way machinery is
+     shared with the LSM read path. *)
+  let iterator ?snapshot t =
+    let snap, own_snapshot =
+      match snapshot with Some s -> (s, false) | None -> (get_snap t, true)
+    in
+    let subs =
+      Array.map
+        (fun sh -> S.iterator ~snapshot:(S.snapshot_at sh ~ts:snap.snap_ts) sh)
+        t.shards
+    in
+    let clamped =
+      Array.to_list
+        (Array.mapi
+           (fun i sit ->
+             let lo = if i = 0 then None else Some t.bounds.(i - 1) in
+             let hi =
+               if i = Array.length t.bounds then None else Some t.bounds.(i)
+             in
+             Iter.clamp ?lo ?hi ~cmp:String.compare (iter_of_sub sit))
+           subs)
+    in
+    let merged = Merge_iter.merge ~cmp:String.compare clamped in
+    { snap; own_snapshot; merged; subs; router = t; it_closed = false }
+
+  let iter_seek_first it = it.merged.Iter.seek_to_first ()
+  let iter_seek it target = it.merged.Iter.seek target
+  let iter_valid it = it.merged.Iter.valid ()
+
+  let iter_key it =
+    if not (iter_valid it) then
+      invalid_arg "Sharded_store.iter_key: invalid iterator"
+    else it.merged.Iter.key ()
+
+  let iter_value it =
+    if not (iter_valid it) then
+      invalid_arg "Sharded_store.iter_value: invalid iterator"
+    else it.merged.Iter.value ()
+
+  let iter_next it = it.merged.Iter.next ()
+
+  let iter_close it =
+    if not it.it_closed then begin
+      it.it_closed <- true;
+      Array.iter S.iter_close it.subs;
+      if it.own_snapshot then release_snapshot it.router it.snap
+    end
+
+  let range ?snapshot ?start ?stop ?(limit = max_int) t =
+    let it = iterator ?snapshot t in
+    (match start with
+    | Some s -> iter_seek it s
+    | None -> iter_seek_first it);
+    let rec collect n acc =
+      if n >= limit || not (iter_valid it) then List.rev acc
+      else
+        let k = iter_key it in
+        match stop with
+        | Some e when k >= e -> List.rev acc
+        | Some _ | None ->
+            let v = iter_value it in
+            iter_next it;
+            collect (n + 1) ((k, v) :: acc)
+    in
+    let result = collect 0 [] in
+    iter_close it;
+    result
+
+  let fold ?snapshot f t acc =
+    let it = iterator ?snapshot t in
+    iter_seek_first it;
+    let rec go acc =
+      if iter_valid it then begin
+        let k = iter_key it and v = iter_value it in
+        iter_next it;
+        go (f k v acc)
+      end
+      else acc
+    in
+    let result = go acc in
+    iter_close it;
+    result
+
+  (* ---------- maintenance / introspection ---------- *)
+
+  let compact_now t = Array.iter S.compact_now t.shards
+  let flush_wal t = Array.iter S.flush_wal t.shards
+
+  (* Scan/get/put counters live in the shards (a cross-shard scan opens
+     one iterator per shard and counts as such); the router adds only
+     what the shards cannot see — the cross-shard snapshot fences. *)
+  let stats t =
+    Stats.merge_all
+      (Stats.read t.stats
+      :: Array.to_list (Array.map (fun s -> S.stats s) t.shards))
+
+  let options t = t.opts
+
+  let health t =
+    let degraded = ref [] in
+    Array.iteri
+      (fun i s ->
+        match S.health s with
+        | `Ok -> ()
+        | `Degraded reason ->
+            degraded := Printf.sprintf "shard %d: %s" i reason :: !degraded)
+      t.shards;
+    match List.rev !degraded with
+    | [] -> `Ok
+    | reasons -> `Degraded (String.concat "; " reasons)
+
+  let level_file_counts t =
+    Array.fold_left
+      (fun acc s ->
+        let counts = Array.of_list (S.level_file_counts s) in
+        Array.init
+          (max (Array.length acc) (Array.length counts))
+          (fun i ->
+            let at (a : int array) = if i < Array.length a then a.(i) else 0 in
+            at acc + at counts))
+      [||] t.shards
+    |> Array.to_list
+
+  let memtable_bytes t =
+    Array.fold_left (fun acc s -> acc + S.memtable_bytes s) 0 t.shards
+
+  let cache_stats t =
+    Array.fold_left
+      (fun (acc : Clsm_sstable.Cache.stats) s ->
+        let c = S.cache_stats s in
+        Clsm_sstable.Cache.
+          {
+            hits = acc.hits + c.hits;
+            misses = acc.misses + c.misses;
+            evictions = acc.evictions + c.evictions;
+            weight = acc.weight + c.weight;
+          })
+      Clsm_sstable.Cache.{ hits = 0; misses = 0; evictions = 0; weight = 0 }
+      t.shards
+
+  let verify_integrity t =
+    Array.to_list t.shards
+    |> List.mapi (fun i s ->
+           List.map (Printf.sprintf "shard %d: %s" i) (S.verify_integrity s))
+    |> List.concat
+
+  (* Repair each shard directory independently; a directory that never
+     was sharded (no SHARDING file, no shard-* subdirs) is repaired as a
+     single store. *)
+  let repair ?(env = Env.unix) ~dir () =
+    let entries = try env.Env.list_dir dir with Env.Error _ -> [] in
+    let shard_dirs =
+      entries
+      |> List.filter (fun name ->
+             String.length name > 6 && String.sub name 0 6 = "shard-")
+      |> List.sort compare
+    in
+    if shard_dirs = [] then S.repair ~env ~dir ()
+    else
+      List.iter
+        (fun name -> S.repair ~env ~dir:(Filename.concat dir name) ())
+        shard_dirs
+
+  (* ---------- router-specific introspection ---------- *)
+
+  let shard_count t = Array.length t.shards
+  let shard_boundaries t = Array.to_list t.bounds
+  let shard_stats t = Array.map (fun s -> S.stats s) t.shards
+  let shard_healths t = Array.map (fun s -> S.health s) t.shards
+end

@@ -148,6 +148,84 @@ let read (t : t) : snapshot =
     maintenance_wakeups = Atomic.get t.maintenance_wakeups;
   }
 
+(* ---------- the counter catalogue ----------
+
+   The single source of truth for every rendered representation: [pp] and
+   [to_json] both walk this list, so a counter added to the snapshot
+   record cannot appear in one and be silently omitted from the other
+   (and [merge] below is a record construction, so the compiler forces it
+   to account for new fields too). JSON field names are part of the
+   scraping surface — keep them stable. *)
+
+(* [`Max] marks high-watermarks, which aggregate by maximum (not sum)
+   when several stores' snapshots are merged into one roll-up. *)
+let scalar_fields : (string * [ `Sum | `Max ] * (snapshot -> int)) list =
+  [
+    ("puts", `Sum, fun s -> s.puts);
+    ("gets", `Sum, fun s -> s.gets);
+    ("deletes", `Sum, fun s -> s.deletes);
+    ("rmws", `Sum, fun s -> s.rmws);
+    ("rmw_conflicts", `Sum, fun s -> s.rmw_conflicts);
+    ("snapshots", `Sum, fun s -> s.snapshots_taken);
+    ("scans", `Sum, fun s -> s.scans);
+    ("memtable_rotations", `Sum, fun s -> s.memtable_rotations);
+    ("flushes", `Sum, fun s -> s.flushes);
+    ("compactions", `Sum, fun s -> s.compactions);
+    ("subcompactions", `Sum, fun s -> s.subcompactions);
+    ("parallel_compactions", `Sum, fun s -> s.parallel_compactions);
+    ("max_compaction_fanout", `Max, fun s -> s.max_compaction_fanout);
+    ("compaction_ns", `Sum, fun s -> s.compaction_ns);
+    ("bytes_flushed", `Sum, fun s -> s.bytes_flushed);
+    ("bytes_compacted", `Sum, fun s -> s.bytes_compacted);
+    ("write_stalls", `Sum, fun s -> s.write_stalls);
+    ("stall_ns", `Sum, fun s -> s.stall_ns);
+    ("write_slowdowns", `Sum, fun s -> s.write_slowdowns);
+    ("slowdown_delay_ns", `Sum, fun s -> s.slowdown_delay_ns);
+    ("maintenance_wakeups", `Sum, fun s -> s.maintenance_wakeups);
+  ]
+
+(* Aggregate several stores' snapshots (the shard roll-up): counters sum,
+   high-watermarks take the maximum. A record construction on purpose —
+   adding a snapshot field without deciding its aggregation is a compile
+   error here. *)
+let merge (a : snapshot) (b : snapshot) : snapshot =
+  let per_level =
+    Array.init
+      (max (Array.length a.compactions_per_level)
+         (Array.length b.compactions_per_level))
+      (fun i ->
+        let at (arr : int array) = if i < Array.length arr then arr.(i) else 0 in
+        at a.compactions_per_level + at b.compactions_per_level)
+  in
+  {
+    puts = a.puts + b.puts;
+    gets = a.gets + b.gets;
+    deletes = a.deletes + b.deletes;
+    rmws = a.rmws + b.rmws;
+    rmw_conflicts = a.rmw_conflicts + b.rmw_conflicts;
+    snapshots_taken = a.snapshots_taken + b.snapshots_taken;
+    scans = a.scans + b.scans;
+    memtable_rotations = a.memtable_rotations + b.memtable_rotations;
+    flushes = a.flushes + b.flushes;
+    compactions = a.compactions + b.compactions;
+    compactions_per_level = per_level;
+    subcompactions = a.subcompactions + b.subcompactions;
+    parallel_compactions = a.parallel_compactions + b.parallel_compactions;
+    max_compaction_fanout = max a.max_compaction_fanout b.max_compaction_fanout;
+    compaction_ns = a.compaction_ns + b.compaction_ns;
+    bytes_flushed = a.bytes_flushed + b.bytes_flushed;
+    bytes_compacted = a.bytes_compacted + b.bytes_compacted;
+    write_stalls = a.write_stalls + b.write_stalls;
+    stall_ns = a.stall_ns + b.stall_ns;
+    write_slowdowns = a.write_slowdowns + b.write_slowdowns;
+    slowdown_delay_ns = a.slowdown_delay_ns + b.slowdown_delay_ns;
+    maintenance_wakeups = a.maintenance_wakeups + b.maintenance_wakeups;
+  }
+
+let merge_all = function
+  | [] -> read (create ())
+  | s :: rest -> List.fold_left merge s rest
+
 let pp ppf s =
   let per_level =
     s.compactions_per_level |> Array.to_list
@@ -156,55 +234,35 @@ let pp ppf s =
     |> List.map (fun (i, n) -> Printf.sprintf "L%d:%d" i n)
     |> String.concat " "
   in
-  Format.fprintf ppf
-    "@[<v>puts=%d gets=%d deletes=%d rmws=%d (conflicts=%d)@,\
-     snapshots=%d scans=%d@,\
-     rotations=%d flushes=%d compactions=%d%s@,\
-     subcompactions=%d parallel=%d max_fanout=%d compaction_ms=%.3f@,\
-     bytes_flushed=%d bytes_compacted=%d@,\
-     stalls=%d stall_ms=%.3f slowdowns=%d slowdown_delay_ms=%.3f wakeups=%d@]"
-    s.puts s.gets s.deletes s.rmws s.rmw_conflicts s.snapshots_taken s.scans
-    s.memtable_rotations s.flushes s.compactions
-    (if per_level = "" then "" else " [" ^ per_level ^ "]")
-    s.subcompactions s.parallel_compactions s.max_compaction_fanout
-    (float_of_int s.compaction_ns /. 1e6)
-    s.bytes_flushed s.bytes_compacted s.write_stalls
-    (float_of_int s.stall_ns /. 1e6)
-    s.write_slowdowns
-    (float_of_int s.slowdown_delay_ns /. 1e6)
-    s.maintenance_wakeups
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, _, get) ->
+      if i > 0 then
+        if i mod 5 = 0 then Format.fprintf ppf "@," else Format.fprintf ppf " ";
+      Format.fprintf ppf "%s=%d" name (get s);
+      (* the per-level breakdown rides along with its total *)
+      if name = "compactions" && per_level <> "" then
+        Format.fprintf ppf " [%s]" per_level)
+    scalar_fields;
+  Format.fprintf ppf "@]"
 
 let to_json (s : snapshot) =
   let b = Buffer.create 512 in
-  let field name v = Buffer.add_string b (Printf.sprintf "\"%s\":%d," name v) in
   Buffer.add_char b '{';
-  field "puts" s.puts;
-  field "gets" s.gets;
-  field "deletes" s.deletes;
-  field "rmws" s.rmws;
-  field "rmw_conflicts" s.rmw_conflicts;
-  field "snapshots" s.snapshots_taken;
-  field "scans" s.scans;
-  field "memtable_rotations" s.memtable_rotations;
-  field "flushes" s.flushes;
-  field "compactions" s.compactions;
-  Buffer.add_string b "\"compactions_per_level\":[";
-  Array.iteri
-    (fun i n ->
-      if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (string_of_int n))
-    s.compactions_per_level;
-  Buffer.add_string b "],";
-  field "subcompactions" s.subcompactions;
-  field "parallel_compactions" s.parallel_compactions;
-  field "max_compaction_fanout" s.max_compaction_fanout;
-  field "compaction_ns" s.compaction_ns;
-  field "bytes_flushed" s.bytes_flushed;
-  field "bytes_compacted" s.bytes_compacted;
-  field "write_stalls" s.write_stalls;
-  field "stall_ns" s.stall_ns;
-  field "write_slowdowns" s.write_slowdowns;
-  field "slowdown_delay_ns" s.slowdown_delay_ns;
-  Buffer.add_string b
-    (Printf.sprintf "\"maintenance_wakeups\":%d}" s.maintenance_wakeups);
+  List.iter
+    (fun (name, _, get) ->
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d," name (get s));
+      if name = "compactions" then begin
+        Buffer.add_string b "\"compactions_per_level\":[";
+        Array.iteri
+          (fun i n ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (string_of_int n))
+          s.compactions_per_level;
+        Buffer.add_string b "],"
+      end)
+    scalar_fields;
+  (* drop the trailing comma the last field left *)
+  Buffer.truncate b (Buffer.length b - 1);
+  Buffer.add_char b '}';
   Buffer.contents b

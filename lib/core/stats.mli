@@ -64,7 +64,19 @@ val add_slowdown : t -> delay_ns:int -> unit
 
 val incr_maintenance_wakeups : t -> unit
 val read : t -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Aggregate two stores' snapshots (the per-shard roll-up of a
+    range-sharded store): counters and durations sum, the
+    [max_compaction_fanout] high-watermark takes the maximum, and the
+    per-level compaction arrays add element-wise. *)
+
+val merge_all : snapshot list -> snapshot
+(** [merge]d over the list; all-zero for [[]]. *)
+
 val pp : Format.formatter -> snapshot -> unit
+(** Renders every counter of the catalogue that {!to_json} also walks —
+    the two representations cannot drift apart. *)
 
 val to_json : snapshot -> string
 (** One-line JSON object, for benchmark output and scraping. *)

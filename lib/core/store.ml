@@ -8,7 +8,7 @@
    {!Maintenance_hooks}, driven by the event-driven
    {!Clsm_maintenance.Scheduler}. *)
 
-module Make (M : Memtable_intf.S) : Store_sig.S = struct
+module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
   open Clsm_primitives
   open Clsm_lsm
   module State = Store_state.Make (M)
@@ -48,40 +48,11 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     | Some (Entry.Value v) -> Some v
     | Some Entry.Tombstone | None -> None
 
-  (* ---------- writes (Algorithm 1/2: shared lock + timestamp) ---------- *)
+  (* ---------- writes (Algorithm 1/2: shared lock + timestamp) ----------
 
-  (* Algorithm 2, getTS: acquire a fresh timestamp, retrying while it falls
-     at or below a concurrently chosen snapshot time. *)
-  let get_ts t =
-    let rec loop () =
-      let ts = Monotonic_counter.inc_and_get t.time_counter in
-      let h = Active_set.add t.active ts in
-      if ts <= Monotonic_counter.get t.snap_time then begin
-        Active_set.remove t.active h;
-        loop ()
-      end
-      else (ts, h)
-    in
-    loop ()
-
-  (* Blind writers (put/delete) additionally register in [put_active],
-     the set an RMW's in-flight fence drains. The registration must
-     precede the snapTime check so the store-load handshake with the
-     RMW's advance_to/find_min pair cannot miss: either the writer sees
-     the fence and re-draws, or the RMW sees the writer and waits. *)
-  let get_put_ts t =
-    let rec loop () =
-      let ts = Monotonic_counter.inc_and_get t.time_counter in
-      let h = Active_set.add t.active ts in
-      let hp = Active_set.add t.put_active ts in
-      if ts <= Monotonic_counter.get t.snap_time then begin
-        Active_set.remove t.put_active hp;
-        Active_set.remove t.active h;
-        loop ()
-      end
-      else (ts, h, hp)
-    in
-    loop ()
+     The timestamp machinery — getTS, the Active/put_active handshake,
+     the snapTime fence — lives in {!Clock}, shared by every shard of a
+     range-sharded deployment (and private to this store otherwise). *)
 
   (* Graduated admission control (see {!Backpressure}), checked outside the
      shared lock so a delayed or stalled writer cannot block the merge.
@@ -134,15 +105,13 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     Fun.protect
       ~finally:(fun () -> Shared_lock.unlock_shared t.lock)
       (fun () ->
-        let ts, h, hp = get_put_ts t in
+        let ts, h, hp = Clock.get_put_ts t.clock in
         (* The Active entries guard visibility (snapshots and RMWs wait
            on them), which is established by the memtable insert; holding
            them across the WAL append would only stall those on group
            commit. *)
         Fun.protect
-          ~finally:(fun () ->
-            Active_set.remove t.put_active hp;
-            Active_set.remove t.active h)
+          ~finally:(fun () -> Clock.end_put t.clock ~active:h ~put:hp)
           (fun () -> M.add mc.mem ~user_key ~ts entry);
         wal_append t mc (Log_record.encode { Log_record.ts; user_key; entry }));
     maybe_wake_for_rotation t mc
@@ -179,10 +148,12 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
                       Stats.incr_deletes t.stats;
                       (key, Entry.Tombstone)
                 in
-                (* No concurrent getSnap can run (it needs the shared lock),
-                   so plain counter increments are safe here without the
-                   Active set. *)
-                let ts = Monotonic_counter.inc_and_get t.time_counter in
+                (* No snapshot fence that could observe these keys can run
+                   concurrently — a local getSnap needs this store's
+                   shared lock, a cross-shard getSnap holds the router
+                   lock against write batches — so bare timestamps are
+                   safe here without the Active set. *)
+                let ts = Clock.batch_ts t.clock in
                 M.add mc.mem ~user_key ~ts entry;
                 { Log_record.ts; user_key; entry })
               ops
@@ -243,27 +214,18 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
              drew an older timestamp but has not yet published its node
              would slot in *beneath* ours, invisible to the read above
              and to the conflict check below, and its value would be
-             lost without the RMW ever observing it. Advancing snapTime
-             makes any such straddling writer re-draw a newer timestamp
-             (the getTS retry), and the put_active wait drains the ones
-             already committed to theirs — the same handshake getSnap
-             relies on. Only blind writers need draining: an older RMW
-             locates after its own drain, so it detects our newer
-             version as a conflict by itself; waiting on [active] here
-             would needlessly serialize independent RMWs. Progress: the
-             oldest active writer never waits, so every wait iteration
-             implies system-wide progress. *)
-          let ts, h = get_ts t in
-          ignore (Monotonic_counter.advance_to t.snap_time (ts - 1));
-          let b = Backoff.create () in
-          let rec wait () =
-            match Active_set.find_min t.put_active with
-            | Some m when m < ts ->
-                Backoff.once b;
-                wait ()
-            | Some _ | None -> ()
-          in
-          wait ();
+             lost without the RMW ever observing it. The clock's
+             [rmw_fence] makes any such straddling writer re-draw a newer
+             timestamp (the getTS retry) and drains the ones already
+             committed to theirs — the same handshake getSnap relies on.
+             Only blind writers need draining: an older RMW locates after
+             its own drain, so it detects our newer version as a conflict
+             by itself; waiting on [active] here would needlessly
+             serialize independent RMWs. Progress: the oldest active
+             writer never waits, so every wait iteration implies
+             system-wide progress. *)
+          let ts, h = Clock.get_ts t.clock in
+          Clock.rmw_fence t.clock ~ts;
           (* Lines 5-6: locate the insertion point for (k, ∞); a
              predecessor version newer than what we read is a conflict.
              Every version with a timestamp below ours has landed by
@@ -271,19 +233,19 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
           let prev_ts, loc = M.locate_rmw pm.mem ~user_key:key in
           match prev_ts with
           | Some p when p > seen_ts ->
-              Active_set.remove t.active h;
+              Clock.end_op t.clock h;
               Stats.incr_rmw_conflicts t.stats;
               attempt ()
           | _ ->
               (* Lines 10-12: publish with a CAS. *)
               if M.try_install pm.mem loc ~user_key:key ~ts entry then begin
-                Active_set.remove t.active h;
+                Clock.end_op t.clock h;
                 wal_append t pm
                   (Log_record.encode { Log_record.ts; user_key = key; entry });
                 pre_image
               end
               else begin
-                Active_set.remove t.active h;
+                Clock.end_op t.clock h;
                 Stats.incr_rmw_conflicts t.stats;
                 attempt ()
               end)
@@ -319,57 +281,33 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     released : bool Atomic.t;
   }
 
+  let snapshot_mode t =
+    if t.opts.Options.unsafe_naive_snapshots then Clock.Unsafe_naive
+    else if t.opts.Options.linearizable_snapshots then Clock.Linearizable
+    else Clock.Serializable
+
   let get_snap ?ttl t =
     Stats.incr_snapshots t.stats;
     Shared_lock.lock_shared t.lock;
-    let tsb =
-      if t.opts.Options.unsafe_naive_snapshots then
-        (* Ablation: the strawman rejected in §3.2.1 (Figures 3-4) — read
-           timeCounter directly; concurrent puts can make scans
-           unserializable. *)
-        Monotonic_counter.get t.time_counter
-      else begin
-        let ts = Monotonic_counter.get t.time_counter in
-        let ts =
-          if t.opts.Options.linearizable_snapshots then ts
-          else
-            (* Serializable default: step below every in-flight put (lines
-               10-11); the scan may read slightly "in the past". *)
-            match Active_set.find_min t.active with
-            | Some tsa -> min ts (tsa - 1)
-            | None -> ts
-        in
-        ignore (Monotonic_counter.advance_to t.snap_time ts);
-        (* Line 13: wait out puts whose timestamps are below snapTime; each
-           iteration implies progress of some put or getSnap. *)
-        let b = Backoff.create () in
-        let rec wait () =
-          match Active_set.find_min t.active with
-          | Some m when m < Monotonic_counter.get t.snap_time ->
-              Backoff.once b;
-              wait ()
-          | Some _ | None -> ()
-        in
-        wait ();
-        Monotonic_counter.get t.snap_time
-      end
-    in
+    let tsb = Clock.snap_ts t.clock ~mode:(snapshot_mode t) in
     let handle =
-      if tsb > 0 then
-        Some
-          (Snapshot_registry.install t.snapshots ?ttl
-             ~now:(Unix.gettimeofday ()) tsb)
-      else None
+      Clock.register_snapshot t.clock ?ttl ~now:(Unix.gettimeofday ()) tsb
     in
     Shared_lock.unlock_shared t.lock;
     { snap_ts = tsb; handle; released = Atomic.make false }
+
+  (* A view at a timestamp someone else fenced and registered (the shard
+     router's cross-shard getSnap): no fence, no registry entry of its
+     own — the caller's registration keeps [ts] GC-protected. *)
+  let snapshot_at _t ~ts =
+    { snap_ts = ts; handle = None; released = Atomic.make false }
 
   let snapshot_ts s = s.snap_ts
 
   let release_snapshot t s =
     if not (Atomic.exchange s.released true) then
       match s.handle with
-      | Some h -> Snapshot_registry.remove t.snapshots h
+      | Some h -> Clock.release_snapshot t.clock h
       | None -> ()
 
   let get_at t s key =
@@ -540,15 +478,19 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
     let r = Recover.recover opts ~cache in
     let num_levels = opts.lsm.Lsm_config.num_levels in
     let stats = Stats.create () in
+    let clock =
+      match opts.clock with
+      | Some c -> c
+      | None -> Clock.create ~active_set_capacity:opts.active_set_capacity ()
+    in
+    (* Fresh writes must outrank everything this directory persisted —
+       with a shared clock, CAS-max across shards in any recovery order. *)
+    Clock.observe_recovered_ts clock r.Recover.last_ts;
     let t =
       {
         opts;
         lock = Shared_lock.create ();
-        time_counter = Monotonic_counter.create r.Recover.last_ts;
-        active = Active_set.create ~capacity:opts.active_set_capacity ();
-        put_active = Active_set.create ~capacity:opts.active_set_capacity ();
-        snap_time = Monotonic_counter.create 0;
-        snapshots = Snapshot_registry.create ();
+        clock;
         pm =
           Rcu_box.create
             (Refcounted.create
@@ -580,13 +522,16 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
             ~config:(Backpressure.config_of_options opts)
             ~stats;
         scheduler = None;
+        wake_hook = None;
         closed = false;
         close_mutex = Mutex.create ();
       }
     in
-    let scheduler = Hooks.make_scheduler t in
-    t.scheduler <- Some scheduler;
-    Clsm_maintenance.Scheduler.start scheduler;
+    if not opts.external_maintenance then begin
+      let scheduler = Hooks.make_scheduler t in
+      t.scheduler <- Some scheduler;
+      Clsm_maintenance.Scheduler.start scheduler
+    end;
     t
 
   let repair = Recovery.repair
@@ -668,4 +613,11 @@ module Make (M : Memtable_intf.S) : Store_sig.S = struct
 
   let memtable_bytes t = M.approximate_bytes (current_pm t).mem
   let cache_stats t = Clsm_sstable.Cache.stats t.cache
+
+  (* ---------- router support (Store_sig.EXTENDED) ---------- *)
+
+  let clock t = t.clock
+  let maintenance_next t = Hooks.next t
+  let maintenance_run t job = Hooks.run t job
+  let set_wake_hook t f = t.wake_hook <- Some f
 end

@@ -40,14 +40,11 @@ module Make (M : Memtable_intf.S) = struct
   type t = {
     opts : Options.t;
     lock : Shared_lock.t;
-    time_counter : Monotonic_counter.t;
-    active : Active_set.t;
-    put_active : Active_set.t;
-        (* blind writers only (put/delete), a subset of [active]: what an
-           RMW's in-flight fence drains — older RMWs self-detect via their
-           conflict check, so waiting on them would serialize all RMWs *)
-    snap_time : Monotonic_counter.t;
-    snapshots : Snapshot_registry.t;
+    clock : Clock.t;
+        (* the logical-time domain: timeCounter, Active/put_active,
+           snapTime and the snapshot registry. Private by default;
+           injected (shared) when this store is one shard of a
+           range-sharded deployment *)
     pm : memcomp Rcu_box.t;
     pimm : imm_slot Rcu_box.t;
     pd : Version.t Rcu_box.t;
@@ -64,6 +61,9 @@ module Make (M : Memtable_intf.S) = struct
     backpressure : Backpressure.t;
     compact_pointers : string array; (* per-level round-robin cursors *)
     mutable scheduler : Clsm_maintenance.Scheduler.t option;
+    mutable wake_hook : (unit -> unit) option;
+        (* where maintenance-work signals go when the pool is external
+           (a shard router's shared scheduler) instead of [scheduler] *)
     degraded : string option Atomic.t;
         (* Some reason once an unrecoverable IO failure (ENOSPC, failed
            fsync) hits a maintenance path: the store stops accepting
@@ -88,11 +88,14 @@ module Make (M : Memtable_intf.S) = struct
      threshold, rotation, stall). The paper's sleep-polling background
      loop is gone: this is a real Mutex+Condition wakeup. *)
   let wake_bg t =
-    match t.scheduler with
-    | Some s ->
+    match (t.scheduler, t.wake_hook) with
+    | Some s, _ ->
         Stats.incr_maintenance_wakeups t.stats;
         Clsm_maintenance.Scheduler.wake s
-    | None -> ()
+    | None, Some wake ->
+        Stats.incr_maintenance_wakeups t.stats;
+        wake ()
+    | None, None -> ()
 
   (* ---------- manifest ---------- *)
 
@@ -112,7 +115,7 @@ module Make (M : Memtable_intf.S) = struct
     in
     {
       Manifest.next_file_number = Atomic.get t.next_file;
-      last_ts = Monotonic_counter.get t.time_counter;
+      last_ts = Clock.now t.clock;
       wal_number = (current_pm t).wal_number;
       files = l0 @ deeper;
     }

@@ -1,16 +1,24 @@
-type t = Flush | Compact of { src_level : int; target_level : int }
+type t =
+  | Flush
+  | Compact of { src_level : int; target_level : int }
+  | In_shard of { shard : int; job : t }
 
-let priority = function
+let rec priority = function
   | Flush -> 0
   | Compact { src_level; _ } -> src_level + 1
+  (* Routing is transparent to urgency: a shard's flush still beats any
+     compaction anywhere. *)
+  | In_shard { job; _ } -> priority job
 
 let compare a b = Int.compare (priority a) (priority b)
 
-let levels = function
+let rec levels = function
   | Flush -> None
   | Compact { src_level; target_level } -> Some (src_level, target_level)
+  | In_shard { job; _ } -> levels job
 
-let pp ppf = function
+let rec pp ppf = function
   | Flush -> Format.fprintf ppf "flush"
   | Compact { src_level; target_level } ->
       Format.fprintf ppf "compact(L%d->L%d)" src_level target_level
+  | In_shard { shard; job } -> Format.fprintf ppf "shard%d:%a" shard pp job

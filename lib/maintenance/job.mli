@@ -13,10 +13,14 @@ type t =
   | Compact of { src_level : int; target_level : int }
       (** merge one unit of [src_level] into [target_level];
           [src_level = 0] is the L0→L1 merge *)
+  | In_shard of { shard : int; job : t }
+      (** [job], claimed from shard [shard] of a range-sharded store:
+          how one shared worker pool arbitrates jobs across shards while
+          claim bookkeeping stays per shard *)
 
 val priority : t -> int
 (** Smaller is more urgent. [Flush] is [0]; [Compact] of level [l] is
-    [l + 1]. *)
+    [l + 1]; [In_shard] is transparent (its inner job's priority). *)
 
 val compare : t -> t -> int
 (** Orders by {!priority}. *)

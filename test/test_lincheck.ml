@@ -138,6 +138,7 @@ let assert_clean ~target ~seed ~scan_mode h =
 
 module Db_target = Target.Of_store (Db)
 module Cow_target = Target.Of_store (Cow_store)
+module Sharded_target = Target.Of_store (Sharded_db)
 
 let run_clsm ~linearizable seed () =
   let dir =
@@ -157,6 +158,41 @@ let run_clsm ~linearizable seed () =
   in
   assert_clean
     ~target:(if linearizable then "clsm-lin" else "clsm")
+    ~seed
+    ~scan_mode:(if linearizable then `Linearizable else `Serializable)
+    h
+
+(* The shard router over 4 Db instances sharing one clock: boundaries
+   split the stress key space k00..k07 so every domain's schedule
+   crosses shards constantly, and every scan is a cross-shard merge
+   under one fenced snapshot timestamp. The same Wing–Gong check plus
+   the dual-mode scan validator apply unchanged — the router must be
+   indistinguishable from one store. *)
+let run_sharded ~linearizable seed () =
+  let dir =
+    Filename.concat base_dir
+      (Printf.sprintf "sharded%s_seed%d"
+         (if linearizable then "_lin" else "")
+         seed)
+  in
+  rm_rf dir;
+  let o =
+    {
+      (opts ~linearizable dir) with
+      Options.shards = 4;
+      shard_boundaries = Some [ "k02"; "k04"; "k06" ];
+    }
+  in
+  let db = Sharded_db.open_store o in
+  let h =
+    Fun.protect
+      ~finally:(fun () ->
+        Sharded_db.close db;
+        rm_rf dir)
+      (fun () -> Stress.run (cfg seed) (Sharded_target.ops ~name:"sharded" db))
+  in
+  assert_clean
+    ~target:(if linearizable then "sharded-lin" else "sharded")
     ~seed
     ~scan_mode:(if linearizable then `Linearizable else `Serializable)
     h
@@ -254,6 +290,10 @@ let () =
       cases "clsm-linearizable-snapshots"
         (run_clsm ~linearizable:true)
         (take (num_seeds - half) (List.rev seeds));
+      cases "sharded" (run_sharded ~linearizable:false) (take small seeds);
+      cases "sharded-linearizable-snapshots"
+        (run_sharded ~linearizable:true)
+        (take small (List.rev seeds));
       cases "memtable" run_memtable (take small seeds);
       cases "cow-store" run_cow (take small seeds);
       cases "striped-rmw" run_striped (take small seeds);

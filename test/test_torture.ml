@@ -218,6 +218,248 @@ let run_one_seed seed =
   Db.close db;
   rm_rf dir
 
+(* ---------- the sharded store under the same torture ---------- *)
+
+(* Directory-consistency-at-rest for one store directory: no staged temp
+   files, every table referenced by the manifest. *)
+let check_dir_consistent ~seed ~label dir =
+  let listing = Sys.readdir dir |> Array.to_list in
+  List.iter
+    (fun name ->
+      if Filename.check_suffix name ".tmp" then
+        Alcotest.failf "seed %d: %s: stray temp file after recovery: %s" seed
+          label name)
+    listing;
+  match Manifest.load ~dir () with
+  | None -> Alcotest.failf "seed %d: %s: no manifest after recovery" seed label
+  | Some man ->
+      let live = List.map snd man.Manifest.files in
+      List.iter
+        (fun name ->
+          match String.split_on_char '.' name with
+          | [ num; "sst" ] ->
+              if not (List.mem (int_of_string num) live) then
+                Alcotest.failf "seed %d: %s: orphan table after recovery: %s"
+                  seed label name
+          | _ -> ())
+        listing
+
+let shard_bounds = [ "key27"; "key54" ]
+
+let sharded_opts_for ~env dir =
+  {
+    (opts_for ~env dir) with
+    Options.shards = 3;
+    shard_boundaries = Some shard_bounds;
+    (* two pool workers so one shard's flush runs WHILE another shard
+       compacts — the crash point can land in the middle of that *)
+    maintenance_workers = 2;
+  }
+
+(* The single-store torture, re-run against the 3-shard router: the
+   crash point lands in whichever shard happens to be doing IO (its
+   flush, another's compaction, a WAL append of a third), and recovery
+   must restore every shard — per-shard directory consistency, the
+   SHARDING layout, the durability model across all ranges, and a shared
+   clock that still outranks everything recovered. *)
+let run_one_sharded_seed seed =
+  let dir = Filename.concat base_dir (Printf.sprintf "sharded_seed%d" seed) in
+  rm_rf dir;
+  let rng = Random.State.make [| seed; 7 |] in
+  let fault = Faulty_env.create ~seed () in
+  let opts = sharded_opts_for ~env:(Faulty_env.env fault) dir in
+  let db = Sharded_db.open_store opts in
+  let m = { acked = Hashtbl.create 64; pending = Hashtbl.create 16 } in
+  (* A deeper budget than the single-store harness: the router's
+     mutating-IO rate is ~3x (three WALs, three flush pipelines), and
+     the interesting crashes are the ones that catch two shards
+     mid-maintenance. *)
+  Faulty_env.arm fault ~crash_after:(60 + Random.State.int rng 900);
+  let crashed = ref false in
+  let ops = ref 0 in
+  while (not !crashed) && !ops < 600 do
+    incr ops;
+    let key = key_of (Random.State.int rng num_keys) in
+    match Random.State.int rng 10 with
+    | 0 | 1 -> (
+        attempt m key None;
+        match Sharded_db.delete db ~key with
+        | () -> ack m key None
+        | exception (Env.Crashed | Env.Error _ | Store_sig.Degraded _) ->
+            crashed := true)
+    | 2 -> (
+        (* a batch that deliberately crosses shard boundaries *)
+        let key2 = key_of (Random.State.int rng num_keys) in
+        let v1 = Printf.sprintf "b%d-%d" seed !ops
+        and v2 = Printf.sprintf "b%d-%d'" seed !ops in
+        attempt m key (Some v1);
+        attempt m key2 (Some v2);
+        match
+          Sharded_db.write_batch db
+            [ Sharded_db.Batch_put (key, v1); Sharded_db.Batch_put (key2, v2) ]
+        with
+        | () ->
+            ack m key (Some v1);
+            ack m key2 (Some v2)
+        | exception (Env.Crashed | Env.Error _ | Store_sig.Degraded _) ->
+            crashed := true)
+    | 3 ->
+        if not (Hashtbl.mem m.pending key) then begin
+          let expect =
+            Option.value ~default:None (Hashtbl.find_opt m.acked key)
+          in
+          match Sharded_db.get db key with
+          | got ->
+              if got <> expect then
+                Alcotest.failf "seed %d: live read of %s: got %s, want %s" seed
+                  key
+                  (Option.value ~default:"<none>" got)
+                  (Option.value ~default:"<none>" expect)
+          | exception (Env.Crashed | Env.Error _) -> crashed := true
+        end
+    | _ -> (
+        let v = Printf.sprintf "v%d-%d" seed !ops in
+        attempt m key (Some v);
+        match Sharded_db.put db ~key ~value:v with
+        | () -> ack m key (Some v)
+        | exception (Env.Crashed | Env.Error _ | Store_sig.Degraded _) ->
+            crashed := true)
+  done;
+  Sharded_db.simulate_crash db;
+  Faulty_env.install_crash_image fault;
+  (* ---- restart on the crash image with a healthy environment ---- *)
+  let clean_opts = { opts with Options.env = Env.unix } in
+  let db = Sharded_db.open_store clean_opts in
+  (* The persisted layout survived the crash. *)
+  if Sharded_db.shard_count db <> 3 then
+    Alcotest.failf "seed %d: SHARDING layout lost (count=%d)" seed
+      (Sharded_db.shard_count db);
+  if Sharded_db.shard_boundaries db <> shard_bounds then
+    Alcotest.failf "seed %d: SHARDING boundaries changed" seed;
+  (* With a clean environment every shard must come back writable. *)
+  (match Sharded_db.health db with
+  | `Ok -> ()
+  | `Degraded reason ->
+      Alcotest.failf "seed %d: degraded after clean recovery: %s" seed reason);
+  Sharded_db.compact_now db;
+  for i = 0 to 2 do
+    check_dir_consistent ~seed
+      ~label:(Printf.sprintf "shard-%d" i)
+      (Filename.concat dir (Printf.sprintf "shard-%d" i))
+  done;
+  (match Sharded_db.verify_integrity db with
+  | [] -> ()
+  | problems ->
+      Alcotest.failf "seed %d: integrity violations: %s" seed
+        (String.concat "; " problems));
+  Hashtbl.iter
+    (fun key expect ->
+      let got = Sharded_db.get db key in
+      let allowed =
+        expect :: Option.value ~default:[] (Hashtbl.find_opt m.pending key)
+      in
+      if not (List.mem got allowed) then
+        Alcotest.failf "seed %d: key %s: got %s, allowed {%s}" seed key
+          (Option.value ~default:"<none>" got)
+          (String.concat ", "
+             (List.map (Option.value ~default:"<none>") allowed)))
+    m.acked;
+  Hashtbl.iter
+    (fun key states ->
+      if not (Hashtbl.mem m.acked key) then
+        let got = Sharded_db.get db key in
+        if not (List.mem got (None :: states)) then
+          Alcotest.failf "seed %d: unacked key %s holds foreign value %s" seed
+            key
+            (Option.value ~default:"<none>" got))
+    m.pending;
+  (* Fresh writes win in EVERY shard: the shared clock recovered the max
+     timestamp across all of them. *)
+  List.iter
+    (fun i ->
+      let key = key_of i in
+      Sharded_db.put db ~key ~value:"fresh";
+      if Sharded_db.get db key <> Some "fresh" then
+        Alcotest.failf
+          "seed %d: recovered timestamps shadow new writes in shard of %s" seed
+          key)
+    [ 0; 30; 60 ];
+  Sharded_db.close db;
+  let db = Sharded_db.open_store clean_opts in
+  if Sharded_db.get db (key_of 0) <> Some "fresh" then
+    Alcotest.failf "seed %d: second reopen lost data" seed;
+  Sharded_db.close db;
+  rm_rf dir
+
+(* Failure isolation: persistent fsync failures degrade the shard whose
+   maintenance hits them — and ONLY that shard. The others must keep
+   accepting writes, and the combined health report must name the hit
+   shards individually. *)
+let run_degrade_isolation seed =
+  let dir = Filename.concat base_dir (Printf.sprintf "degrade_seed%d" seed) in
+  rm_rf dir;
+  let rng = Random.State.make [| seed; 13 |] in
+  let fault = Faulty_env.create ~seed () in
+  let opts = sharded_opts_for ~env:(Faulty_env.env fault) dir in
+  let db = Sharded_db.open_store opts in
+  (* Arm only after the open: a fault during layout/recovery IO is the
+     crash campaign's business; here the store must be healthy first. *)
+  Faulty_env.set_fault_rates fault ~fsync_fail_1_in:25 ();
+  (* Hammer all three ranges until some shard degrades (or give up —
+     fault schedules are seed-dependent, and a seed that never trips a
+     maintenance fsync is a vacuous pass, not a failure). *)
+  let ops = ref 0 in
+  (try
+     while Sharded_db.health db = `Ok && !ops < 3000 do
+       incr ops;
+       let key = key_of (Random.State.int rng num_keys) in
+       let v = Printf.sprintf "v%d" !ops in
+       try Sharded_db.put db ~key ~value:v
+       with Store_sig.Degraded _ | Env.Error _ -> ()
+     done
+   with Env.Crashed -> ());
+  (match Sharded_db.health db with
+  | `Ok -> ()
+  | `Degraded reason ->
+      let healths = Sharded_db.shard_healths db in
+      let degraded_shards =
+        List.filter
+          (fun i -> healths.(i) <> `Ok)
+          [ 0; 1; 2 ]
+      in
+      (* The combined report names each hit shard. *)
+      List.iter
+        (fun i ->
+          let tag = Printf.sprintf "shard %d:" i in
+          let present =
+            let tl = String.length tag and rl = String.length reason in
+            let rec scan o =
+              o + tl <= rl && (String.sub reason o tl = tag || scan (o + 1))
+            in
+            scan 0
+          in
+          if not present then
+            Alcotest.failf "seed %d: health report %S omits %S" seed reason tag)
+        degraded_shards;
+      (* Some shard survived (the fault rate cannot plausibly kill all
+         three here) and it must still accept writes and serve reads. *)
+      (match
+         List.find_opt (fun i -> healths.(i) = `Ok) [ 0; 1; 2 ]
+       with
+      | None -> ()
+      | Some survivor ->
+          let key = key_of ((survivor * 30) + 5) in
+          (try Sharded_db.put db ~key ~value:"alive"
+           with e ->
+             Alcotest.failf "seed %d: healthy shard %d refused a write: %s"
+               seed survivor (Printexc.to_string e));
+          if Sharded_db.get db key <> Some "alive" then
+            Alcotest.failf "seed %d: healthy shard %d lost a write" seed
+              survivor));
+  (try Sharded_db.close db
+   with Env.Error _ | Store_sig.Degraded _ -> () (* degraded WAL close *));
+  rm_rf dir
+
 (* Seed count: TORTURE_SEEDS (default 200). CI pins a smaller budget to
    stay fast; local runs can go as deep as patience allows. The seed
    formula is unchanged from the original 50-seed harness, so the first 50
@@ -232,6 +474,11 @@ let num_seeds =
 
 let seeds = List.init num_seeds (fun i -> 1000 + (i * 77))
 
+(* The sharded campaign reuses the seed stream at a quarter of the
+   budget (each sharded cycle opens/recovers three stores). *)
+let sharded_seeds =
+  List.filteri (fun i _ -> i < max 2 (num_seeds / 4)) seeds
+
 let () =
   Alcotest.run "clsm-torture"
     [
@@ -243,4 +490,20 @@ let () =
               `Slow
               (fun () -> run_one_seed seed))
           seeds );
+      ( "torture-sharded",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d" seed)
+              `Slow
+              (fun () -> run_one_sharded_seed seed))
+          sharded_seeds );
+      ( "degrade-isolation",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d" seed)
+              `Slow
+              (fun () -> run_degrade_isolation seed))
+          [ 4242; 4319; 4396 ] );
     ]
