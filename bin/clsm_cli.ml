@@ -228,6 +228,7 @@ let stats_cmd =
             Format.printf "@.";
             match S.health db with
             | `Ok -> ()
+            | `Partial reason -> Format.printf "PARTIAL: %s@." reason
             | `Degraded reason -> Format.printf "DEGRADED: %s@." reason);
       }
   in
@@ -236,6 +237,82 @@ let stats_cmd =
        ~doc:
          "Print store statistics (per-shard roll-up on a sharded store).")
     Term.(const run $ store_args)
+
+(* ---------- self-healing ---------- *)
+
+let health_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Also print the full counter set as JSON.")
+  in
+  let run st json =
+    with_store st
+      {
+        apply =
+          (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
+            let code =
+              match S.health db with
+              | `Ok ->
+                  Format.printf "ok@.";
+                  0
+              | `Partial reason ->
+                  Format.printf "partial: %s@." reason;
+                  1
+              | `Degraded reason ->
+                  Format.printf "degraded: %s@." reason;
+                  2
+            in
+            if json then print_endline (Stats.to_json (S.stats db));
+            code);
+      }
+    |> exit
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Print store health (per-shard roll-up on a sharded store): 'ok', \
+          'partial' (corrupt tables quarantined, reads served from \
+          surviving data) or 'degraded' (write path down). Exit code 0/1/2 \
+          respectively.")
+    Term.(const run $ store_args $ json)
+
+let scrub_cmd =
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "After scrubbing, run the repair pass: finalize quarantines \
+             whose surviving data verifies clean and attempt the online \
+             degraded-to-ok transition.")
+  in
+  let run st repair =
+    with_store st
+      {
+        apply =
+          (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
+            let problems = S.scrub_now db in
+            List.iter (Format.printf "CORRUPT %s@.") problems;
+            let health =
+              if repair then S.repair_now db else S.health db
+            in
+            (match health with
+            | `Ok -> Format.printf "health: ok@."
+            | `Partial reason -> Format.printf "health: partial: %s@." reason
+            | `Degraded reason ->
+                Format.printf "health: degraded: %s@." reason);
+            print_endline (Stats.to_json (S.stats db));
+            if problems = [] then 0 else 1);
+      }
+    |> exit
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Re-verify every sstable block and the WAL tail (every shard on a \
+          sharded store), quarantining corrupt tables. Prints the problems \
+          found, the resulting health and the counter set as JSON; exit \
+          code 1 if anything was corrupt.")
+    Term.(const run $ store_args $ repair)
 
 let batch_cmd =
   let doc =
@@ -367,6 +444,8 @@ let () =
             verify_cmd;
             repair_cmd;
             stats_cmd;
+            health_cmd;
+            scrub_cmd;
             trace_synth_cmd;
             trace_replay_cmd;
             bench_cmd;

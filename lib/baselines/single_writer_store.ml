@@ -70,6 +70,8 @@ let manifest_of_state t =
     last_ts = t.seq;
     wal_number = t.pm.wal_number;
     files;
+    (* the baseline has no quarantine machinery *)
+    quarantined = [];
   }
 
 let save_manifest t = Manifest.save ~dir:t.opts.Options.dir (manifest_of_state t)

@@ -20,19 +20,44 @@ module Make (M : Memtable_intf.S) = struct
   let src = Logs.Src.create "clsm.db.maintenance" ~doc:"cLSM store maintenance"
 
   module Log = (val Logs.src_log src : Logs.LOG)
+  module Retry = Clsm_env.Retry_policy
+
+  (* Maintenance-path IO commit points run under the configured retry
+     policy: a transient fault (EINTR-ish fsync hiccup, brief ENOSPC)
+     rides through a few backed-off attempts instead of degrading the
+     store on first touch. Only [Env.Error] is retried — [Env.Crashed]
+     is the test harness's kill switch and corruption is never
+     transient. *)
+  let with_retry t ~what f =
+    Retry.run t.opts.Options.retry
+      ~on_retry:(fun ~attempt ~delay e ->
+        Stats.incr_io_retries t.stats;
+        Log.warn (fun m ->
+            m "%s failed (attempt %d), retrying in %.1fms: %s" what attempt
+              (delay *. 1e3) (Printexc.to_string e)))
+      f
 
   (* An environment failure inside maintenance (failed fsync, out of
-     space) must not take down the worker domain or be retried forever:
-     the store degrades to read-only — reads keep working off the
-     installed components — and the error is surfaced through [health]
-     and the [Degraded] exception on writes. *)
+     space) that survives the retry policy must not take down the worker
+     domain or be retried forever: the store degrades to read-only —
+     reads keep working off the installed components — and the error is
+     surfaced through [health] and the [Degraded] exception on writes.
+
+     A corruption verdict is different: the media lied, but only about
+     one table. Quarantining it (containment) keeps the store writable;
+     degrading would punish every key for one rotten block. *)
   let guard_io t ~what f =
-    try f ()
-    with (Env.Error _ | Env.Crashed) as e ->
-      degrade t (what ^ " failed: " ^ Printexc.to_string e);
-      Log.err (fun m ->
-          m "%s failed, store degraded to read-only: %s" what
-            (Printexc.to_string e))
+    try f () with
+    | (Env.Error _ | Env.Crashed) as e ->
+        degrade t (what ^ " failed: " ^ Printexc.to_string e);
+        Log.err (fun m ->
+            m "%s failed, store degraded to read-only: %s" what
+              (Printexc.to_string e))
+    | Table_file.Corruption { number; detail; _ } ->
+        ignore (enqueue_quarantine t ~number ~detail : bool);
+        Log.err (fun m ->
+            m "%s hit corrupt table %06d (%s): quarantine queued" what number
+              detail)
 
   (* ---------- merge hooks ---------- *)
 
@@ -49,12 +74,14 @@ module Make (M : Memtable_intf.S) = struct
           let wal =
             if t.opts.Options.wal_enabled then
               Some
-                (Clsm_wal.Wal_writer.create
-                   ~mode:
-                     (if t.opts.Options.sync_wal then Clsm_wal.Wal_writer.Sync
-                      else Clsm_wal.Wal_writer.Async)
-                   ~env:t.opts.Options.env
-                   (Table_file.wal_path ~dir:t.opts.Options.dir wal_number))
+                (with_retry t ~what:"WAL create" (fun () ->
+                     Clsm_wal.Wal_writer.create
+                       ~mode:
+                         (if t.opts.Options.sync_wal then
+                            Clsm_wal.Wal_writer.Sync
+                          else Clsm_wal.Wal_writer.Async)
+                       ~env:t.opts.Options.env
+                       (Table_file.wal_path ~dir:t.opts.Options.dir wal_number)))
             else None
           in
           let fresh = { mem = M.create (); wal; wal_number } in
@@ -84,11 +111,15 @@ module Make (M : Memtable_intf.S) = struct
     | Imm mc ->
         let snapshots = Clock.live_snapshots t.clock ~now:(Unix.gettimeofday ()) in
         let bytes = M.approximate_bytes mc.mem in
+        (* Safe to retry wholesale: a failed attempt cleans up its partial
+           outputs (Compaction.cleanup_failed), so each retry starts from
+           a blank slate. *)
         let outputs =
-          Compaction.write_sorted_run ~cfg:t.opts.Options.lsm
-            ~dir:t.opts.Options.dir ~cache:t.cache ~env:t.opts.Options.env
-            ~alloc_number:(alloc_file_number t) ~snapshots
-            ~drop_tombstones:false (M.iter mc.mem)
+          with_retry t ~what:"memtable flush write" (fun () ->
+              Compaction.write_sorted_run ~cfg:t.opts.Options.lsm
+                ~dir:t.opts.Options.dir ~cache:t.cache ~env:t.opts.Options.env
+                ~alloc_number:(alloc_file_number t) ~snapshots
+                ~drop_tombstones:false (M.iter mc.mem))
         in
         Mutex.lock t.install;
         Fun.protect
@@ -114,7 +145,8 @@ module Make (M : Memtable_intf.S) = struct
             Stats.add_bytes_flushed t.stats bytes;
             (* Durability order: the manifest that stops referencing the old
                WAL must land before the WAL disappears. *)
-            save_manifest t);
+            with_retry t ~what:"manifest save (flush)" (fun () ->
+                save_manifest t));
         (match mc.wal with
         | Some w ->
             let env = t.opts.Options.env in
@@ -141,11 +173,12 @@ module Make (M : Memtable_intf.S) = struct
        one version swap + manifest save, exactly like a sequential
        merge — a crash can only ever observe all of it or none of it. *)
     let outputs, fanout =
-      Compaction.run_parallel ~cfg:t.opts.Options.lsm ~dir:t.opts.Options.dir
-        ~cache:t.cache ~env:t.opts.Options.env
-        ~alloc_number:(alloc_file_number t) ~snapshots
-        ~fan_out:Scheduler.fan_out
-        ~max_subcompactions:t.opts.Options.max_subcompactions task
+      with_retry t ~what:"compaction merge" (fun () ->
+          Compaction.run_parallel ~cfg:t.opts.Options.lsm
+            ~dir:t.opts.Options.dir ~cache:t.cache ~env:t.opts.Options.env
+            ~alloc_number:(alloc_file_number t) ~snapshots
+            ~fan_out:Scheduler.fan_out
+            ~max_subcompactions:t.opts.Options.max_subcompactions task)
     in
     let merge_duration_ns =
       int_of_float ((Unix.gettimeofday () -. started) *. 1e9)
@@ -177,7 +210,8 @@ module Make (M : Memtable_intf.S) = struct
         Stats.record_compaction_run t.stats ~fanout
           ~duration_ns:merge_duration_ns;
         Stats.add_bytes_compacted t.stats bytes;
-        save_manifest t;
+        with_retry t ~what:"manifest save (compaction)" (fun () ->
+            save_manifest t);
         (* Only after the manifest has stopped referencing the inputs may
            they become deletable: marking them obsolete (and dropping the
            old version's references) before a successful save could delete
@@ -251,28 +285,428 @@ module Make (M : Memtable_intf.S) = struct
             Some cc
         | None -> None)
 
+  (* ---------- self-healing: quarantine, scrub, repair ---------- *)
+
+  let try_claim_repair t =
+    let h = t.heal in
+    Mutex.protect h.hm (fun () ->
+        if h.repair_claimed then false
+        else begin
+          h.repair_claimed <- true;
+          true
+        end)
+
+  let release_repair t =
+    let h = t.heal in
+    Mutex.protect h.hm (fun () -> h.repair_claimed <- false)
+
+  let try_claim_scrub t =
+    let h = t.heal in
+    Mutex.protect h.hm (fun () ->
+        if h.scrub_claimed then false
+        else begin
+          h.scrub_claimed <- true;
+          true
+        end)
+
+  let release_scrub t =
+    let h = t.heal in
+    Mutex.protect h.hm (fun () -> h.scrub_claimed <- false)
+
+  (* Containment: swap every table with a pending corruption verdict out
+     of the read view and record it in the manifest, so neither this
+     process nor a recovery after crash ever reads the rotten file again.
+     Overlapping data in other tables keeps serving the key range; the
+     store's health becomes [`Partial] (reported by the store layer from
+     the quarantine ledger), not [`Degraded] — writes continue.
+
+     Runs regardless of [auto_repair] (containment is not optional).
+     Caller must hold no locks; takes [t.install] then the exclusive
+     lock, the same order as every other install. *)
+  let apply_pending_quarantines t =
+    let h = t.heal in
+    let pending =
+      Mutex.protect h.hm (fun () ->
+          let p = h.pending_quarantine in
+          h.pending_quarantine <- [];
+          List.rev p)
+    in
+    if pending <> [] then begin
+      Mutex.lock t.install;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.install)
+        (fun () ->
+          List.iter
+            (fun (number, detail) ->
+              Shared_lock.lock_exclusive t.lock;
+              match Version.remove_file (current_version t) number with
+              | Some next ->
+                  let old_pd =
+                    Rcu_box.swap t.pd
+                      (Refcounted.create ~release:Version.release next)
+                  in
+                  Shared_lock.unlock_exclusive t.lock;
+                  Refcounted.retire old_pd;
+                  Mutex.protect h.hm (fun () ->
+                      h.quarantined <- number :: h.quarantined);
+                  Stats.incr_quarantined_tables t.stats;
+                  Log.err (fun m ->
+                      m "quarantined table %06d: %s" number detail)
+              | None ->
+                  (* already compacted away or quarantined *)
+                  Shared_lock.unlock_exclusive t.lock)
+            pending;
+          with_retry t ~what:"manifest save (quarantine)" (fun () ->
+              save_manifest t))
+    end
+
+  (* One scrub slice: re-verify up to [budget] blocks (checksums plus
+     structural decode, bypassing the block cache) starting from the
+     pass cursor; corrupt tables are enqueued for quarantine and the
+     pass continues with the next file. When the file set is exhausted
+     the active WAL tail is checked too and the pass closes, scheduling
+     the next one [scrub_interval] later. Returns the problems found.
+     Caller holds the scrub claim. *)
+  let scrub_slice t ~budget =
+    let h = t.heal in
+    let problems = ref [] in
+    let cell = Rcu_box.acquire t.pd in
+    Fun.protect
+      ~finally:(fun () -> Refcounted.decr cell)
+      (fun () ->
+        let v = Refcounted.value cell in
+        let files =
+          v.Version.l0 @ List.concat (Array.to_list v.Version.levels)
+          |> List.map Refcounted.value
+          |> List.sort (fun a b ->
+                 Int.compare a.Table_file.number b.Table_file.number)
+        in
+        let resume_file, resume_block =
+          Mutex.protect h.hm (fun () ->
+              match h.scrub_cursor with Some c -> c | None -> (min_int, 0))
+        in
+        let used = ref 0 in
+        let cursor = ref None in
+        (try
+           List.iter
+             (fun tf ->
+               let number = tf.Table_file.number in
+               (* Files below the cursor were verified earlier this pass
+                  (or compacted away, which also re-verified them). *)
+               if number >= resume_file then begin
+                 let rec step from_block =
+                   if !used >= budget then begin
+                     cursor := Some (number, from_block);
+                     raise Exit
+                   end;
+                   match
+                     Clsm_sstable.Table.scrub ~from_block
+                       ~max_blocks:(budget - !used) tf.Table_file.table
+                   with
+                   | Ok { Clsm_sstable.Table.blocks_checked; next_block } -> (
+                       used := !used + blocks_checked;
+                       Stats.add_scrubbed_blocks t.stats blocks_checked;
+                       match next_block with Some nb -> step nb | None -> ())
+                   | Error detail ->
+                       problems :=
+                         Printf.sprintf "table %06d: %s" number detail
+                         :: !problems;
+                       ignore (enqueue_quarantine t ~number ~detail : bool)
+                 in
+                 step (if number = resume_file then resume_block else 0)
+               end)
+             files;
+           (* Whole disk component verified: check the live WAL tail. A
+              corrupt tail is not fatal — the memtable still holds every
+              record — but it must be surfaced and retired by a flush
+              before a crash would make recovery salvage short. *)
+           (match (current_pm t).wal with
+            | Some w when not (Clsm_wal.Wal_writer.poisoned w) -> (
+                let path = Clsm_wal.Wal_writer.path w in
+                match
+                  Clsm_wal.Wal_reader.read_records ~env:t.opts.Options.env
+                    ~strict:false path
+                with
+                | _, Clsm_wal.Wal_reader.Corrupt_tail ->
+                    let p = path ^ ": corrupt WAL tail" in
+                    problems := p :: !problems;
+                    Stats.incr_corruptions_detected t.stats;
+                    Log.err (fun m -> m "scrub: %s" p);
+                    wake_bg t
+                | _, (Clsm_wal.Wal_reader.Clean | Clsm_wal.Wal_reader.Torn_tail)
+                  ->
+                    ())
+            | Some _ | None -> ());
+           cursor := None
+         with Exit -> ());
+        let finished = !cursor = None in
+        Mutex.protect h.hm (fun () ->
+            h.scrub_cursor <- !cursor;
+            if finished then
+              h.scrub_next_due <-
+                Unix.gettimeofday () +. t.opts.Options.scrub_interval);
+        (List.rev !problems, finished))
+
+  (* A full scrub pass, run synchronously under the scrub claim the
+     caller already holds. Restarts from the beginning regardless of any
+     background cursor. *)
+  let scrub_full_pass t =
+    Mutex.protect t.heal.hm (fun () -> t.heal.scrub_cursor <- None);
+    let problems, finished = scrub_slice t ~budget:max_int in
+    assert finished;
+    problems
+
+  (* Repair out of [`Partial]. Every quarantined table gets a second
+     chance: re-opened fresh and fully re-verified from disk. Rot that
+     was transient (a bit flipped on some past read, not damage on the
+     platter) re-verifies clean and the table is READMITTED at L0 online
+     — legal at any moment because L0 tolerates overlap and the newest
+     timestamp wins on reads, so re-introducing old versions cannot
+     shadow anything; a later compaction folds it back down. Persistent
+     damage gets the file renamed aside as evidence (never deleted); its
+     key ranges keep answering from surviving overlapping data. Either
+     way the QUARANTINE record is resolved. A final full scrub pass vets
+     the whole component before [`Ok] is honest — fresh verdicts it
+     finds are queued and block the transition until the next round.
+     Returns [`Nothing] (no quarantined files), [`Repaired], or
+     [`Blocked] (transient IO trouble or still-rotten data; retried
+     after the damping interval). *)
+  let finalize_quarantined t =
+    let h = t.heal in
+    let nums = Mutex.protect h.hm (fun () -> h.quarantined) in
+    if nums = [] then `Nothing
+    else begin
+      let env = t.opts.Options.env in
+      let dir = t.opts.Options.dir in
+      let blocked = ref false in
+      let drop number =
+        Mutex.protect h.hm (fun () ->
+            h.quarantined <- List.filter (fun n -> n <> number) h.quarantined)
+      in
+      List.iter
+        (fun number ->
+          let path = Table_file.table_path ~dir number in
+          let discard () =
+            (try Env.(env.rename) ~src:path ~dst:(path ^ ".quarantined")
+             with Env.Error _ -> ());
+            Log.warn (fun m ->
+                m
+                  "repair: table %06d is damaged on disk, renamed aside as \
+                   %s.quarantined"
+                  number (Filename.basename path));
+            drop number
+          in
+          if not (Env.(env.file_exists) path) then
+            (* compacted away in a race before the quarantine swap; the
+               record is moot *)
+            drop number
+          else
+            let reopened =
+              (* the footer/index/filter load can hit the same rot the
+                 data blocks did *)
+              try `Opened (Table_file.open_number ~cache:t.cache ~env ~dir number)
+              with
+              | Env.Crashed as e -> raise e
+              | Env.Error _ -> `Io
+              | _ -> `Rotten
+            in
+            match reopened with
+            | `Io -> blocked := true
+            | `Rotten -> discard ()
+            | `Opened tf -> (
+                match Clsm_sstable.Table.verify tf.Table_file.table with
+                | Ok _ ->
+                    let cell =
+                      Refcounted.create ~release:Table_file.release tf
+                    in
+                    Mutex.lock t.install;
+                    Fun.protect
+                      ~finally:(fun () -> Mutex.unlock t.install)
+                      (fun () ->
+                        Shared_lock.lock_exclusive t.lock;
+                        let cur = current_version t in
+                        (* oldest position: readmitted data predates every
+                           live L0 flush *)
+                        let next =
+                          Version.create
+                            ~l0:(cur.Version.l0 @ [ cell ])
+                            ~levels:cur.Version.levels
+                        in
+                        let old_pd =
+                          Rcu_box.swap t.pd
+                            (Refcounted.create ~release:Version.release next)
+                        in
+                        Shared_lock.unlock_exclusive t.lock;
+                        Refcounted.retire old_pd);
+                    Refcounted.decr cell;
+                    drop number;
+                    Log.info (fun m ->
+                        m
+                          "repair: table %06d re-verified clean, readmitted \
+                           at L0"
+                          number)
+                | Error detail ->
+                    (try Clsm_sstable.Table.close tf.Table_file.table
+                     with _ -> ());
+                    Log.warn (fun m ->
+                        m "repair: table %06d still rotten: %s" number detail);
+                    discard ()
+                | exception Env.Crashed -> raise Env.Crashed
+                | exception Env.Error _ ->
+                    (try Clsm_sstable.Table.close tf.Table_file.table
+                     with _ -> ());
+                    blocked := true))
+        nums;
+      (* Persist the resolved ledger and any readmissions. *)
+      Mutex.lock t.install;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.install)
+        (fun () ->
+          with_retry t ~what:"manifest save (repair)" (fun () ->
+              save_manifest t));
+      if !blocked then `Blocked
+      else begin
+        (* Vet the whole component before claiming health. *)
+        let rec claim_scrub_blocking () =
+          if not (try_claim_scrub t) then begin
+            Unix.sleepf 0.0005;
+            claim_scrub_blocking ()
+          end
+        in
+        claim_scrub_blocking ();
+        match
+          Fun.protect
+            ~finally:(fun () -> release_scrub t)
+            (fun () -> scrub_full_pass t)
+        with
+        | exception Env.Error _ -> `Blocked
+        | [] ->
+            wake_bg t;
+            `Repaired
+        | _problems ->
+            apply_pending_quarantines t;
+            `Blocked
+      end
+    end
+
+  (* Repair out of [`Degraded]: prove the failure path works again by
+     pushing everything buffered out to disk — clear any stuck immutable
+     component, rotate the (possibly WAL-poisoned) memtable and flush
+     it so a fresh log takes over, then commit a manifest as a final
+     write-path probe. Success means the fault was transient after all:
+     the degraded flag is lifted online, without reopening the store. *)
+  let recover_from_degraded t =
+    if Atomic.get t.degraded = None then `Nothing
+    else if not (try_claim_flush t) then `Blocked (* flush in flight *)
+    else
+      Fun.protect
+        ~finally:(fun () -> release_flush t)
+        (fun () ->
+          match
+            ignore (flush_imm t : bool);
+            ignore (rotate t : bool);
+            ignore (flush_imm t : bool);
+            Mutex.lock t.install;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock t.install)
+              (fun () ->
+                with_retry t ~what:"manifest save (repair probe)" (fun () ->
+                    save_manifest t))
+          with
+          | () ->
+              (match Atomic.get t.degraded with
+              | Some reason ->
+                  Log.info (fun m ->
+                      m "repair: store restored to Ok (was degraded: %s)"
+                        reason)
+              | None -> ());
+              Atomic.set t.degraded None;
+              `Repaired
+          | exception Env.Error _ -> `Blocked)
+
+  (* The [Repair] job body. Containment always runs; the healing steps
+     run when [auto_repair] is on or the caller forces them
+     ([repair_now]). Caller holds the repair claim. *)
+  let run_repair t ~force =
+    let h = t.heal in
+    apply_pending_quarantines t;
+    if t.opts.Options.auto_repair || force then begin
+      (* Damp the next attempt up front: a repair that fails (media
+         still rotten, fault still live) must not hot-loop the pool. *)
+      Mutex.protect h.hm (fun () ->
+          h.repair_next_due <- Unix.gettimeofday () +. 1.0);
+      let finalized = finalize_quarantined t in
+      let recovered = recover_from_degraded t in
+      (match finalized with
+      | `Repaired -> Stats.incr_auto_repairs t.stats
+      | `Nothing | `Blocked -> ());
+      match recovered with
+      | `Repaired -> Stats.incr_auto_repairs t.stats
+      | `Nothing | `Blocked -> ()
+    end
+
   (* ---------- the scheduler's job interface ---------- *)
 
   (* Claim the highest-priority runnable job: a WAL-covered flush beats
      any compaction; Compaction.pick orders the rest L0→L1 first, then
-     shallowest over-budget level. *)
+     shallowest over-budget level; Scrub only when nothing else wants
+     the worker. Repair is special-cased ahead of everything except an
+     unclaimed flush's urgency ordering because it is the only job a
+     degraded store may still claim — it is the way back out. *)
   let next t =
-    if Atomic.get t.stop || is_degraded t then None
+    if Atomic.get t.stop then None
     else begin
-      let c = t.claims in
-      Mutex.lock c.cm;
-      let job =
-        if (not c.flush_claimed) && flush_needed t then begin
-          c.flush_claimed <- true;
-          Some Job.Flush
-        end
-        else
-          match claim_compaction_locked t with
-          | Some job -> Some job
-          | None -> None
+      let h = t.heal in
+      let now = Unix.gettimeofday () in
+      let repair =
+        Mutex.protect h.hm (fun () ->
+            if h.repair_claimed then None
+            else begin
+              let contain = h.pending_quarantine <> [] in
+              let heal =
+                t.opts.Options.auto_repair
+                && now >= h.repair_next_due
+                && (h.quarantined <> [] || is_degraded t)
+              in
+              if contain || heal then begin
+                h.repair_claimed <- true;
+                Some Job.Repair
+              end
+              else None
+            end)
       in
-      Mutex.unlock c.cm;
-      job
+      match repair with
+      | Some _ as j -> j
+      | None ->
+          if is_degraded t then None
+          else begin
+            let c = t.claims in
+            Mutex.lock c.cm;
+            let job =
+              if (not c.flush_claimed) && flush_needed t then begin
+                c.flush_claimed <- true;
+                Some Job.Flush
+              end
+              else
+                match claim_compaction_locked t with
+                | Some job -> Some job
+                | None -> None
+            in
+            Mutex.unlock c.cm;
+            match job with
+            | Some _ as j -> j
+            | None ->
+                Mutex.protect h.hm (fun () ->
+                    if
+                      (not h.scrub_claimed)
+                      && t.opts.Options.scrub_interval > 0.0
+                      && now >= h.scrub_next_due
+                    then begin
+                      h.scrub_claimed <- true;
+                      Some Job.Scrub
+                    end
+                    else None)
+          end
     end
 
   let run_flush t =
@@ -293,6 +727,30 @@ module Make (M : Memtable_intf.S) = struct
        Unwrap defensively rather than crash a worker. *)
     | Job.In_shard { job; _ } -> run t job
     | Job.Flush -> guard_io t ~what:"memtable flush" (fun () -> run_flush t)
+    | Job.Repair ->
+        Fun.protect
+          ~finally:(fun () -> release_repair t)
+          (fun () ->
+            guard_io t ~what:"repair" (fun () -> run_repair t ~force:false))
+    | Job.Scrub ->
+        Fun.protect
+          ~finally:(fun () -> release_scrub t)
+          (fun () ->
+            guard_io t ~what:"scrub" (fun () ->
+                try
+                  ignore
+                    (scrub_slice t ~budget:t.opts.Options.scrub_block_budget
+                      : string list * bool)
+                with Env.Error _ ->
+                  (* A transient read failure is not corruption and must
+                     not degrade the store off a hygiene pass: abandon
+                     the slice (the cursor is unchanged) and push the
+                     pass out a full interval so a persistently sick
+                     disk cannot hot-loop the worker. *)
+                  Mutex.protect t.heal.hm (fun () ->
+                      t.heal.scrub_next_due <-
+                        Unix.gettimeofday ()
+                        +. Float.max 1.0 t.opts.Options.scrub_interval)))
     | Job.Compact { src_level; target_level } -> (
         let range = (src_level, target_level) in
         match take_pending t range with
@@ -358,4 +816,40 @@ module Make (M : Memtable_intf.S) = struct
       | `Idle -> ()
     in
     drain ()
+
+  (* Synchronous full scrub pass (the CLI's [scrub] and the tests call
+     this): verify every sstable block plus the WAL tail, queue
+     quarantines for anything rotten and apply them before returning.
+     Returns human-readable problem descriptions, [] when clean. *)
+  let scrub_now t =
+    let rec claim () =
+      if not (try_claim_scrub t) then begin
+        Unix.sleepf 0.0005;
+        claim ()
+      end
+    in
+    claim ();
+    let problems =
+      Fun.protect
+        ~finally:(fun () -> release_scrub t)
+        (fun () -> scrub_full_pass t)
+    in
+    apply_pending_quarantines t;
+    problems
+
+  (* Synchronous repair attempt (the Repair job, forced): containment,
+     quarantine finalization and the degraded-recovery probe all run
+     even with [auto_repair] off. *)
+  let repair_now t =
+    let rec claim () =
+      if not (try_claim_repair t) then begin
+        Unix.sleepf 0.0005;
+        claim ()
+      end
+    in
+    claim ();
+    Fun.protect
+      ~finally:(fun () -> release_repair t)
+      (fun () ->
+        guard_io t ~what:"repair" (fun () -> run_repair t ~force:true))
 end

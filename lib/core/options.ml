@@ -18,6 +18,10 @@ type t = {
   shards : int;
   shard_boundaries : string list option;
   external_maintenance : bool;
+  retry : Clsm_env.Retry_policy.t;
+  scrub_interval : float;
+  scrub_block_budget : int;
+  auto_repair : bool;
 }
 
 let default ~dir =
@@ -41,4 +45,8 @@ let default ~dir =
     shards = 1;
     shard_boundaries = None;
     external_maintenance = false;
+    retry = Clsm_env.Retry_policy.default;
+    scrub_interval = 30.0;
+    scrub_block_budget = 256;
+    auto_repair = true;
   }

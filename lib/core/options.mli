@@ -60,6 +60,22 @@ type t = {
       (** do not start a private maintenance scheduler (default false);
           set by the shard router, which drives every shard's flush and
           compaction claims from one shared worker pool *)
+  retry : Clsm_env.Retry_policy.t;
+      (** backoff policy wrapped around maintenance-path IO commit points
+          (sorted-run writes, compaction merges, manifest saves) so a
+          transient fault does not degrade the store on first touch —
+          only exhausted retries do (default {!Clsm_env.Retry_policy.default}) *)
+  scrub_interval : float;
+      (** seconds between background scrub passes over the disk component
+          (default 30.0); [<= 0] disables scheduled scrubbing (explicit
+          [scrub_now] still works) *)
+  scrub_block_budget : int;
+      (** blocks one scrub slice re-verifies before yielding the worker
+          (default 256); the cursor persists across slices *)
+  auto_repair : bool;
+      (** run the [Repair] maintenance job automatically: apply pending
+          quarantines, finalize quarantined files, and attempt the online
+          [`Degraded]→[`Ok] transition (default true) *)
 }
 
 val default : dir:string -> t

@@ -86,6 +86,9 @@ let repair ?(env = Env.unix) ~dir () =
       wal_number = List.fold_left min max_int (max_int :: wals);
       (* newest tables first, like fresh flushes *)
       files = List.map (fun n -> (0, n)) (List.rev usable);
+      (* offline repair starts a clean slate: unreadable tables were
+         renamed aside above, so nothing is left to quarantine *)
+      quarantined = [];
     }
 
 module Make (M : Memtable_intf.S) = struct
@@ -96,21 +99,29 @@ module Make (M : Memtable_intf.S) = struct
     wal_number : int;
     last_ts : int;  (** highest timestamp seen anywhere *)
     next_file : int Atomic.t;
+    quarantined : int list;
+        (** table numbers under QUARANTINE records in the manifest:
+            neither opened into the version nor collected as orphans *)
   }
 
   let load_version (opts : Options.t) ~cache ~disk_files =
     let env = opts.Options.env in
     let num_levels = opts.Options.lsm.Lsm_config.num_levels in
     match Manifest.load ~env ~dir:opts.dir () with
-    | None -> (Version.empty ~num_levels, 1, 0, 0)
+    | None -> (Version.empty ~num_levels, 1, 0, 0, [])
     | Some m ->
         (* Drop orphans: tables not in the manifest (half-finished flush or
-           compaction) and logs below the manifest's replay floor. *)
+           compaction) and logs below the manifest's replay floor.
+           Quarantined tables are neither: known corrupt, excluded from
+           the read view, but kept on disk as evidence until repair
+           finalization renames them aside. *)
         let live = List.map snd m.Manifest.files in
+        let quarantined = m.Manifest.quarantined in
         List.iter
           (fun f ->
             match f with
-            | `Table (n, name) when not (List.mem n live) ->
+            | `Table (n, name)
+              when (not (List.mem n live)) && not (List.mem n quarantined) ->
                 Env.(env.remove) (Filename.concat opts.dir name)
             | `Wal (n, name) when n < m.Manifest.wal_number ->
                 Env.(env.remove) (Filename.concat opts.dir name)
@@ -138,7 +149,11 @@ module Make (M : Memtable_intf.S) = struct
         (* Version.create took refs; drop the creation refs *)
         List.iter Refcounted.retire !l0;
         Array.iter (List.iter Refcounted.retire) levels;
-        (v, m.Manifest.next_file_number, m.Manifest.last_ts, m.Manifest.wal_number)
+        ( v,
+          m.Manifest.next_file_number,
+          m.Manifest.last_ts,
+          m.Manifest.wal_number,
+          quarantined )
 
   (* Replay surviving logs oldest-first; timestamps restore the global
      write order regardless of on-disk record order (paper §4). *)
@@ -182,7 +197,7 @@ module Make (M : Memtable_intf.S) = struct
     if not (Env.(env.file_exists) opts.dir) then Env.(env.mkdir) opts.dir;
     remove_temp_files ~env opts.dir;
     let disk_files = list_files ~env opts.dir in
-    let version, next_file, last_ts, min_wal =
+    let version, next_file, last_ts, min_wal, quarantined =
       load_version opts ~cache ~disk_files
     in
     let mem = M.create () in
@@ -237,6 +252,7 @@ module Make (M : Memtable_intf.S) = struct
         last_ts = !max_ts;
         wal_number;
         files = files_of_version;
+        quarantined;
       };
     List.iter
       (fun (n, name) ->
@@ -252,5 +268,6 @@ module Make (M : Memtable_intf.S) = struct
       wal_number;
       last_ts = !max_ts;
       next_file = next_file_atomic;
+      quarantined;
     }
 end

@@ -164,7 +164,7 @@ module Make (S : Store_sig.EXTENDED) = struct
     | Job.In_shard { shard; job } -> S.maintenance_run t.shards.(shard) job
     (* [make_next] only emits In_shard; anything else has no claim to
        release, so dropping it is safe. *)
-    | Job.Flush | Job.Compact _ -> ()
+    | Job.Flush | Job.Compact _ | Job.Repair | Job.Scrub -> ()
 
   let open_store (opts : Options.t) =
     let env = opts.Options.env in
@@ -492,18 +492,35 @@ module Make (S : Store_sig.EXTENDED) = struct
 
   let options t = t.opts
 
+  (* Worst shard wins: one degraded shard makes the whole keyspace
+     partially unwritable, one partial shard means some key range is on
+     reduced redundancy. Faults stay isolated per shard — the reasons
+     name the shards so an operator can see the blast radius. *)
   let health t =
-    let degraded = ref [] in
+    let degraded = ref [] and partial = ref [] in
     Array.iteri
       (fun i s ->
         match S.health s with
         | `Ok -> ()
+        | `Partial reason ->
+            partial := Printf.sprintf "shard %d: %s" i reason :: !partial
         | `Degraded reason ->
             degraded := Printf.sprintf "shard %d: %s" i reason :: !degraded)
       t.shards;
-    match List.rev !degraded with
-    | [] -> `Ok
-    | reasons -> `Degraded (String.concat "; " reasons)
+    match (List.rev !degraded, List.rev !partial) with
+    | [], [] -> `Ok
+    | [], partials -> `Partial (String.concat "; " partials)
+    | reasons, _ -> `Degraded (String.concat "; " reasons)
+
+  let scrub_now t =
+    Array.to_list t.shards
+    |> List.mapi (fun i s ->
+           List.map (Printf.sprintf "shard %d: %s" i) (S.scrub_now s))
+    |> List.concat
+
+  let repair_now t =
+    Array.iter (fun s -> ignore (S.repair_now s)) t.shards;
+    health t
 
   let level_file_counts t =
     Array.fold_left

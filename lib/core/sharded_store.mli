@@ -45,5 +45,7 @@ module Make (S : Store_sig.EXTENDED) : sig
       {!Store_sig.S.stats} returns their {!Stats.merge_all} roll-up plus
       the router's own fence counters. *)
 
-  val shard_healths : t -> [ `Ok | `Degraded of string ] array
+  val shard_healths : t -> [ `Ok | `Partial of string | `Degraded of string ] array
+  (** Per-shard health, index-aligned: corruption quarantines and IO
+      degradations stay isolated to the shard that hit them. *)
 end

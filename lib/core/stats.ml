@@ -26,6 +26,11 @@ type t = {
   write_slowdowns : int Atomic.t;
   slowdown_delay_ns : int Atomic.t;
   maintenance_wakeups : int Atomic.t;
+  scrubbed_blocks : int Atomic.t;
+  corruptions_detected : int Atomic.t;
+  quarantined_tables : int Atomic.t;
+  io_retries : int Atomic.t;
+  auto_repairs : int Atomic.t;
 }
 
 type snapshot = {
@@ -51,6 +56,11 @@ type snapshot = {
   write_slowdowns : int;
   slowdown_delay_ns : int;
   maintenance_wakeups : int;
+  scrubbed_blocks : int;
+  corruptions_detected : int;
+  quarantined_tables : int;
+  io_retries : int;
+  auto_repairs : int;
 }
 
 let create () : t =
@@ -77,6 +87,11 @@ let create () : t =
     write_slowdowns = Atomic.make 0;
     slowdown_delay_ns = Atomic.make 0;
     maintenance_wakeups = Atomic.make 0;
+    scrubbed_blocks = Atomic.make 0;
+    corruptions_detected = Atomic.make 0;
+    quarantined_tables = Atomic.make 0;
+    io_retries = Atomic.make 0;
+    auto_repairs = Atomic.make 0;
   }
 
 let incr_puts (t : t) = Atomic.incr t.puts
@@ -121,6 +136,11 @@ let add_slowdown (t : t) ~delay_ns =
   ignore (Atomic.fetch_and_add t.slowdown_delay_ns delay_ns)
 
 let incr_maintenance_wakeups (t : t) = Atomic.incr t.maintenance_wakeups
+let add_scrubbed_blocks (t : t) n = ignore (Atomic.fetch_and_add t.scrubbed_blocks (max 0 n))
+let incr_corruptions_detected (t : t) = Atomic.incr t.corruptions_detected
+let incr_quarantined_tables (t : t) = Atomic.incr t.quarantined_tables
+let incr_io_retries (t : t) = Atomic.incr t.io_retries
+let incr_auto_repairs (t : t) = Atomic.incr t.auto_repairs
 
 let read (t : t) : snapshot =
   {
@@ -146,6 +166,11 @@ let read (t : t) : snapshot =
     write_slowdowns = Atomic.get t.write_slowdowns;
     slowdown_delay_ns = Atomic.get t.slowdown_delay_ns;
     maintenance_wakeups = Atomic.get t.maintenance_wakeups;
+    scrubbed_blocks = Atomic.get t.scrubbed_blocks;
+    corruptions_detected = Atomic.get t.corruptions_detected;
+    quarantined_tables = Atomic.get t.quarantined_tables;
+    io_retries = Atomic.get t.io_retries;
+    auto_repairs = Atomic.get t.auto_repairs;
   }
 
 (* ---------- the counter catalogue ----------
@@ -182,6 +207,11 @@ let scalar_fields : (string * [ `Sum | `Max ] * (snapshot -> int)) list =
     ("write_slowdowns", `Sum, fun s -> s.write_slowdowns);
     ("slowdown_delay_ns", `Sum, fun s -> s.slowdown_delay_ns);
     ("maintenance_wakeups", `Sum, fun s -> s.maintenance_wakeups);
+    ("scrubbed_blocks", `Sum, fun s -> s.scrubbed_blocks);
+    ("corruptions_detected", `Sum, fun s -> s.corruptions_detected);
+    ("quarantined_tables", `Sum, fun s -> s.quarantined_tables);
+    ("io_retries", `Sum, fun s -> s.io_retries);
+    ("auto_repairs", `Sum, fun s -> s.auto_repairs);
   ]
 
 (* Aggregate several stores' snapshots (the shard roll-up): counters sum,
@@ -220,6 +250,11 @@ let merge (a : snapshot) (b : snapshot) : snapshot =
     write_slowdowns = a.write_slowdowns + b.write_slowdowns;
     slowdown_delay_ns = a.slowdown_delay_ns + b.slowdown_delay_ns;
     maintenance_wakeups = a.maintenance_wakeups + b.maintenance_wakeups;
+    scrubbed_blocks = a.scrubbed_blocks + b.scrubbed_blocks;
+    corruptions_detected = a.corruptions_detected + b.corruptions_detected;
+    quarantined_tables = a.quarantined_tables + b.quarantined_tables;
+    io_retries = a.io_retries + b.io_retries;
+    auto_repairs = a.auto_repairs + b.auto_repairs;
   }
 
 let merge_all = function

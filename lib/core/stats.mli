@@ -31,6 +31,11 @@ type snapshot = {
   write_slowdowns : int;  (** puts delayed by the graduated controller *)
   slowdown_delay_ns : int;  (** cumulative injected delay, nanoseconds *)
   maintenance_wakeups : int;  (** scheduler signals sent by foreground paths *)
+  scrubbed_blocks : int;  (** blocks re-verified by the scrub job *)
+  corruptions_detected : int;  (** checksum/structure failures classified *)
+  quarantined_tables : int;  (** sstables pulled from the read view *)
+  io_retries : int;  (** transient-fault retries by {!Retry_policy} *)
+  auto_repairs : int;  (** online repairs back to [`Ok] health *)
 }
 
 val create : unit -> t
@@ -63,6 +68,14 @@ val add_slowdown : t -> delay_ns:int -> unit
 (** Record one graduated-backpressure delay of [delay_ns]. *)
 
 val incr_maintenance_wakeups : t -> unit
+
+val add_scrubbed_blocks : t -> int -> unit
+(** Count blocks re-verified by one scrub slice. *)
+
+val incr_corruptions_detected : t -> unit
+val incr_quarantined_tables : t -> unit
+val incr_io_retries : t -> unit
+val incr_auto_repairs : t -> unit
 val read : t -> snapshot
 
 val merge : snapshot -> snapshot -> snapshot

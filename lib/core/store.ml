@@ -20,6 +20,14 @@ module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
 
   (* ---------- reads (Algorithm 1: no blocking, Pm -> P'm -> Pd) ---------- *)
 
+  (* Silent corruption discovered on a read path is contained, not
+     fatal: the verdict is enqueued (read paths may hold the shared
+     lock, so the quarantine swap itself is deferred to the Repair job)
+     and the rotten file treated as a miss — overlapping data in other
+     tables still answers. Health reports [`Partial] until repair. *)
+  let on_corrupt t tf detail =
+    ignore (enqueue_quarantine t ~number:tf.Table_file.number ~detail : bool)
+
   let get_entry t ~user_key ~snap_ts =
     let from_pm =
       Rcu_box.with_ref t.pm (fun mc -> M.get mc.mem ~user_key ~snap_ts)
@@ -37,7 +45,8 @@ module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
         | Some (_, entry) -> Some entry
         | None -> (
             match
-              Rcu_box.with_ref t.pd (fun v -> Version.get v ~user_key ~snap_ts)
+              Rcu_box.with_ref t.pd (fun v ->
+                  Version.get ~on_corrupt:(on_corrupt t) v ~user_key ~snap_ts)
             with
             | Some (_, entry) -> Some entry
             | None -> None))
@@ -190,11 +199,11 @@ module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
                 with
                 | Some _ as hit -> hit
                 | None ->
-                    Version.get (current_version t) ~user_key:key
-                      ~snap_ts:Internal_key.max_ts)
+                    Version.get ~on_corrupt:(on_corrupt t) (current_version t)
+                      ~user_key:key ~snap_ts:Internal_key.max_ts)
             | No_imm ->
-                Version.get (current_version t) ~user_key:key
-                  ~snap_ts:Internal_key.max_ts)
+                Version.get ~on_corrupt:(on_corrupt t) (current_version t)
+                  ~user_key:key ~snap_ts:Internal_key.max_ts)
       in
       let seen_ts = match latest with Some (ts, _) -> ts | None -> 0 in
       let pre_image =
@@ -397,13 +406,26 @@ module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
       it_closed = false;
     }
 
+  (* A corruption surfacing mid-scan is reported for quarantine and
+     re-raised: unlike a point get, a scan cannot treat a rotten file as
+     a miss without silently dropping a key range from its answer. The
+     caller can retry after repair — the quarantined table is gone from
+     the next read view, so the retry answers from surviving data. *)
+  let guard_iter it f =
+    try f ()
+    with Table_file.Corruption { number; detail; _ } as e ->
+      ignore (enqueue_quarantine it.db ~number ~detail : bool);
+      raise e
+
   let iter_seek_first it =
-    it.merged.Iter.seek_to_first ();
-    it.cur <- next_visible it.merged it.snap.snap_ts
+    guard_iter it (fun () ->
+        it.merged.Iter.seek_to_first ();
+        it.cur <- next_visible it.merged it.snap.snap_ts)
 
   let iter_seek it target =
-    it.merged.Iter.seek (Internal_key.make target 0);
-    it.cur <- next_visible it.merged it.snap.snap_ts
+    guard_iter it (fun () ->
+        it.merged.Iter.seek (Internal_key.make target 0);
+        it.cur <- next_visible it.merged it.snap.snap_ts)
 
   let iter_valid it = it.cur <> None
 
@@ -419,7 +441,8 @@ module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
 
   let iter_next it =
     if it.cur <> None then
-      it.cur <- next_visible it.merged it.snap.snap_ts
+      guard_iter it (fun () ->
+          it.cur <- next_visible it.merged it.snap.snap_ts)
 
   let iter_close it =
     if not it.it_closed then begin
@@ -508,6 +531,7 @@ module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
         stats;
         stop = Atomic.make false;
         degraded = Atomic.make None;
+        heal = fresh_heal ~quarantined:r.Recover.quarantined;
         install = Mutex.create ();
         claims =
           {
@@ -601,10 +625,25 @@ module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
   let stats t = Stats.read t.stats
   let options t = t.opts
 
+  (* Degraded (write path down) dominates Partial (some key ranges
+     serving from reduced redundancy); both beat Ok. *)
   let health t =
     match Atomic.get t.degraded with
-    | None -> `Ok
     | Some reason -> `Degraded reason
+    | None -> (
+        match quarantine_counts t with
+        | 0, 0 -> `Ok
+        | pending, quarantined ->
+            `Partial
+              (Printf.sprintf
+                 "%d table(s) quarantined for corruption (%d pending)"
+                 (pending + quarantined) pending))
+
+  let scrub_now t = Hooks.scrub_now t
+
+  let repair_now t =
+    Hooks.repair_now t;
+    health t
 
   let level_file_counts t =
     let v = current_version t in

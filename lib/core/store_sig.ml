@@ -138,9 +138,27 @@ module type S = sig
   val stats : t -> Stats.snapshot
   val options : t -> Options.t
 
-  val health : t -> [ `Ok | `Degraded of string ]
+  val health : t -> [ `Ok | `Partial of string | `Degraded of string ]
   (** [`Degraded reason] once an IO failure has switched the store to
-      read-only mode — writes raise {!Degraded}, reads still work. *)
+      read-only mode — writes raise {!Degraded}, reads still work.
+      [`Partial reason] while corrupt table files sit in quarantine:
+      reads and writes both work, but quarantined key ranges answer from
+      the surviving overlapping data only. [`Ok] means neither. *)
+
+  val scrub_now : t -> string list
+  (** Synchronously re-verify every sstable block (checksums, structural
+      decode, bloom/index/properties blocks — bypassing the block cache)
+      and the active WAL tail. Corrupt tables are quarantined before
+      returning. Empty list = clean media. The background [Scrub] job
+      runs the same pass incrementally every [scrub_interval] seconds. *)
+
+  val repair_now : t -> [ `Ok | `Partial of string | `Degraded of string ]
+  (** Synchronously run the self-healing pass the background [Repair]
+      job performs (regardless of [auto_repair]): apply pending
+      quarantines, finalize quarantined files whose surviving data
+      re-verifies clean, and attempt the online [`Degraded] → [`Ok]
+      transition by re-proving the write path. Returns the resulting
+      health. *)
 
   val level_file_counts : t -> int list
   (** Files per level, L0 first. *)

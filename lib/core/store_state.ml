@@ -37,6 +37,30 @@ module Make (M : Memtable_intf.S) = struct
     mutable pending : ((int * int) * claimed_compaction) list;
   }
 
+  (* Self-healing state. Read paths never mutate the version or the
+     manifest directly (they may hold the shared lock, which cannot be
+     upgraded): a corruption verdict is only *enqueued* here, and the
+     maintenance [Repair] job — which holds no locks on entry — performs
+     the actual quarantine swap and manifest record. *)
+  type heal = {
+    hm : Mutex.t;
+    mutable pending_quarantine : (int * string) list;
+        (* (table number, detail) verdicts awaiting the Repair job,
+           deduplicated against themselves and [quarantined] *)
+    mutable quarantined : int list;
+        (* dropped from the read view and recorded in the manifest;
+           cleared by repair finalization *)
+    mutable repair_claimed : bool;
+    mutable scrub_claimed : bool;
+    mutable scrub_cursor : (int * int) option;
+        (* (table number, data-block index) to resume the current scrub
+           pass from; [None] between passes *)
+    mutable scrub_next_due : float;
+    mutable repair_next_due : float;
+        (* damping for repair attempts that can fail and be retried
+           (degraded recovery, quarantine finalization) *)
+  }
+
   type t = {
     opts : Options.t;
     lock : Shared_lock.t;
@@ -68,6 +92,7 @@ module Make (M : Memtable_intf.S) = struct
         (* Some reason once an unrecoverable IO failure (ENOSPC, failed
            fsync) hits a maintenance path: the store stops accepting
            writes and scheduling maintenance but keeps serving reads *)
+    heal : heal;
     mutable closed : bool;
     close_mutex : Mutex.t;
   }
@@ -79,6 +104,18 @@ module Make (M : Memtable_intf.S) = struct
     ignore (Atomic.compare_and_set t.degraded None (Some reason) : bool)
 
   let is_degraded t = Atomic.get t.degraded <> None
+
+  let fresh_heal ~quarantined =
+    {
+      hm = Mutex.create ();
+      pending_quarantine = [];
+      quarantined;
+      repair_claimed = false;
+      scrub_claimed = false;
+      scrub_cursor = None;
+      scrub_next_due = Unix.gettimeofday ();
+      repair_next_due = 0.0;
+    }
 
   let current_pm t = Refcounted.value (Rcu_box.peek t.pm)
   let current_imm t = Refcounted.value (Rcu_box.peek t.pimm)
@@ -96,6 +133,33 @@ module Make (M : Memtable_intf.S) = struct
         Stats.incr_maintenance_wakeups t.stats;
         wake ()
     | None, None -> ()
+
+  (* Record a corruption verdict against a table file, deduplicated, and
+     signal maintenance. Safe from any read path (only takes the heal
+     mutex). Returns whether the verdict was fresh. *)
+  let enqueue_quarantine t ~number ~detail =
+    let h = t.heal in
+    let fresh =
+      Mutex.protect h.hm (fun () ->
+          if
+            List.mem_assoc number h.pending_quarantine
+            || List.mem number h.quarantined
+          then false
+          else begin
+            h.pending_quarantine <- (number, detail) :: h.pending_quarantine;
+            true
+          end)
+    in
+    if fresh then begin
+      Stats.incr_corruptions_detected t.stats;
+      wake_bg t
+    end;
+    fresh
+
+  let quarantine_counts t =
+    let h = t.heal in
+    Mutex.protect h.hm (fun () ->
+        (List.length h.pending_quarantine, List.length h.quarantined))
 
   (* ---------- manifest ---------- *)
 
@@ -118,6 +182,7 @@ module Make (M : Memtable_intf.S) = struct
       last_ts = Clock.now t.clock;
       wal_number = (current_pm t).wal_number;
       files = l0 @ deeper;
+      quarantined = Mutex.protect t.heal.hm (fun () -> t.heal.quarantined);
     }
 
   (* Caller holds [t.install]. *)

@@ -4,6 +4,8 @@
 
    - probabilistic faults: fsync raises EIO (without syncing), append
      writes a torn prefix of the payload and raises ENOSPC;
+   - silent corruption: random-access reads return the true bytes with a
+     single bit flipped (bit-rot), exercising every checksum path;
    - a hard crash point: after a configured number of mutating
      operations, the environment "crashes" — every subsequent operation
      raises {!Env.Crashed};
@@ -32,12 +34,14 @@ type t = {
   mutable crashed : bool;
   mutable fsync_fail_1_in : int; (* 0 = never *)
   mutable append_fail_1_in : int;
+  mutable corrupt_read_1_in : int; (* bit-rot on random-access reads *)
   mutable mutating_ops : int;
   mutable injected_faults : int;
+  mutable injected_corruptions : int;
 }
 
 let create ?(seed = 0) ?(fsync_fail_1_in = 0) ?(append_fail_1_in = 0)
-    ?(base = Env.unix) () =
+    ?(corrupt_read_1_in = 0) ?(base = Env.unix) () =
   {
     base;
     rng = Random.State.make [| seed; 0x5eed |];
@@ -47,8 +51,10 @@ let create ?(seed = 0) ?(fsync_fail_1_in = 0) ?(append_fail_1_in = 0)
     crashed = false;
     fsync_fail_1_in;
     append_fail_1_in;
+    corrupt_read_1_in;
     mutating_ops = 0;
     injected_faults = 0;
+    injected_corruptions = 0;
   }
 
 let arm t ~crash_after =
@@ -57,14 +63,17 @@ let arm t ~crash_after =
 
 let disarm t = Mutex.protect t.m (fun () -> t.remaining <- -1)
 
-let set_fault_rates t ?fsync_fail_1_in ?append_fail_1_in () =
+let set_fault_rates t ?fsync_fail_1_in ?append_fail_1_in ?corrupt_read_1_in ()
+    =
   Mutex.protect t.m (fun () ->
       Option.iter (fun r -> t.fsync_fail_1_in <- r) fsync_fail_1_in;
-      Option.iter (fun r -> t.append_fail_1_in <- r) append_fail_1_in)
+      Option.iter (fun r -> t.append_fail_1_in <- r) append_fail_1_in;
+      Option.iter (fun r -> t.corrupt_read_1_in <- r) corrupt_read_1_in)
 
 let crashed t = Mutex.protect t.m (fun () -> t.crashed)
 let mutating_ops t = Mutex.protect t.m (fun () -> t.mutating_ops)
 let injected_faults t = Mutex.protect t.m (fun () -> t.injected_faults)
+let injected_corruptions t = Mutex.protect t.m (fun () -> t.injected_corruptions)
 
 (* All helpers below run with [t.m] held. *)
 
@@ -156,7 +165,23 @@ let env t : Env.t =
             (fun ~pos ~len ->
               Mutex.protect t.m (fun () ->
                   check_locked t;
-                  rf.Env.rf_read ~pos ~len));
+                  let s = rf.Env.rf_read ~pos ~len in
+                  if
+                    String.length s > 0
+                    && chance_locked t t.corrupt_read_1_in
+                  then begin
+                    (* Bit-rot: the media handed back almost the right
+                       bytes. One flipped bit is the adversarial minimum —
+                       anything weaker than a real checksum misses it. *)
+                    t.injected_corruptions <- t.injected_corruptions + 1;
+                    let b = Bytes.of_string s in
+                    let i = Random.State.int t.rng (Bytes.length b) in
+                    let bit = 1 lsl Random.State.int t.rng 8 in
+                    Bytes.set b i
+                      (Char.chr (Char.code (Bytes.get b i) lxor bit));
+                    Bytes.unsafe_to_string b
+                  end
+                  else s));
         })
   in
   {
@@ -202,9 +227,11 @@ let env t : Env.t =
 
 (* Reconstruct the post-crash directory image: each written file keeps its
    synced prefix plus a seed-chosen slice of the unsynced tail (a torn
-   final write). Operates on the real file system directly — the wrapped
-   environment is already dead. *)
-let install_crash_image t =
+   final write). With [scribble] the kept torn slice is additionally
+   overwritten with garbage — a disk that committed the sectors but with
+   the wrong contents, which only checksums can catch. Operates on the
+   real file system directly — the wrapped environment is already dead. *)
+let install_crash_image ?(scribble = false) t =
   Mutex.protect t.m (fun () ->
       Hashtbl.iter
         (fun path st ->
@@ -212,6 +239,18 @@ let install_crash_image t =
             let torn = Random.State.int t.rng (st.written - st.synced + 1) in
             let keep = st.synced + torn in
             let actual = (Unix.stat path).Unix.st_size in
-            if keep < actual then Unix.truncate path keep
+            if keep < actual then Unix.truncate path keep;
+            if scribble && torn > 0 && keep <= actual then begin
+              let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+              Fun.protect
+                ~finally:(fun () -> Unix.close fd)
+                (fun () ->
+                  ignore (Unix.lseek fd st.synced Unix.SEEK_SET);
+                  let junk =
+                    Bytes.init torn (fun _ -> Char.chr (Random.State.int t.rng 256))
+                  in
+                  ignore (Unix.write fd junk 0 torn));
+              t.injected_corruptions <- t.injected_corruptions + 1
+            end
           end)
         t.files)

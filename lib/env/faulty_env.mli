@@ -24,11 +24,14 @@ val create :
   ?seed:int ->
   ?fsync_fail_1_in:int ->
   ?append_fail_1_in:int ->
+  ?corrupt_read_1_in:int ->
   ?base:Env.t ->
   unit ->
   t
 (** Fault rates are "1 in N" per operation; [0] (default) disables that
-    fault class. No crash point is armed initially. *)
+    fault class. [corrupt_read_1_in] is silent bit-rot: affected
+    random-access reads return the true bytes with one bit flipped. No
+    crash point is armed initially. *)
 
 val env : t -> Env.t
 (** The wrapped environment to hand to the store via [Options.env]. *)
@@ -39,7 +42,14 @@ val arm : t -> crash_after:int -> unit
     one. *)
 
 val disarm : t -> unit
-val set_fault_rates : t -> ?fsync_fail_1_in:int -> ?append_fail_1_in:int -> unit -> unit
+
+val set_fault_rates :
+  t ->
+  ?fsync_fail_1_in:int ->
+  ?append_fail_1_in:int ->
+  ?corrupt_read_1_in:int ->
+  unit ->
+  unit
 
 val crashed : t -> bool
 val mutating_ops : t -> int
@@ -48,7 +58,13 @@ val mutating_ops : t -> int
 val injected_faults : t -> int
 (** Probabilistic faults injected so far (crash points not included). *)
 
-val install_crash_image : t -> unit
+val injected_corruptions : t -> int
+(** Silent corruptions injected so far (bit-rot reads plus post-crash
+    scribbles). *)
+
+val install_crash_image : ?scribble:bool -> t -> unit
 (** Truncate every tracked file on the real file system to its durable
-    prefix (+ torn tail slice). Call after the crash, before reopening
-    the directory with a fresh environment. *)
+    prefix (+ torn tail slice). With [scribble] (default false) the kept
+    unsynced slice is overwritten with seed-chosen garbage — sectors that
+    reached the platter with the wrong contents. Call after the crash,
+    before reopening the directory with a fresh environment. *)

@@ -236,7 +236,10 @@ let write_sorted_run ~cfg ~dir ?cache ?(env = Clsm_env.Env.unix) ~alloc_number
      raise e);
   List.rev st.files
 
-let file_iter f = Iter.of_table (Refcounted.value f).Table_file.table
+(* Input iterators carry the typed corruption signal: a rotten input
+   aborts the whole job with {!Table_file.Corruption} so the store can
+   quarantine the file instead of merging garbage forward. *)
+let file_iter f = Version.iter_of_file f
 
 let run ~cfg ~dir ?cache ?env ~alloc_number ~snapshots task =
   let inputs = task.inputs_lo @ task.inputs_hi in

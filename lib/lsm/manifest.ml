@@ -6,6 +6,7 @@ type t = {
   last_ts : int;
   wal_number : int;
   files : (int * int) list;
+  quarantined : int list;
 }
 
 let body t =
@@ -18,6 +19,13 @@ let body t =
     (fun (level, number) ->
       Buffer.add_string buf (Printf.sprintf "file %d %d\n" level number))
     t.files;
+  (* Quarantined tables are named so recovery neither opens them (they
+     failed a checksum) nor collects them as orphans (a repair may still
+     want the evidence). *)
+  List.iter
+    (fun number ->
+      Buffer.add_string buf (Printf.sprintf "quarantine %d\n" number))
+    t.quarantined;
   Buffer.contents buf
 
 let save ?(env = Env.unix) ~dir t =
@@ -58,7 +66,8 @@ let load ?(env = Env.unix) ~dir () =
     let next_file_number = ref 0
     and last_ts = ref 0
     and wal_number = ref 0
-    and files = ref [] in
+    and files = ref []
+    and quarantined = ref [] in
     List.iter
       (fun line ->
         match String.split_on_char ' ' line with
@@ -68,6 +77,8 @@ let load ?(env = Env.unix) ~dir () =
         | [ "wal"; n ] -> wal_number := int_of_string n
         | [ "file"; level; number ] ->
             files := (int_of_string level, int_of_string number) :: !files
+        | [ "quarantine"; number ] ->
+            quarantined := int_of_string number :: !quarantined
         | [ "" ] | [] -> ()
         | _ -> failwith ("manifest: bad line: " ^ line))
       body_lines;
@@ -77,5 +88,6 @@ let load ?(env = Env.unix) ~dir () =
         last_ts = !last_ts;
         wal_number = !wal_number;
         files = List.rev !files;
+        quarantined = List.rev !quarantined;
       }
   end

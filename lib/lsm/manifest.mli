@@ -7,6 +7,9 @@ type t = {
   last_ts : int; (** highest timestamp issued before the save *)
   wal_number : int; (** active write-ahead log to replay on recovery *)
   files : (int * int) list; (** (level, table number); level 0 newest first *)
+  quarantined : int list;
+      (** table numbers pulled from the read view after a corruption
+          verdict: recovery neither opens nor garbage-collects them *)
 }
 
 val save : ?env:Clsm_env.Env.t -> dir:string -> t -> unit

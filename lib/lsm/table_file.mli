@@ -3,6 +3,17 @@
     When the last version referencing an obsolete file releases it, the
     reader is closed and the file deleted. *)
 
+exception
+  Corruption of {
+    number : int;  (** table file number — the quarantine unit *)
+    path : string;
+    detail : string;  (** which block and how it failed *)
+  }
+(** Typed classification of a silent-corruption read failure (checksum or
+    structural decode), carrying enough to quarantine the file. Distinct
+    from {!Clsm_env.Env.Error} (transient IO) and {!Clsm_env.Env.Crashed}
+    (hard stop). *)
+
 type t = {
   number : int;
   table : Clsm_sstable.Table.t;
@@ -24,6 +35,13 @@ val open_number :
   int ->
   t
 (** Open table file [number] in [dir] with the internal-key comparator. *)
+
+val typed_corruption : t -> string -> exn
+(** The {!Corruption} exception for this file with the given detail. *)
+
+val with_table : t -> (Clsm_sstable.Table.t -> 'a) -> 'a
+(** Run a read against the table, translating
+    {!Clsm_sstable.Table.Corrupt} into {!Corruption} naming this file. *)
 
 val mark_obsolete : t -> unit
 (** The file will be deleted once its last reference is dropped. *)

@@ -46,19 +46,37 @@ let user_range_contains tf user_key =
   && String.compare (Internal_key.user_key_of tf.smallest) user_key <= 0
   && String.compare user_key (Internal_key.user_key_of tf.largest) <= 0
 
-(* Newest entry for [user_key] with ts <= probe's ts inside one file. *)
+(* Newest entry for [user_key] with ts <= probe's ts inside one file.
+   Raises {!Table_file.Corruption} on a checksum/decode failure. *)
 let search_file file ~user_key ~probe =
   let tf = Refcounted.value file in
   if not (user_range_contains tf user_key) then None
   else if not (Clsm_sstable.Table.may_contain tf.Table_file.table user_key)
   then None
   else
-    match Clsm_sstable.Table.find_last_le tf.Table_file.table probe with
+    match
+      Table_file.with_table tf (fun table ->
+          Clsm_sstable.Table.find_last_le table probe)
+    with
     | Some (ik, v) when String.equal (Internal_key.user_key_of ik) user_key ->
         Some (Internal_key.ts_of ik, Entry.decode v)
     | Some _ | None -> None
 
-let get t ~user_key ~snap_ts =
+let get ?on_corrupt t ~user_key ~snap_ts =
+  (* With [on_corrupt], a file that fails its checksum is reported and
+     then treated as a miss: the remaining overlapping data still
+     answers, possibly with an older committed version — that is the
+     containment contract, surfaced as [`Partial] health by the store.
+     Without it, the typed {!Table_file.Corruption} propagates. *)
+  let search_file file ~user_key ~probe =
+    match on_corrupt with
+    | None -> search_file file ~user_key ~probe
+    | Some report -> (
+        try search_file file ~user_key ~probe
+        with Table_file.Corruption { detail; _ } ->
+          report (Refcounted.value file) detail;
+          None)
+  in
   let probe = Internal_key.make user_key snap_ts in
   (* L0 files may overlap, so every file is consulted and the newest
      matching version wins. *)
@@ -97,26 +115,56 @@ let get t ~user_key ~snap_ts =
       in
       search_levels 0
 
-let iters t =
-  let l0_iters =
-    List.map
-      (fun f -> Iter.of_table (Refcounted.value f).Table_file.table)
-      t.l0
+(* Table iterator that translates the sstable layer's stringly Corrupt
+   into the typed {!Table_file.Corruption}. Scans do NOT transparently
+   skip a rotten file — silently dropping a key range is a wrong answer;
+   the caller gets the typed signal and the store quarantines. *)
+let iter_of_file file =
+  let tf = Refcounted.value file in
+  let it = Iter.of_table tf.Table_file.table in
+  let guard f x =
+    try f x
+    with Clsm_sstable.Table.Corrupt m -> raise (Table_file.typed_corruption tf m)
   in
+  {
+    Iter.seek_to_first = guard it.Iter.seek_to_first;
+    seek = guard it.Iter.seek;
+    valid = guard it.Iter.valid;
+    key = guard it.Iter.key;
+    value = guard it.Iter.value;
+    next = guard it.Iter.next;
+  }
+
+let iters t =
+  let l0_iters = List.map iter_of_file t.l0 in
   let level_iters =
     Array.to_list t.levels
     |> List.filter_map (fun files ->
            match files with
            | [] -> None
-           | _ ->
-               Some
-                 (Iter.concat
-                    (List.map
-                       (fun f ->
-                         Iter.of_table (Refcounted.value f).Table_file.table)
-                       files)))
+           | _ -> Some (Iter.concat (List.map iter_of_file files)))
   in
   l0_iters @ level_iters
+
+let find_file t number =
+  let in_list l =
+    List.find_opt (fun f -> (Refcounted.value f).Table_file.number = number) l
+  in
+  match in_list t.l0 with
+  | Some _ as hit -> hit
+  | None ->
+      Array.fold_left
+        (fun acc l -> match acc with Some _ -> acc | None -> in_list l)
+        None t.levels
+
+let remove_file t number =
+  match find_file t number with
+  | None -> None
+  | Some _ ->
+      let keep f = (Refcounted.value f).Table_file.number <> number in
+      Some
+        (create ~l0:(List.filter keep t.l0)
+           ~levels:(Array.map (List.filter keep) t.levels))
 
 let overlapping files ~smallest ~largest =
   let cmp = Internal_key.compare_encoded in

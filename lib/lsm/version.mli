@@ -36,16 +36,39 @@ val level_bytes : t -> int -> int
 
 val total_bytes : t -> int
 
-val get : t -> user_key:string -> snap_ts:int -> (int * Entry.t) option
+val get :
+  ?on_corrupt:(Table_file.t -> string -> unit) ->
+  t ->
+  user_key:string ->
+  snap_ts:int ->
+  (int * Entry.t) option
 (** Newest version of [user_key] with timestamp [<= snap_ts], searching L0
     (all files, maximum timestamp wins) and then each deeper level. Returns
     the timestamp and the stored entry — [Some (_, Tombstone)] means the
     key was deleted as of [snap_ts] and deeper components must not be
-    consulted. *)
+    consulted.
+
+    A checksum/decode failure raises {!Table_file.Corruption}; with
+    [on_corrupt] the failure is reported to the callback instead and the
+    rotten file treated as a miss, so the remaining overlapping data
+    still answers (possibly with an older committed version). *)
+
+val iter_of_file : file -> Iter.t
+(** Iterator over one file that raises the typed {!Table_file.Corruption}
+    (instead of the stringly sstable error) on checksum failure. *)
 
 val iters : t -> Iter.t list
 (** One iterator per L0 file (newest first) followed by one concatenated
-    iterator per non-empty level; inputs for merged scans. *)
+    iterator per non-empty level; inputs for merged scans. Iterators
+    raise the typed {!Table_file.Corruption} on checksum failure — a scan
+    never silently skips a rotten key range. *)
+
+val find_file : t -> int -> file option
+(** The live file with the given table number, if any. *)
+
+val remove_file : t -> int -> t option
+(** A new version (references taken) without table [number] — the
+    quarantine swap. [None] when the number is not in this version. *)
 
 val overlapping : file list -> smallest:string -> largest:string -> file list
 (** Files of a sorted level whose internal-key range intersects

@@ -10,17 +10,24 @@
 
 type t =
   | Flush  (** rotate the memtable if needed and merge [C'm] to L0 *)
+  | Repair
+      (** self-healing: apply pending quarantines, finalize quarantined
+          files, and attempt the online transition out of [`Degraded] *)
   | Compact of { src_level : int; target_level : int }
       (** merge one unit of [src_level] into [target_level];
           [src_level = 0] is the L0→L1 merge *)
+  | Scrub
+      (** incremental background media check: re-verify sstable blocks
+          and the WAL tail at a configurable IO budget *)
   | In_shard of { shard : int; job : t }
       (** [job], claimed from shard [shard] of a range-sharded store:
           how one shared worker pool arbitrates jobs across shards while
           claim bookkeeping stays per shard *)
 
 val priority : t -> int
-(** Smaller is more urgent. [Flush] is [0]; [Compact] of level [l] is
-    [l + 1]; [In_shard] is transparent (its inner job's priority). *)
+(** Smaller is more urgent. [Flush] is [0]; [Repair] is [1]; [Compact]
+    of level [l] is [l + 2]; [Scrub] yields to everything; [In_shard] is
+    transparent (its inner job's priority). *)
 
 val compare : t -> t -> int
 (** Orders by {!priority}. *)

@@ -58,7 +58,24 @@ val fold : (string -> string -> 'acc -> 'acc) -> t -> 'acc -> 'acc
 val to_list : t -> (string * string) list
 
 val verify : t -> (int, string) result
-(** Full integrity pass: decode every block (checksums are validated on
-    read), check strict key ordering under the comparator, and check the
-    entry count and key range against the properties block. Returns the
-    number of entries, or a description of the first inconsistency. *)
+(** Full integrity pass: re-read the index, bloom-filter and properties
+    blocks from disk (bypassing the eagerly-loaded in-memory copies),
+    decode every data block (checksums are validated on read), check
+    strict key ordering under the comparator, and check the entry count
+    and key range against the properties block. Returns the number of
+    entries, or a description of the first inconsistency. *)
+
+type scrub_progress = {
+  blocks_checked : int;  (** blocks re-verified this slice *)
+  next_block : int option;
+      (** cursor to resume from; [None] when the pass completed *)
+}
+
+val scrub : ?from_block:int -> ?max_blocks:int -> t -> (scrub_progress, string) result
+(** Incremental media check: re-read up to [max_blocks] blocks from disk
+    starting at data-block cursor [from_block] (default 0), bypassing the
+    block cache, verifying each CRC trailer and structural decode. A
+    slice that starts at block 0 first re-verifies the footer-addressed
+    auxiliary blocks (index, filter, properties — counted as three blocks
+    against the budget). [Error] describes the first corrupt block,
+    including its byte offset. *)

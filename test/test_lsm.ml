@@ -319,6 +319,7 @@ let manifest_roundtrip () =
       last_ts = 99999;
       wal_number = 17;
       files = [ (0, 5); (0, 3); (1, 2); (2, 1) ];
+      quarantined = [ 9; 4 ];
     }
   in
   Manifest.save ~dir:tmp_dir m;
@@ -328,7 +329,9 @@ let manifest_roundtrip () =
       Alcotest.(check int) "last_ts" 99999 m'.Manifest.last_ts;
       Alcotest.(check int) "wal" 17 m'.Manifest.wal_number;
       Alcotest.(check (list (pair int int))) "files (order preserved)"
-        m.Manifest.files m'.Manifest.files
+        m.Manifest.files m'.Manifest.files;
+      Alcotest.(check (list int)) "quarantined (order preserved)"
+        m.Manifest.quarantined m'.Manifest.quarantined
   | None -> Alcotest.fail "manifest missing");
   (* corruption detected *)
   let path = Table_file.manifest_path ~dir:tmp_dir in

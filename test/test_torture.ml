@@ -339,6 +339,8 @@ let run_one_sharded_seed seed =
   (* With a clean environment every shard must come back writable. *)
   (match Sharded_db.health db with
   | `Ok -> ()
+  | `Partial reason ->
+      Alcotest.failf "seed %d: partial after clean recovery: %s" seed reason
   | `Degraded reason ->
       Alcotest.failf "seed %d: degraded after clean recovery: %s" seed reason);
   Sharded_db.compact_now db;
@@ -400,7 +402,17 @@ let run_degrade_isolation seed =
   rm_rf dir;
   let rng = Random.State.make [| seed; 13 |] in
   let fault = Faulty_env.create ~seed () in
-  let opts = sharded_opts_for ~env:(Faulty_env.env fault) dir in
+  (* This test is about what ISOLATION looks like once a shard is down,
+     so the self-healing that would mask it is switched off: no retry
+     (first fsync failure degrades, as before the retry layer) and no
+     auto-repair (the shard stays down for the assertions below). *)
+  let opts =
+    {
+      (sharded_opts_for ~env:(Faulty_env.env fault) dir) with
+      Options.retry = Clsm_env.Retry_policy.none;
+      auto_repair = false;
+    }
+  in
   let db = Sharded_db.open_store opts in
   (* Arm only after the open: a fault during layout/recovery IO is the
      crash campaign's business; here the store must be healthy first. *)
@@ -420,6 +432,9 @@ let run_degrade_isolation seed =
    with Env.Crashed -> ());
   (match Sharded_db.health db with
   | `Ok -> ()
+  | `Partial reason ->
+      (* no corruption is injected here; quarantines would be a bug *)
+      Alcotest.failf "seed %d: unexpected partial health: %s" seed reason
   | `Degraded reason ->
       let healths = Sharded_db.shard_healths db in
       let degraded_shards =
@@ -460,6 +475,170 @@ let run_degrade_isolation seed =
    with Env.Error _ | Store_sig.Degraded _ -> () (* degraded WAL close *));
   rm_rf dir
 
+(* ---------- bit-rot torture ---------- *)
+
+(* Seeded silent-corruption campaign. The environment flips one random
+   bit on seeded sstable reads; the invariant is NO WRONG ANSWERS: a
+   read may return the key's newest committed value, an older committed
+   value (the newest copy's table is in quarantine — health says
+   [`Partial]), or nothing, but never bytes that were not written. The
+   injected rot is transient (the platter stays clean), so once it
+   stops, a scrub + repair round-trip must readmit every quarantined
+   table and restore BOTH the full data and [`Ok] health — online,
+   without reopening the store. *)
+let run_bitrot_seed seed =
+  let dir = Filename.concat base_dir (Printf.sprintf "bitrot_seed%d" seed) in
+  rm_rf dir;
+  let rng = Random.State.make [| seed; 29 |] in
+  let fault = Faulty_env.create ~seed () in
+  let opts =
+    {
+      (opts_for ~env:(Faulty_env.env fault) dir) with
+      Options.sync_wal = false;
+      (* an eager background scrub keeps re-reading blocks the cache
+         would otherwise hide from the rot *)
+      scrub_interval = 0.02;
+      (* repair runs explicitly AFTER the rot stops: under ongoing rot a
+         background repair would re-verify a quarantined table through
+         the same lying reads, conclude "persistently damaged" and
+         discard a file whose platter is actually clean. (A real disk
+         that fails a re-verify IS damaged — transient flips on the wire
+         are this injector's fiction.) *)
+      auto_repair = false;
+    }
+  in
+  let db = Db.open_store opts in
+  let gens = 4 in
+  let value_of k g = Printf.sprintf "%s:g%d" (key_of k) g in
+  for g = 1 to gens do
+    for k = 0 to num_keys - 1 do
+      Db.put db ~key:(key_of k) ~value:(value_of k g)
+    done;
+    (* each generation lands in its own set of tables *)
+    Db.compact_now db
+  done;
+  let check_answer ~ctx k = function
+    | None -> ()
+    | Some v ->
+        let committed = ref false in
+        for g = 1 to gens do
+          if String.equal v (value_of k g) then committed := true
+        done;
+        if not !committed then
+          Alcotest.failf "seed %d: %s returned fabricated data for %s: %S"
+            seed ctx (key_of k) v
+  in
+  Faulty_env.set_fault_rates fault ~corrupt_read_1_in:12 ();
+  for _round = 1 to 3 do
+    for _ = 1 to 150 do
+      let k = Random.State.int rng num_keys in
+      match Db.get db (key_of k) with
+      | ans -> check_answer ~ctx:"get" k ans
+      | exception Table_file.Corruption _ ->
+          (* surfaced through an iterator-backed path; the table is
+             queued for quarantine *)
+          ()
+    done;
+    (* A scan must not fabricate data either. It may abort on a rotten
+       block (typed Corruption) — acceptable: the table is quarantined
+       and a retry answers from survivors. *)
+    (match Db.range ~limit:(num_keys * 2) db with
+    | kvs ->
+        List.iter
+          (fun (k, v) ->
+            match int_of_string_opt (String.sub k 3 (String.length k - 3)) with
+            | Some i -> check_answer ~ctx:"scan" i (Some v)
+            | None -> Alcotest.failf "seed %d: scan fabricated key %S" seed k)
+          kvs
+    | exception Table_file.Corruption _ -> ());
+    (* Foreground scrub: reads every block past the cache, so the rot
+       cannot hide behind cache hits. Its report may or may not be
+       empty — the campaign only requires detection to be sound. *)
+    ignore (Db.scrub_now db : string list)
+  done;
+  (* The rot stops. Self-healing must now converge to [`Ok] with no
+     data loss: every quarantined table re-verifies clean off the disk
+     and is readmitted. *)
+  Faulty_env.set_fault_rates fault ~corrupt_read_1_in:0 ();
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec heal () =
+    match Db.repair_now db with
+    | `Ok -> ()
+    | (`Partial _ | `Degraded _) when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.05;
+        heal ()
+    | `Partial reason | `Degraded reason ->
+        Alcotest.failf "seed %d: failed to heal online: %s" seed reason
+  in
+  heal ();
+  for k = 0 to num_keys - 1 do
+    match Db.get db (key_of k) with
+    | Some v when String.equal v (value_of k gens) -> ()
+    | other ->
+        Alcotest.failf "seed %d: after repair %s = %s, want %S" seed (key_of k)
+          (match other with Some v -> Printf.sprintf "%S" v | None -> "<none>")
+          (value_of k gens)
+  done;
+  let snap = Db.stats db in
+  if
+    Faulty_env.injected_corruptions fault > 0
+    && snap.Stats.corruptions_detected = 0
+  then
+    Alcotest.failf "seed %d: %d corruption(s) injected but none detected" seed
+      (Faulty_env.injected_corruptions fault);
+  (match Db.verify_integrity db with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "seed %d: integrity after heal: %s" seed
+        (String.concat "; " errs));
+  Db.close db;
+  rm_rf dir
+
+(* Post-crash scribble: the torn tail of any file with unsynced appends
+   is overwritten with garbage instead of just truncated — the disk that
+   lies about what it wrote. Sync-WAL acked writes live in the synced
+   prefix, so recovery (CRC-guarded, salvage mode) must keep every one
+   of them and come up healthy despite the scribbled tail. *)
+let run_scribble_seed seed =
+  let dir = Filename.concat base_dir (Printf.sprintf "scribble_seed%d" seed) in
+  rm_rf dir;
+  let rng = Random.State.make [| seed; 41 |] in
+  let fault = Faulty_env.create ~seed () in
+  let opts = opts_for ~env:(Faulty_env.env fault) dir in
+  let db = Db.open_store opts in
+  let acked : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  Faulty_env.arm fault ~crash_after:(20 + Random.State.int rng 200);
+  (try
+     for i = 0 to 2999 do
+       let k = key_of (Random.State.int rng num_keys) in
+       let v = Printf.sprintf "s%d-%d" seed i in
+       Db.put db ~key:k ~value:v;
+       Hashtbl.replace acked k v
+     done
+   with Env.Crashed | Env.Error _ | Store_sig.Degraded _ -> ());
+  Db.simulate_crash db;
+  Faulty_env.install_crash_image ~scribble:true fault;
+  let db = Db.open_store { opts with Options.env = Env.unix } in
+  Hashtbl.iter
+    (fun k v ->
+      match Db.get db k with
+      | Some v' when String.equal v v' -> ()
+      | Some v' ->
+          Alcotest.failf "seed %d: acked %s=%S read back %S" seed k v v'
+      | None -> Alcotest.failf "seed %d: acked %s=%S lost" seed k v)
+    acked;
+  (match Db.health db with
+  | `Ok -> ()
+  | `Partial r | `Degraded r ->
+      Alcotest.failf "seed %d: unhealthy after scribbled recovery: %s" seed r);
+  (match Db.verify_integrity db with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "seed %d: integrity after scribbled recovery: %s" seed
+        (String.concat "; " errs));
+  Db.close db;
+  rm_rf dir
+
 (* Seed count: TORTURE_SEEDS (default 200). CI pins a smaller budget to
    stay fast; local runs can go as deep as patience allows. The seed
    formula is unchanged from the original 50-seed harness, so the first 50
@@ -478,6 +657,22 @@ let seeds = List.init num_seeds (fun i -> 1000 + (i * 77))
    budget (each sharded cycle opens/recovers three stores). *)
 let sharded_seeds =
   List.filteri (fun i _ -> i < max 2 (num_seeds / 4)) seeds
+
+(* The silent-corruption campaign has its own budget knob (BITROT_SEEDS,
+   default 50 — the acceptance bar: 50 seeds, zero wrong answers). *)
+let bitrot_seeds =
+  let n =
+    match Sys.getenv_opt "BITROT_SEEDS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n > 0 -> n
+        | _ -> failwith "BITROT_SEEDS must be a positive integer")
+    | None -> 50
+  in
+  List.init n (fun i -> 9000 + (i * 31))
+
+let scribble_seeds =
+  List.filteri (fun i _ -> i < max 3 (List.length bitrot_seeds / 5)) bitrot_seeds
 
 let () =
   Alcotest.run "clsm-torture"
@@ -506,4 +701,20 @@ let () =
               `Slow
               (fun () -> run_degrade_isolation seed))
           [ 4242; 4319; 4396 ] );
+      ( "bitrot",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d" seed)
+              `Slow
+              (fun () -> run_bitrot_seed seed))
+          bitrot_seeds );
+      ( "crash-scribble",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d" seed)
+              `Slow
+              (fun () -> run_scribble_seed seed))
+          scribble_seeds );
     ]
