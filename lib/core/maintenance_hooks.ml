@@ -247,29 +247,50 @@ module Make (M : Memtable_intf.S) = struct
   (* Pick and claim a compaction whose level range is disjoint from every
      in-flight one. Caller must hold [c.cm]. The version the task was
      picked from is pinned so its input files cannot be released before
-     the task runs. *)
+     the task runs.
+
+     Tombstone dropping is pinned while the quarantine ledger is
+     non-empty: a quarantined table is invisible to the version, so
+     "nothing deeper than the target" may be a fiction — dropping a
+     tombstone whose only covered older values live in the quarantined
+     table would resurrect the deleted key on readmission. The ledger is
+     populated BEFORE the quarantine swap (see
+     [apply_pending_quarantines]), so any pick that sees an empty ledger
+     ran against a version still containing every quarantined table's
+     data, and its [deeper_levels_empty] verdict is honest. *)
   let claim_compaction_locked t =
     let c = t.claims in
-    let busy l = List.exists (fun (s, tg) -> l = s || l = tg) c.busy_levels in
-    let skip ~src ~target = busy src || busy target in
-    let cell = Rcu_box.acquire t.pd in
-    match
-      Compaction.pick ~cfg:t.opts.Options.lsm
-        ~level_pointers:t.compact_pointers ~skip (Refcounted.value cell)
-    with
-    | Some task ->
-        let range = (task.Compaction.src_level, task.Compaction.target_level) in
-        c.busy_levels <- range :: c.busy_levels;
-        c.pending <- (range, { State.task; pinned = cell }) :: c.pending;
-        Some
-          (Job.Compact
-             {
-               src_level = task.Compaction.src_level;
-               target_level = task.Compaction.target_level;
-             })
-    | None ->
-        Refcounted.decr cell;
-        None
+    if c.barrier then None
+    else begin
+      let busy l = List.exists (fun (s, tg) -> l = s || l = tg) c.busy_levels in
+      let skip ~src ~target = busy src || busy target in
+      let pin_tombstones =
+        let h = t.heal in
+        Mutex.protect h.hm (fun () ->
+            h.pending_quarantine <> [] || h.quarantined <> [])
+      in
+      let cell = Rcu_box.acquire t.pd in
+      match
+        Compaction.pick ~cfg:t.opts.Options.lsm
+          ~level_pointers:t.compact_pointers ~skip ~pin_tombstones
+          (Refcounted.value cell)
+      with
+      | Some task ->
+          let range =
+            (task.Compaction.src_level, task.Compaction.target_level)
+          in
+          c.busy_levels <- range :: c.busy_levels;
+          c.pending <- (range, { State.task; pinned = cell }) :: c.pending;
+          Some
+            (Job.Compact
+               {
+                 src_level = task.Compaction.src_level;
+                 target_level = task.Compaction.target_level;
+               })
+      | None ->
+          Refcounted.decr cell;
+          None
+    end
 
   let release_compaction t range =
     let c = t.claims in
@@ -338,6 +359,13 @@ module Make (M : Memtable_intf.S) = struct
         (fun () ->
           List.iter
             (fun (number, detail) ->
+              (* Ledger first, swap second: tombstone dropping is pinned
+                 while the ledger is non-empty, and a window where the
+                 table is out of the read view but not yet in the ledger
+                 would let a concurrent compaction pick see "nothing
+                 deeper" where this table's data was. *)
+              Mutex.protect h.hm (fun () ->
+                  h.quarantined <- number :: h.quarantined);
               Shared_lock.lock_exclusive t.lock;
               match Version.remove_file (current_version t) number with
               | Some next ->
@@ -347,14 +375,15 @@ module Make (M : Memtable_intf.S) = struct
                   in
                   Shared_lock.unlock_exclusive t.lock;
                   Refcounted.retire old_pd;
-                  Mutex.protect h.hm (fun () ->
-                      h.quarantined <- number :: h.quarantined);
                   Stats.incr_quarantined_tables t.stats;
                   Log.err (fun m ->
                       m "quarantined table %06d: %s" number detail)
               | None ->
                   (* already compacted away or quarantined *)
-                  Shared_lock.unlock_exclusive t.lock)
+                  Shared_lock.unlock_exclusive t.lock;
+                  Mutex.protect h.hm (fun () ->
+                      h.quarantined <-
+                        List.filter (fun n -> n <> number) h.quarantined))
             pending;
           with_retry t ~what:"manifest save (quarantine)" (fun () ->
               save_manifest t))
@@ -419,13 +448,18 @@ module Make (M : Memtable_intf.S) = struct
            (* Whole disk component verified: check the live WAL tail. A
               corrupt tail is not fatal — the memtable still holds every
               record — but it must be surfaced and retired by a flush
-              before a crash would make recovery salvage short. *)
+              before a crash would make recovery salvage short. The
+              writer may have an append in flight, so only the prefix it
+              has fully written is classified ([written_bytes] is read
+              BEFORE the file): a racing half-written record can never
+              masquerade as corruption. *)
            (match (current_pm t).wal with
             | Some w when not (Clsm_wal.Wal_writer.poisoned w) -> (
                 let path = Clsm_wal.Wal_writer.path w in
+                let synced = Clsm_wal.Wal_writer.written_bytes w in
                 match
                   Clsm_wal.Wal_reader.read_records ~env:t.opts.Options.env
-                    ~strict:false path
+                    ~strict:false ~max_bytes:synced path
                 with
                 | _, Clsm_wal.Wal_reader.Corrupt_tail ->
                     let p = path ^ ": corrupt WAL tail" in
@@ -456,21 +490,184 @@ module Make (M : Memtable_intf.S) = struct
     assert finished;
     problems
 
+  (* Block new compaction claims and wait out the in-flight ones, so the
+     files a readmission collapse merges can be neither consumed nor
+     overlapped at the bottom level by a concurrent compaction install.
+     Flushes keep running: they only prepend strictly newer L0 files,
+     which the collapse reads nothing from — its closure is computed
+     against a version snapshot taken after the barrier is up. *)
+  let with_compaction_barrier t f =
+    let c = t.claims in
+    Fun.protect
+      ~finally:(fun () -> Mutex.protect c.cm (fun () -> c.barrier <- false))
+      (fun () ->
+        Mutex.protect c.cm (fun () -> c.barrier <- true);
+        let rec wait () =
+          if not (Mutex.protect c.cm (fun () -> c.busy_levels = [])) then begin
+            Unix.sleepf 0.0005;
+            wait ()
+          end
+        in
+        wait ();
+        f ())
+
+  (* Readmission by range collapse. Where a re-verified table may rejoin
+     the tree is constrained by [Version.get], which answers from the
+     shallowest component holding the key: a table of old values spliced
+     at L0 shadows newer versions at L1+ (stale reads, and — if a
+     tombstone covering its puts was since dropped as "nothing deeper" —
+     resurrected deletes), while one spliced deep is shadowed by older
+     versions above it. We do not know the table's age relative to
+     anything still in the tree — least of all its former L0 siblings,
+     which interleave with it in time. The one placement needing no such
+     trust is a collapse: merge it with every file whose user-key range
+     overlaps it at ANY level, L0 included (closed transitively, so the
+     whole range's history is one merge), and install the output at the
+     bottom level. Afterwards no snapshot-time copy of an affected key
+     survives anywhere shallower to shadow the merge's winner; files
+     flushed after the closure's version snapshot are strictly newer
+     than everything on disk at that point and win by timestamp.
+     Tombstones ride through ([drop_tombstones:false]) and keep covering
+     the readmitted puts. With nothing overlapping, the table is spliced
+     directly into the bottom level — same placement, no IO.
+
+     Caller holds the repair claim and the compaction barrier, and no
+     locks. Raises [Env.Error] on transient IO trouble and
+     {!Table_file.Corruption} naming whichever merge input (possibly the
+     readmitted table itself) turned out rotten. *)
+  let readmit_collapsed t ~number qcell =
+    let uk_lo tf = Internal_key.user_key_of tf.Table_file.smallest in
+    let uk_hi tf = Internal_key.user_key_of tf.Table_file.largest in
+    (* Gather the transitive user-key-overlap closure across the whole
+       on-disk tree — L0 and every level — and pin each file past the
+       version cell it was found in. The barrier guarantees the closure
+       stays live (and stays the closure) until the install below;
+       flushes racing us only add files newer than this snapshot, which
+       need no collapsing. *)
+    let overlaps =
+      let vcell = Rcu_box.acquire t.pd in
+      Fun.protect
+        ~finally:(fun () -> Refcounted.decr vcell)
+        (fun () ->
+          let v = Refcounted.value vcell in
+          let deep =
+            v.Version.l0 @ List.concat (Array.to_list v.Version.levels)
+          in
+          let q = Refcounted.value qcell in
+          let rec close lo hi inputs =
+            let extra =
+              List.filter
+                (fun f ->
+                  let tf = Refcounted.value f in
+                  tf.Table_file.smallest <> ""
+                  && (not (List.memq f inputs))
+                  && String.compare (uk_hi tf) lo >= 0
+                  && String.compare (uk_lo tf) hi <= 0)
+                deep
+            in
+            if extra = [] then inputs
+            else
+              let lo, hi =
+                List.fold_left
+                  (fun (lo, hi) f ->
+                    let tf = Refcounted.value f in
+                    ( (if String.compare (uk_lo tf) lo < 0 then uk_lo tf
+                       else lo),
+                      if String.compare (uk_hi tf) hi > 0 then uk_hi tf
+                      else hi ))
+                  (lo, hi) extra
+              in
+              close lo hi (inputs @ extra)
+          in
+          let inputs = close (uk_lo q) (uk_hi q) [] in
+          List.iter
+            (fun f ->
+              (* live in the pinned version, so the count is positive *)
+              let ok = Refcounted.try_incr f in
+              assert ok)
+            inputs;
+          inputs)
+    in
+    Fun.protect
+      ~finally:(fun () -> List.iter Refcounted.decr overlaps)
+      (fun () ->
+        let outputs =
+          if overlaps = [] then [ qcell ]
+          else begin
+            let snapshots =
+              Clock.live_snapshots t.clock ~now:(Unix.gettimeofday ())
+            in
+            let merged =
+              Merge_iter.merge ~cmp:Internal_key.compare_encoded
+                (List.map Version.iter_of_file (qcell :: overlaps))
+            in
+            Compaction.write_sorted_run ~cfg:t.opts.Options.lsm
+              ~dir:t.opts.Options.dir ~cache:t.cache ~env:t.opts.Options.env
+              ~alloc_number:(alloc_file_number t) ~snapshots
+              ~drop_tombstones:false merged
+          end
+        in
+        let consumed =
+          List.map (fun f -> (Refcounted.value f).Table_file.number) overlaps
+        in
+        Mutex.lock t.install;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.install)
+          (fun () ->
+            Shared_lock.lock_exclusive t.lock;
+            let cur = current_version t in
+            let keep f =
+              not (List.mem (Refcounted.value f).Table_file.number consumed)
+            in
+            (* Consumed L0 files leave; files flushed since the closure's
+               snapshot stay put, shallower than (and newer than) the
+               collapsed output. *)
+            let l0 = List.filter keep cur.Version.l0 in
+            let levels = Array.map (List.filter keep) cur.Version.levels in
+            let bottom = Array.length levels - 1 in
+            levels.(bottom) <-
+              List.sort
+                (fun a b ->
+                  Internal_key.compare_encoded
+                    (Refcounted.value a).Table_file.smallest
+                    (Refcounted.value b).Table_file.smallest)
+                (levels.(bottom) @ outputs);
+            let next = Version.create ~l0 ~levels in
+            let old_pd =
+              Rcu_box.swap t.pd
+                (Refcounted.create ~release:Version.release next)
+            in
+            Shared_lock.unlock_exclusive t.lock;
+            (* The manifest written below must not list this number as
+               quarantined AND present in the file set. *)
+            Mutex.protect t.heal.hm (fun () ->
+                t.heal.quarantined <-
+                  List.filter (fun n -> n <> number) t.heal.quarantined);
+            with_retry t ~what:"manifest save (readmission)" (fun () ->
+                save_manifest t);
+            (* Only after the manifest stopped referencing them may the
+               merge inputs — and the now-rewritten quarantined original
+               — become deletable. *)
+            List.iter
+              (fun f -> Table_file.mark_obsolete (Refcounted.value f))
+              overlaps;
+            if overlaps <> [] then
+              Table_file.mark_obsolete (Refcounted.value qcell);
+            Refcounted.retire old_pd);
+        if overlaps <> [] then List.iter Refcounted.retire outputs)
+
   (* Repair out of [`Partial]. Every quarantined table gets a second
      chance: re-opened fresh and fully re-verified from disk. Rot that
      was transient (a bit flipped on some past read, not damage on the
-     platter) re-verifies clean and the table is READMITTED at L0 online
-     — legal at any moment because L0 tolerates overlap and the newest
-     timestamp wins on reads, so re-introducing old versions cannot
-     shadow anything; a later compaction folds it back down. Persistent
-     damage gets the file renamed aside as evidence (never deleted); its
-     key ranges keep answering from surviving overlapping data. Either
-     way the QUARANTINE record is resolved. A final full scrub pass vets
-     the whole component before [`Ok] is honest — fresh verdicts it
-     finds are queued and block the transition until the next round.
-     Returns [`Nothing] (no quarantined files), [`Repaired], or
-     [`Blocked] (transient IO trouble or still-rotten data; retried
-     after the damping interval). *)
+     platter) re-verifies clean and the table is readmitted online via
+     {!readmit_collapsed}. Persistent damage gets the file renamed aside
+     as evidence (never deleted); its key ranges keep answering from
+     surviving overlapping data. Either way the QUARANTINE record is
+     resolved. A final full scrub pass vets the whole component before
+     [`Ok] is honest — fresh verdicts it finds are queued and block the
+     transition until the next round. Returns [`Nothing] (no quarantined
+     files), [`Repaired], or [`Blocked] (transient IO trouble or
+     still-rotten data; retried after the damping interval). *)
   let finalize_quarantined t =
     let h = t.heal in
     let nums = Mutex.protect h.hm (fun () -> h.quarantined) in
@@ -483,81 +680,97 @@ module Make (M : Memtable_intf.S) = struct
         Mutex.protect h.hm (fun () ->
             h.quarantined <- List.filter (fun n -> n <> number) h.quarantined)
       in
-      List.iter
-        (fun number ->
-          let path = Table_file.table_path ~dir number in
-          let discard () =
-            (try Env.(env.rename) ~src:path ~dst:(path ^ ".quarantined")
-             with Env.Error _ -> ());
-            Log.warn (fun m ->
-                m
-                  "repair: table %06d is damaged on disk, renamed aside as \
-                   %s.quarantined"
-                  number (Filename.basename path));
-            drop number
-          in
-          if not (Env.(env.file_exists) path) then
-            (* compacted away in a race before the quarantine swap; the
-               record is moot *)
-            drop number
-          else
-            let reopened =
-              (* the footer/index/filter load can hit the same rot the
-                 data blocks did *)
-              try `Opened (Table_file.open_number ~cache:t.cache ~env ~dir number)
-              with
-              | Env.Crashed as e -> raise e
-              | Env.Error _ -> `Io
-              | _ -> `Rotten
-            in
-            match reopened with
-            | `Io -> blocked := true
-            | `Rotten -> discard ()
-            | `Opened tf -> (
-                match Clsm_sstable.Table.verify tf.Table_file.table with
-                | Ok _ ->
-                    let cell =
-                      Refcounted.create ~release:Table_file.release tf
-                    in
-                    Mutex.lock t.install;
-                    Fun.protect
-                      ~finally:(fun () -> Mutex.unlock t.install)
-                      (fun () ->
-                        Shared_lock.lock_exclusive t.lock;
-                        let cur = current_version t in
-                        (* oldest position: readmitted data predates every
-                           live L0 flush *)
-                        let next =
-                          Version.create
-                            ~l0:(cur.Version.l0 @ [ cell ])
-                            ~levels:cur.Version.levels
+      with_compaction_barrier t (fun () ->
+          List.iter
+            (fun number ->
+              let path = Table_file.table_path ~dir number in
+              let discard () =
+                (try Env.(env.rename) ~src:path ~dst:(path ^ ".quarantined")
+                 with Env.Error _ -> ());
+                Log.warn (fun m ->
+                    m
+                      "repair: table %06d is damaged on disk, renamed aside \
+                       as %s.quarantined"
+                      number (Filename.basename path));
+                drop number
+              in
+              if not (Env.(env.file_exists) path) then
+                (* compacted away in a race before the quarantine swap;
+                   the record is moot *)
+                drop number
+              else
+                let reopened =
+                  (* the footer/index/filter load can hit the same rot
+                     the data blocks did *)
+                  try
+                    `Opened
+                      (Table_file.open_number ~cache:t.cache ~env ~dir number)
+                  with
+                  | Env.Crashed as e -> raise e
+                  | Env.Error _ -> `Io
+                  | _ -> `Rotten
+                in
+                match reopened with
+                | `Io -> blocked := true
+                | `Rotten -> discard ()
+                | `Opened tf -> (
+                    match Clsm_sstable.Table.verify tf.Table_file.table with
+                    | Ok _ when tf.Table_file.smallest = "" ->
+                        (* An entry-less table holds nothing to restore. *)
+                        (try Clsm_sstable.Table.close tf.Table_file.table
+                         with _ -> ());
+                        discard ()
+                    | Ok _ -> (
+                        let qcell =
+                          Refcounted.create ~release:Table_file.release tf
                         in
-                        let old_pd =
-                          Rcu_box.swap t.pd
-                            (Refcounted.create ~release:Version.release next)
-                        in
-                        Shared_lock.unlock_exclusive t.lock;
-                        Refcounted.retire old_pd);
-                    Refcounted.decr cell;
-                    drop number;
-                    Log.info (fun m ->
-                        m
-                          "repair: table %06d re-verified clean, readmitted \
-                           at L0"
-                          number)
-                | Error detail ->
-                    (try Clsm_sstable.Table.close tf.Table_file.table
-                     with _ -> ());
-                    Log.warn (fun m ->
-                        m "repair: table %06d still rotten: %s" number detail);
-                    discard ()
-                | exception Env.Crashed -> raise Env.Crashed
-                | exception Env.Error _ ->
-                    (try Clsm_sstable.Table.close tf.Table_file.table
-                     with _ -> ());
-                    blocked := true))
-        nums;
-      (* Persist the resolved ledger and any readmissions. *)
+                        match readmit_collapsed t ~number qcell with
+                        | () ->
+                            Refcounted.decr qcell;
+                            Log.info (fun m ->
+                                m
+                                  "repair: table %06d re-verified clean, \
+                                   readmitted via bottom-level collapse"
+                                  number)
+                        | exception Env.Crashed ->
+                            Refcounted.decr qcell;
+                            raise Env.Crashed
+                        | exception Env.Error _ ->
+                            Refcounted.decr qcell;
+                            blocked := true
+                        | exception
+                            Table_file.Corruption { number = n; detail; _ }
+                          ->
+                            Refcounted.decr qcell;
+                            if n = number then begin
+                              Log.warn (fun m ->
+                                  m "repair: table %06d still rotten: %s"
+                                    number detail);
+                              discard ()
+                            end
+                            else begin
+                              (* a surviving merge input is rotten too:
+                                 queue it and retry the whole round *)
+                              ignore
+                                (enqueue_quarantine t ~number:n ~detail
+                                  : bool);
+                              blocked := true
+                            end)
+                    | Error detail ->
+                        (try Clsm_sstable.Table.close tf.Table_file.table
+                         with _ -> ());
+                        Log.warn (fun m ->
+                            m "repair: table %06d still rotten: %s" number
+                              detail);
+                        discard ()
+                    | exception Env.Crashed -> raise Env.Crashed
+                    | exception Env.Error _ ->
+                        (try Clsm_sstable.Table.close tf.Table_file.table
+                         with _ -> ());
+                        blocked := true))
+            nums);
+      (* Persist the purely-ledger resolutions (discards, moot records);
+         readmissions already saved their manifest at install time. *)
       Mutex.lock t.install;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.install)
@@ -647,66 +860,73 @@ module Make (M : Memtable_intf.S) = struct
 
   (* ---------- the scheduler's job interface ---------- *)
 
-  (* Claim the highest-priority runnable job: a WAL-covered flush beats
-     any compaction; Compaction.pick orders the rest L0→L1 first, then
-     shallowest over-budget level; Scrub only when nothing else wants
-     the worker. Repair is special-cased ahead of everything except an
-     unclaimed flush's urgency ordering because it is the only job a
-     degraded store may still claim — it is the way back out. *)
+  (* Claim the highest-priority runnable job, in [Job.priority] order:
+     an unclaimed needed flush first (it is what frees WAL space), then
+     Repair, then compactions (Compaction.pick orders them L0→L1 first,
+     then shallowest over-budget level), then Scrub when nothing else
+     wants the worker. A degraded store skips the flush check — its
+     write path is exactly what is broken — and claims nothing but
+     Repair, which is the way back out. *)
   let next t =
     if Atomic.get t.stop then None
     else begin
       let h = t.heal in
       let now = Unix.gettimeofday () in
-      let repair =
-        Mutex.protect h.hm (fun () ->
-            if h.repair_claimed then None
-            else begin
-              let contain = h.pending_quarantine <> [] in
-              let heal =
-                t.opts.Options.auto_repair
-                && now >= h.repair_next_due
-                && (h.quarantined <> [] || is_degraded t)
-              in
-              if contain || heal then begin
-                h.repair_claimed <- true;
-                Some Job.Repair
-              end
-              else None
-            end)
-      in
-      match repair with
-      | Some _ as j -> j
-      | None ->
-          if is_degraded t then None
-          else begin
-            let c = t.claims in
-            Mutex.lock c.cm;
-            let job =
+      let flush =
+        if is_degraded t then None
+        else begin
+          let c = t.claims in
+          Mutex.protect c.cm (fun () ->
               if (not c.flush_claimed) && flush_needed t then begin
                 c.flush_claimed <- true;
                 Some Job.Flush
               end
-              else
-                match claim_compaction_locked t with
-                | Some job -> Some job
-                | None -> None
-            in
-            Mutex.unlock c.cm;
-            match job with
-            | Some _ as j -> j
-            | None ->
-                Mutex.protect h.hm (fun () ->
-                    if
-                      (not h.scrub_claimed)
-                      && t.opts.Options.scrub_interval > 0.0
-                      && now >= h.scrub_next_due
-                    then begin
-                      h.scrub_claimed <- true;
-                      Some Job.Scrub
-                    end
-                    else None)
-          end
+              else None)
+        end
+      in
+      match flush with
+      | Some _ as j -> j
+      | None -> (
+          let repair =
+            Mutex.protect h.hm (fun () ->
+                if h.repair_claimed then None
+                else begin
+                  let contain = h.pending_quarantine <> [] in
+                  let heal =
+                    t.opts.Options.auto_repair
+                    && now >= h.repair_next_due
+                    && (h.quarantined <> [] || is_degraded t)
+                  in
+                  if contain || heal then begin
+                    h.repair_claimed <- true;
+                    Some Job.Repair
+                  end
+                  else None
+                end)
+          in
+          match repair with
+          | Some _ as j -> j
+          | None ->
+              if is_degraded t then None
+              else begin
+                let c = t.claims in
+                Mutex.lock c.cm;
+                let job = claim_compaction_locked t in
+                Mutex.unlock c.cm;
+                match job with
+                | Some _ as j -> j
+                | None ->
+                    Mutex.protect h.hm (fun () ->
+                        if
+                          (not h.scrub_claimed)
+                          && t.opts.Options.scrub_interval > 0.0
+                          && now >= h.scrub_next_due
+                        then begin
+                          h.scrub_claimed <- true;
+                          Some Job.Scrub
+                        end
+                        else None)
+              end)
     end
 
   let run_flush t =

@@ -539,6 +539,7 @@ module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
             flush_claimed = false;
             busy_levels = [];
             pending = [];
+            barrier = false;
           };
         compact_pointers = Array.make (num_levels - 1) "";
         backpressure =

@@ -35,6 +35,11 @@ module Make (M : Memtable_intf.S) = struct
     mutable flush_claimed : bool;
     mutable busy_levels : (int * int) list;
     mutable pending : ((int * int) * claimed_compaction) list;
+    mutable barrier : bool;
+        (* repair's readmission collapse is running (or waiting to):
+           no new compaction may be claimed until it clears, so the
+           collapse's input files cannot be consumed under it. Flushes
+           are unaffected — they only prepend strictly newer L0 files. *)
   }
 
   (* Self-healing state. Read paths never mutate the version or the

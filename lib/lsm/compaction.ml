@@ -18,7 +18,7 @@ let deeper_levels_empty (v : Version.t) target_level =
   go (target_level + 1)
 
 let pick ~cfg ?(level_pointers = [||]) ?(skip = fun ~src:_ ~target:_ -> false)
-    (v : Version.t) =
+    ?(pin_tombstones = false) (v : Version.t) =
   let mk ~src_level ~inputs_lo ~target_level =
     let inputs_hi =
       match Version.files_range inputs_lo with
@@ -34,7 +34,8 @@ let pick ~cfg ?(level_pointers = [||]) ?(skip = fun ~src:_ ~target:_ -> false)
       inputs_lo;
       inputs_hi;
       target_level;
-      drop_tombstones = deeper_levels_empty v target_level;
+      drop_tombstones =
+        (not pin_tombstones) && deeper_levels_empty v target_level;
     }
   in
   if

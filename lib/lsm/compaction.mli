@@ -18,6 +18,7 @@ val pick :
   cfg:Lsm_config.t ->
   ?level_pointers:string array ->
   ?skip:(src:int -> target:int -> bool) ->
+  ?pin_tombstones:bool ->
   Version.t ->
   task option
 (** L0 is compacted when it accumulates [l0_compaction_trigger] files;
@@ -30,7 +31,15 @@ val pick :
     [skip ~src ~target] excludes a level range from consideration — used
     by the maintenance scheduler to hand parallel workers compactions on
     disjoint level ranges (a skipped candidate falls through to the next
-    deeper one). Default: skip nothing. *)
+    deeper one). Default: skip nothing.
+
+    [pin_tombstones] forces [drop_tombstones = false] regardless of
+    level emptiness. The store sets it while its quarantine ledger is
+    non-empty: a quarantined table is absent from [v], so
+    "no data below the target level" may be a lie — a tombstone whose
+    only covered older values live in the quarantined table must
+    survive until that table is readmitted or discarded, or the delete
+    would resurrect on readmission. Default: [false]. *)
 
 val filter_group :
   snapshots:int list ->

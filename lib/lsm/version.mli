@@ -51,7 +51,13 @@ val get :
     A checksum/decode failure raises {!Table_file.Corruption}; with
     [on_corrupt] the failure is reported to the callback instead and the
     rotten file treated as a miss, so the remaining overlapping data
-    still answers (possibly with an older committed version). *)
+    still answers — possibly with an older committed version. Note that
+    if the {e tombstone} itself lived in the rotten file, that older
+    version is a key the caller committed a delete for: containment
+    reads may observe deleted keys as live until repair resolves the
+    quarantine. Callers that rely on strict delete semantics must treat
+    [`Partial] store health as a reason to fail the read instead of
+    serving around the rot. *)
 
 val iter_of_file : file -> Iter.t
 (** Iterator over one file that raises the typed {!Table_file.Corruption}

@@ -4,8 +4,17 @@ type outcome = Clean | Torn_tail | Corrupt_tail
 
 exception Corrupt of string
 
-let read_records ?(env = Env.unix) ?(strict = false) path =
+let read_records ?(env = Env.unix) ?(strict = false) ?max_bytes path =
   let contents = env.Env.read_file path in
+  (* A live log may have an append in flight past [max_bytes]; bytes
+     beyond it are not classified (a record cut by the limit reads as
+     [Torn_tail], never [Corrupt_tail]). *)
+  let contents =
+    match max_bytes with
+    | Some n when n >= 0 && n < String.length contents ->
+        String.sub contents 0 n
+    | Some _ | None -> contents
+  in
   let rec go pos acc =
     match Wal_record.decode contents ~pos with
     | `End -> (List.rev acc, Clean)

@@ -16,7 +16,17 @@ type outcome = Clean | Torn_tail | Corrupt_tail
 exception Corrupt of string
 
 val read_records :
-  ?env:Clsm_env.Env.t -> ?strict:bool -> string -> string list * outcome
+  ?env:Clsm_env.Env.t ->
+  ?strict:bool ->
+  ?max_bytes:int ->
+  string ->
+  string list * outcome
 (** Raises {!Clsm_env.Env.Error} if the file cannot be read, and
     {!Corrupt} in [strict] mode (default [false]) when the log does not
-    end cleanly. *)
+    end cleanly.
+
+    [max_bytes] bounds classification to the file's first [max_bytes]
+    bytes — scrub passes the writer's {!Wal_writer.written_bytes} here
+    so a racing in-flight append (a half-written record with an
+    incomplete CRC) is never misclassified as [Corrupt_tail]; a record
+    cut by the bound reads as [Torn_tail]. Default: the whole file. *)

@@ -12,6 +12,12 @@ type t = {
   mutable closed : bool;
   mutable poisoned : exn option;
       (* first IO failure; written under [io_mutex], monotonic None->Some *)
+  mutable written : int;
+      (* bytes fully handed to the env writer, advanced under [io_mutex]
+         only AFTER a physical append returns: the file prefix
+         [0, written) contains whole records and no in-flight bytes, so
+         a concurrent reader (scrub's WAL-tail check) that stops there
+         can never misread a half-written record as corruption *)
 }
 
 let create ?(mode = Async) ?(env = Env.unix) file_path =
@@ -23,6 +29,7 @@ let create ?(mode = Async) ?(env = Env.unix) file_path =
     io_mutex = Mutex.create ();
     closed = false;
     poisoned = None;
+    written = 0;
   }
 
 (* Fsync-gate semantics: after any append or fsync failure the durability
@@ -45,7 +52,10 @@ let drain_locked t =
     | None -> ()
   in
   pump ();
-  if Buffer.length buf > 0 then t.writer.Env.w_append (Buffer.contents buf)
+  if Buffer.length buf > 0 then begin
+    t.writer.Env.w_append (Buffer.contents buf);
+    t.written <- t.written + Buffer.length buf
+  end
 
 let append t payload =
   if t.closed then invalid_arg "Wal_writer.append: closed";
@@ -63,6 +73,7 @@ let append t payload =
           Wal_record.encode buf payload;
           try
             t.writer.Env.w_append (Buffer.contents buf);
+            t.written <- t.written + Buffer.length buf;
             t.writer.Env.w_fsync ()
           with e ->
             poison_locked t e;
@@ -114,3 +125,4 @@ let abandon t =
 let path t = t.file_path
 let queued t = Mpmc_queue.length t.queue
 let poisoned t = t.poisoned <> None
+let written_bytes t = t.written

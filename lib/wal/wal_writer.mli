@@ -45,6 +45,14 @@ val path : t -> string
 val queued : t -> int
 (** Records still in the in-memory queue (test/stats). *)
 
+val written_bytes : t -> int
+(** Bytes fully appended to the file so far. The prefix
+    [0, written_bytes t) consists of whole records with no append in
+    flight, so a concurrent reader that stops there (scrub's WAL-tail
+    check passes it as [max_bytes] to {!Wal_reader.read_records}) cannot
+    observe a half-written record. Monotonic; reading it races only
+    benignly (a stale value under-reports). *)
+
 val abandon : t -> unit
 (** Close the file without draining the queue or syncing — test hook that
     leaves the file exactly as a crash would. Never raises. *)
