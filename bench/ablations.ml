@@ -198,21 +198,24 @@ let bloom_filters () =
   line "bloom 10 bits/key: %8.0f Kops/s   bloom disabled: %8.0f Kops/s (%.1fx)"
     (kops on) (kops off) (on /. off)
 
-(* 5. Async vs sync WAL: put throughput. *)
+(* 5. Async vs group vs per-write WAL: put throughput. Single-threaded,
+   so the group accumulation window is set to 0 — with one committer
+   there is nobody to wait for, and the ablation isolates the protocol
+   overhead rather than an idle delay. The multi-writer amortization is
+   bench_store's --durability phase. *)
 let wal_mode () =
   line "";
-  line "== Ablation: asynchronous vs synchronous logging ==";
-  let run_mode ~sync =
-    let dir = tmp_dir (if sync then "walsync" else "walasync") in
+  line "== Ablation: asynchronous vs group vs per-write logging ==";
+  let run_mode ~name ~wal_sync ~n =
+    let dir = tmp_dir ("wal" ^ name) in
     let opts =
       {
         (Clsm_core.Options.default ~dir) with
         Clsm_core.Options.memtable_bytes = 1 lsl 24;
-        sync_wal = sync;
+        wal_sync;
       }
     in
     let db = Clsm_core.Db.open_store opts in
-    let n = if sync then 2_000 else 50_000 in
     let t0 = Unix.gettimeofday () in
     for i = 0 to n - 1 do
       Clsm_core.Db.put db ~key:(Printf.sprintf "k%08d" i) ~value:(String.make 256 'v')
@@ -221,10 +224,15 @@ let wal_mode () =
     Clsm_core.Db.close db;
     rate
   in
-  let async = run_mode ~sync:false in
-  let sync = run_mode ~sync:true in
-  line "async WAL: %8.0f Kops/s   sync WAL: %8.3f Kops/s (%.0fx)" (kops async)
-    (kops sync) (async /. sync)
+  let async = run_mode ~name:"async" ~wal_sync:`Async ~n:50_000 in
+  let group =
+    run_mode ~name:"group"
+      ~wal_sync:(`Group { Clsm_core.Options.max_batch = 64; max_delay_us = 0 })
+      ~n:2_000
+  in
+  let sync = run_mode ~name:"sync" ~wal_sync:`Per_write ~n:2_000 in
+  line "async WAL: %8.0f Kops/s   group WAL: %8.3f Kops/s   per-write WAL: %8.3f Kops/s (async/per-write %.0fx)"
+    (kops async) (kops group) (kops sync) (async /. sync)
 
 (* 6. Generic algorithm: the same store functor over the lock-free
    skip-list (Db) vs the copy-on-write map (Cow_store) — real execution.

@@ -326,6 +326,154 @@ let run_mixed_phase ~scale =
         ])
     [ 1; 4 ]
 
+(* ---------- durability bench: per-write vs group vs async WAL ---------- *)
+
+(* Four writer domains hammer puts through each WAL policy. The memtable
+   is big enough that flush/compaction never interfere: the measured gap
+   is purely the commit path. Per-write pays one fsync per put; group
+   commit amortizes the fsync across every committer that boards while
+   the previous leader is inside [w_fsync] (batch ceiling = concurrent
+   writers, so the expected gain at 4 writers is bounded by 4x fewer
+   fsyncs plus whatever mutex-convoy overhead per-write adds on top of
+   the raw fsync); async acknowledges nothing and shows the ceiling. *)
+
+let durability_opts ~dir ~wal_sync =
+  let base = Options.default ~dir in
+  {
+    base with
+    Options.memtable_bytes = 1 lsl 24;
+    wal_enabled = true;
+    wal_sync;
+    maintenance_workers = 1;
+  }
+
+let run_durability_cell_once ~writers ~name ~wal_sync ~n ~value =
+  let dir = fresh_dir () in
+  let db = Db.open_store (durability_opts ~dir ~wal_sync) in
+  let t0 = Unix.gettimeofday () in
+  let worker w =
+    let h = Histogram.create () in
+    for i = 1 to n do
+      let k = Printf.sprintf "w%dk%08d" w i in
+      let op_start = Unix.gettimeofday () in
+      Db.put db ~key:k ~value;
+      Histogram.record h (Unix.gettimeofday () -. op_start)
+    done;
+    h
+  in
+  let domains =
+    List.init (writers - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1)))
+  in
+  let h0 = worker 0 in
+  let hists = h0 :: List.map Domain.join domains in
+  let wall = Unix.gettimeofday () -. t0 in
+  let h = Histogram.merge hists in
+  let s = Db.stats db in
+  Db.close db;
+  rm_rf dir;
+  let ops = writers * n in
+  ( float_of_int ops /. wall,
+    J.Obj
+      [
+        ("mode", J.Str name);
+        ("writers", J.Int writers);
+        ("ops", J.Int ops);
+        ("wall_s", J.Float wall);
+        ("ops_per_s", J.Float (float_of_int ops /. wall));
+        ("put_p50_us", J.Float (Histogram.percentile h 50.0 *. 1e6));
+        ("put_p99_us", J.Float (Histogram.percentile h 99.0 *. 1e6));
+        ("fsync_rounds", J.Int s.Stats.wal_group_commits);
+        ("records_acked", J.Int s.Stats.wal_group_records);
+        ("fsyncs_saved", J.Int s.Stats.wal_fsyncs_saved);
+        ( "mean_group_size",
+          J.Float
+            (if s.Stats.wal_group_commits = 0 then 0.0
+             else
+               float_of_int s.Stats.wal_group_records
+               /. float_of_int s.Stats.wal_group_commits) );
+        ("commit_wait_p50_us", J.Int (Stats.commit_wait_percentile_us s ~pct:50.0));
+        ("commit_wait_p99_us", J.Int (Stats.commit_wait_percentile_us s ~pct:99.0));
+      ] )
+
+(* fsync latency on shared hosts wanders between runs; best-of-N per cell
+   keeps the cross-mode ratios from comparing two different instants. *)
+let run_durability_cell ~repeats ~writers ~name ~wal_sync ~n ~value =
+  let best = ref None in
+  for _ = 1 to repeats do
+    let rate, row = run_durability_cell_once ~writers ~name ~wal_sync ~n ~value in
+    match !best with
+    | Some (r, _) when r >= rate -> ()
+    | _ -> best := Some (rate, row)
+  done;
+  Option.get !best
+
+let run_durability_phase ~scale =
+  let ops_per_writer = match scale with Smoke -> 250 | Full -> 1_000 in
+  let repeats = match scale with Smoke -> 1 | Full -> 3 in
+  let value = String.make 128 'v' in
+  let writer_counts = [ 1; 2; 4; 8; 16 ] in
+  let modes =
+    [
+      ("per_write", `Per_write, 1);
+      ("group", `Group Options.default_group_commit, 4);
+      (* async acks nothing; more ops for a stable rate *)
+      ("async", `Async, 20);
+    ]
+  in
+  List.concat_map
+    (fun writers ->
+      List.map
+        (fun (name, wal_sync, mult) ->
+          let rate, row =
+            run_durability_cell ~repeats ~writers ~name ~wal_sync
+              ~n:(ops_per_writer * mult) ~value
+          in
+          Printf.printf "  %-10s %d writers %10.0f ops/s\n%!" name writers rate;
+          (name, writers, rate, row))
+        modes)
+    writer_counts
+
+let run_durability ~scale ~out =
+  Printf.printf "clsm durability bench (%s scale, %d core(s))\n%!"
+    (scale_name scale)
+    (Domain.recommended_domain_count ());
+  let rows = run_durability_phase ~scale in
+  let rate name writers =
+    List.find_map
+      (fun (n, w, r, _) -> if n = name && w = writers then Some r else None)
+      rows
+    |> Option.get
+  in
+  let speedups =
+    List.filter_map
+      (fun (n, w, _, _) ->
+        if n = "group" then
+          let s = rate "group" w /. rate "per_write" w in
+          Printf.printf "  group vs per-write at %d writers: %.2fx\n%!" w s;
+          Some (string_of_int w, J.Float s)
+        else None)
+      rows
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "clsm-bench/1");
+        ("bench", J.Str "durability");
+        ("scale", J.Str (scale_name scale));
+        ( "host",
+          J.Obj
+            [ ("recommended_domains", J.Int (Domain.recommended_domain_count ())) ]
+        );
+        ("modes", J.List (List.map (fun (_, _, _, row) -> row) rows));
+        ("group_speedup_vs_per_write", J.Obj speedups);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
 (* ---------- entry point ---------- *)
 
 let run ~scale ~out =

@@ -13,7 +13,11 @@
    --sharded [smoke] [--out FILE]
                    mixed workload against the range-shard router at
                    shards 1/2/4; same JSON schema (default
-                   BENCH_sharded.json) *)
+                   BENCH_sharded.json)
+   --durability [smoke] [--out FILE]
+                   4-writer durable-put bench across the three WAL
+                   policies (per-write / group / async); same JSON
+                   schema (default BENCH_durability.json) *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -28,6 +32,16 @@ let () =
         | [] -> "BENCH_compaction.json"
       in
       Bench_store.run ~scale ~out:(out_of rest)
+  | "--durability" :: rest ->
+      let scale =
+        if List.mem "smoke" rest then Bench_store.Smoke else Bench_store.Full
+      in
+      let rec out_of = function
+        | "--out" :: path :: _ -> path
+        | _ :: tl -> out_of tl
+        | [] -> "BENCH_durability.json"
+      in
+      Bench_store.run_durability ~scale ~out:(out_of rest)
   | "--sharded" :: rest ->
       let scale =
         if List.mem "smoke" rest then Bench_store.Smoke else Bench_store.Full

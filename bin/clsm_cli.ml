@@ -32,11 +32,60 @@ let boundaries_arg =
   in
   Arg.(value & opt (some string) None & info [ "boundaries" ] ~docv:"K1,K2" ~doc)
 
-(* The three store-selection flags travel together. *)
+(* "async" | "per-write" | "group" | "group:BATCH:DELAY_US" *)
+let wal_sync_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "async" -> Ok `Async
+    | "per-write" | "per_write" | "sync" -> Ok `Per_write
+    | "group" -> Ok (`Group Options.default_group_commit)
+    | g -> (
+        match String.split_on_char ':' g with
+        | [ "group"; batch; delay ] -> (
+            match (int_of_string_opt batch, int_of_string_opt delay) with
+            | Some max_batch, Some max_delay_us
+              when max_batch > 0 && max_delay_us >= 0 ->
+                Ok (`Group { Options.max_batch; max_delay_us })
+            | _ ->
+                Error
+                  (`Msg
+                     "group:BATCH:DELAY_US needs a positive batch and a \
+                      non-negative delay"))
+        | _ ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown WAL sync policy %S (expected async, per-write, \
+                     group or group:BATCH:DELAY_US)"
+                    s)))
+  in
+  let print ppf (w : Options.wal_sync) =
+    match w with
+    | `Async -> Format.pp_print_string ppf "async"
+    | `Per_write -> Format.pp_print_string ppf "per-write"
+    | `Group { Options.max_batch; max_delay_us } ->
+        Format.fprintf ppf "group:%d:%d" max_batch max_delay_us
+  in
+  Arg.conv (parse, print)
+
+let wal_sync_arg =
+  let doc =
+    "WAL durability policy: $(b,async) (queue only, fsync on flush), \
+     $(b,per-write) (one fsync per operation), $(b,group) (leader-batched \
+     group commit; optionally $(b,group:BATCH:DELAY_US) to set the batch \
+     bound and accumulation window)."
+  in
+  Arg.(
+    value
+    & opt wal_sync_conv `Async
+    & info [ "wal-sync" ] ~docv:"POLICY" ~doc)
+
+(* The store-selection flags travel together. *)
 let store_args =
   Term.(
-    const (fun dir shards boundaries -> (dir, shards, boundaries))
-    $ dir_arg $ shards_arg $ boundaries_arg)
+    const (fun dir shards boundaries wal_sync ->
+        (dir, shards, boundaries, wal_sync))
+    $ dir_arg $ shards_arg $ boundaries_arg $ wal_sync_arg)
 
 (* Commands are written once against [Store_sig.S] and run against either
    [Db] or the [Sharded_db] router, picked at open time. *)
@@ -44,12 +93,13 @@ type 'r app = {
   apply : 'a. (module Store_sig.S with type t = 'a) -> 'a -> 'r;
 }
 
-let with_store (dir, shards, boundaries) { apply } =
+let with_store (dir, shards, boundaries, wal_sync) { apply } =
   let opts =
     {
       (Options.default ~dir) with
       Options.shards;
       shard_boundaries = Option.map (String.split_on_char ',') boundaries;
+      wal_sync;
     }
   in
   let sharded =

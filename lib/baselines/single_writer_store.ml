@@ -45,9 +45,7 @@ let new_memcomp t =
     if t.opts.Options.wal_enabled then
       Some
         (Clsm_wal.Wal_writer.create
-           ~mode:
-             (if t.opts.Options.sync_wal then Clsm_wal.Wal_writer.Sync
-              else Clsm_wal.Wal_writer.Async)
+           ~mode:(Options.wal_mode t.opts)
            (Table_file.wal_path ~dir:t.opts.Options.dir wal_number))
     else None
   in
@@ -437,10 +435,7 @@ let open_store (opts : Options.t) =
   let wal =
     if opts.Options.wal_enabled then
       Some
-        (Clsm_wal.Wal_writer.create
-           ~mode:
-             (if opts.Options.sync_wal then Clsm_wal.Wal_writer.Sync
-              else Clsm_wal.Wal_writer.Async)
+        (Clsm_wal.Wal_writer.create ~mode:(Options.wal_mode opts)
            (Table_file.wal_path ~dir wal_number))
     else None
   in

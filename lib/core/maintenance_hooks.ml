@@ -76,10 +76,8 @@ module Make (M : Memtable_intf.S) = struct
               Some
                 (with_retry t ~what:"WAL create" (fun () ->
                      Clsm_wal.Wal_writer.create
-                       ~mode:
-                         (if t.opts.Options.sync_wal then
-                            Clsm_wal.Wal_writer.Sync
-                          else Clsm_wal.Wal_writer.Async)
+                       ~mode:(Options.wal_mode t.opts)
+                       ~observer:(Stats.wal_observer t.stats)
                        ~env:t.opts.Options.env
                        (Table_file.wal_path ~dir:t.opts.Options.dir wal_number)))
             else None

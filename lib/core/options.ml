@@ -1,7 +1,10 @@
+type group_commit = { max_batch : int; max_delay_us : int }
+type wal_sync = [ `Per_write | `Group of group_commit | `Async ]
+
 type t = {
   dir : string;
   memtable_bytes : int;
-  sync_wal : bool;
+  wal_sync : wal_sync;
   wal_enabled : bool;
   cache_bytes : int;
   linearizable_snapshots : bool;
@@ -28,7 +31,7 @@ let default ~dir =
   {
     dir;
     memtable_bytes = 128 * 1024 * 1024;
-    sync_wal = false;
+    wal_sync = `Async;
     wal_enabled = true;
     cache_bytes = 64 * 1024 * 1024;
     linearizable_snapshots = false;
@@ -50,3 +53,12 @@ let default ~dir =
     scrub_block_budget = 256;
     auto_repair = true;
   }
+
+let default_group_commit = { max_batch = 64; max_delay_us = 50 }
+
+let wal_mode t =
+  match t.wal_sync with
+  | `Async -> Clsm_wal.Wal_writer.Async
+  | `Per_write -> Clsm_wal.Wal_writer.Sync
+  | `Group { max_batch; max_delay_us } ->
+      Clsm_wal.Wal_writer.Group { max_batch; max_delay_us }

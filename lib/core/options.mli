@@ -2,10 +2,25 @@
     applicable (128 MB memory component §5; Bloom filters and a block cache
     inherited from LevelDB §4). *)
 
+type group_commit = { max_batch : int; max_delay_us : int }
+(** Group-commit batching policy: a leader's batch closes at [max_batch]
+    records or when the [max_delay_us] accumulation window (0 = commit
+    immediately) expires with fewer committers waiting. *)
+
+type wal_sync = [ `Per_write | `Group of group_commit | `Async ]
+(** WAL durability policy for the commit points ([put]/[write_batch]/
+    [rmw]): [`Per_write] fsyncs each record before acknowledging;
+    [`Group g] acknowledges after a leader-batched write+fsync shared
+    with concurrent committers (same crash guarantees as [`Per_write],
+    amortized fsync cost); [`Async] acknowledges immediately and may lose
+    the latest few writes on a crash. *)
+
 type t = {
   dir : string;  (** data directory (created if missing) *)
   memtable_bytes : int;  (** soft size limit of [Cm] (default 128 MB) *)
-  sync_wal : bool;  (** synchronous logging (default false — async) *)
+  wal_sync : wal_sync;
+      (** commit durability policy (default [`Async], the paper's
+          queue-the-log-request configuration §2.3) *)
   wal_enabled : bool;  (** disable only for benchmarks *)
   cache_bytes : int;  (** block cache budget (default 64 MB) *)
   linearizable_snapshots : bool;
@@ -79,3 +94,15 @@ type t = {
 }
 
 val default : dir:string -> t
+
+val default_group_commit : group_commit
+(** [{ max_batch = 64; max_delay_us = 50 }]. The window is adaptive: a
+    leader only sleeps when new records arrived during the previous
+    round's write+fsync, so an uncontended writer never pays the delay,
+    while under contention a sub-fsync-length window lets every
+    concurrent committer board one batch instead of oscillating between
+    small ones. *)
+
+val wal_mode : t -> Clsm_wal.Wal_writer.mode
+(** The {!Clsm_wal.Wal_writer.mode} this policy maps to (used everywhere
+    a store layer opens a WAL writer, so all writers of one store agree). *)

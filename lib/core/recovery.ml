@@ -192,7 +192,7 @@ module Make (M : Memtable_intf.S) = struct
       wals;
     wals
 
-  let recover (opts : Options.t) ~cache =
+  let recover (opts : Options.t) ~cache ~stats =
     let env = opts.Options.env in
     if not (Env.(env.file_exists) opts.dir) then Env.(env.mkdir) opts.dir;
     remove_temp_files ~env opts.dir;
@@ -213,21 +213,21 @@ module Make (M : Memtable_intf.S) = struct
     let wal =
       if opts.wal_enabled then
         Some
-          (Clsm_wal.Wal_writer.create
-             ~mode:
-               (if opts.sync_wal then Clsm_wal.Wal_writer.Sync
-                else Clsm_wal.Wal_writer.Async)
-             ~env
+          (Clsm_wal.Wal_writer.create ~mode:(Options.wal_mode opts)
+             ~observer:(Stats.wal_observer stats) ~env
              (Table_file.wal_path ~dir:opts.dir wal_number))
       else None
     in
     (* Re-log replayed records into the fresh WAL so older logs can be
-       ignored on the next recovery. *)
+       ignored on the next recovery. [enqueue] + one [flush] rather than
+       [append] per record: in the durable modes a blocking append would
+       pay one fsync (and a group accumulation window) per
+       already-recovered record. *)
     (match wal with
     | Some w ->
         M.fold_entries
           (fun user_key ts entry () ->
-            Clsm_wal.Wal_writer.append w
+            Clsm_wal.Wal_writer.enqueue w
               (Log_record.encode { Log_record.ts; user_key; entry }))
           mem ();
         Clsm_wal.Wal_writer.flush w

@@ -3,6 +3,17 @@
    keeps the counters allocation-free on the hot path. *)
 let max_levels = 16
 
+(* Commit-wait latencies land in power-of-two buckets: bucket [i] counts
+   waits with ns in [2^i, 2^(i+1)) (bucket 0 absorbs sub-2ns). 40 buckets
+   reach ~550 s — anything slower clamps into the last one. Log2 buckets
+   cost one increment on the commit path and still resolve p50/p99 to
+   within a factor of two, which is all the observability needs. *)
+let wait_buckets = 40
+
+let bucket_of_ns ns =
+  let rec bits n acc = if n <= 1 then acc else bits (n lsr 1) (acc + 1) in
+  min (wait_buckets - 1) (bits (max 1 ns) 0)
+
 type t = {
   puts : int Atomic.t;
   gets : int Atomic.t;
@@ -31,6 +42,12 @@ type t = {
   quarantined_tables : int Atomic.t;
   io_retries : int Atomic.t;
   auto_repairs : int Atomic.t;
+  wal_group_commits : int Atomic.t;
+  wal_group_records : int Atomic.t;
+  wal_fsyncs_saved : int Atomic.t;
+  commit_waits : int Atomic.t;
+  commit_wait_ns : int Atomic.t;
+  commit_wait_hist : int Atomic.t array; (* log2 buckets, see above *)
 }
 
 type snapshot = {
@@ -61,6 +78,12 @@ type snapshot = {
   quarantined_tables : int;
   io_retries : int;
   auto_repairs : int;
+  wal_group_commits : int;
+  wal_group_records : int;
+  wal_fsyncs_saved : int;
+  commit_waits : int;
+  commit_wait_ns : int;
+  commit_wait_hist : int array;
 }
 
 let create () : t =
@@ -92,6 +115,12 @@ let create () : t =
     quarantined_tables = Atomic.make 0;
     io_retries = Atomic.make 0;
     auto_repairs = Atomic.make 0;
+    wal_group_commits = Atomic.make 0;
+    wal_group_records = Atomic.make 0;
+    wal_fsyncs_saved = Atomic.make 0;
+    commit_waits = Atomic.make 0;
+    commit_wait_ns = Atomic.make 0;
+    commit_wait_hist = Array.init wait_buckets (fun _ -> Atomic.make 0);
   }
 
 let incr_puts (t : t) = Atomic.incr t.puts
@@ -142,6 +171,29 @@ let incr_quarantined_tables (t : t) = Atomic.incr t.quarantined_tables
 let incr_io_retries (t : t) = Atomic.incr t.io_retries
 let incr_auto_repairs (t : t) = Atomic.incr t.auto_repairs
 
+(* One durable WAL write+fsync that covered [records] records. A batch of
+   n acknowledged n commits with one fsync, so n-1 fsyncs were saved
+   relative to per-write durability. *)
+let record_group_commit (t : t) ~records =
+  Atomic.incr t.wal_group_commits;
+  ignore (Atomic.fetch_and_add t.wal_group_records (max 0 records));
+  ignore (Atomic.fetch_and_add t.wal_fsyncs_saved (max 0 (records - 1)))
+
+let record_commit_wait (t : t) ~ns =
+  Atomic.incr t.commit_waits;
+  ignore (Atomic.fetch_and_add t.commit_wait_ns (max 0 ns));
+  Atomic.incr t.commit_wait_hist.(bucket_of_ns ns)
+
+(* The hook record every store layer passes to [Wal_writer.create], so
+   durable-commit accounting is identical no matter which layer (recovery,
+   rotation, a baseline store) opened the log. *)
+let wal_observer (t : t) : Clsm_wal.Wal_writer.observer =
+  {
+    Clsm_wal.Wal_writer.on_group_commit =
+      (fun ~records -> record_group_commit t ~records);
+    on_commit_wait = (fun ~ns -> record_commit_wait t ~ns);
+  }
+
 let read (t : t) : snapshot =
   {
     puts = Atomic.get t.puts;
@@ -171,7 +223,36 @@ let read (t : t) : snapshot =
     quarantined_tables = Atomic.get t.quarantined_tables;
     io_retries = Atomic.get t.io_retries;
     auto_repairs = Atomic.get t.auto_repairs;
+    wal_group_commits = Atomic.get t.wal_group_commits;
+    wal_group_records = Atomic.get t.wal_group_records;
+    wal_fsyncs_saved = Atomic.get t.wal_fsyncs_saved;
+    commit_waits = Atomic.get t.commit_waits;
+    commit_wait_ns = Atomic.get t.commit_wait_ns;
+    commit_wait_hist = Array.map Atomic.get t.commit_wait_hist;
   }
+
+(* Percentile over the log2 histogram, reported as the matched bucket's
+   upper bound in (ceiling) microseconds — within 2x of the true value,
+   which is the resolution the buckets promise. 0 when nothing was
+   recorded. *)
+let commit_wait_percentile_us (s : snapshot) ~pct =
+  let total = Array.fold_left ( + ) 0 s.commit_wait_hist in
+  if total = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (float_of_int total *. pct /. 100.))) in
+    let idx = ref (wait_buckets - 1) and acc = ref 0 in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if !acc >= rank then begin
+             idx := i;
+             raise Exit
+           end)
+         s.commit_wait_hist
+     with Exit -> ());
+    ((1 lsl (!idx + 1)) + 999) / 1000
+  end
 
 (* ---------- the counter catalogue ----------
 
@@ -212,6 +293,16 @@ let scalar_fields : (string * [ `Sum | `Max ] * (snapshot -> int)) list =
     ("quarantined_tables", `Sum, fun s -> s.quarantined_tables);
     ("io_retries", `Sum, fun s -> s.io_retries);
     ("auto_repairs", `Sum, fun s -> s.auto_repairs);
+    ("wal_group_commits", `Sum, fun s -> s.wal_group_commits);
+    ("wal_group_records", `Sum, fun s -> s.wal_group_records);
+    ("wal_fsyncs_saved", `Sum, fun s -> s.wal_fsyncs_saved);
+    ("commit_waits", `Sum, fun s -> s.commit_waits);
+    ("commit_wait_ns", `Sum, fun s -> s.commit_wait_ns);
+    (* derived from the histogram, so a shard roll-up ([merge] adds the
+       buckets) re-resolves the percentiles over the combined population
+       instead of averaging per-shard percentiles *)
+    ("commit_wait_p50_us", `Max, fun s -> commit_wait_percentile_us s ~pct:50.);
+    ("commit_wait_p99_us", `Max, fun s -> commit_wait_percentile_us s ~pct:99.);
   ]
 
 (* Aggregate several stores' snapshots (the shard roll-up): counters sum,
@@ -255,6 +346,17 @@ let merge (a : snapshot) (b : snapshot) : snapshot =
     quarantined_tables = a.quarantined_tables + b.quarantined_tables;
     io_retries = a.io_retries + b.io_retries;
     auto_repairs = a.auto_repairs + b.auto_repairs;
+    wal_group_commits = a.wal_group_commits + b.wal_group_commits;
+    wal_group_records = a.wal_group_records + b.wal_group_records;
+    wal_fsyncs_saved = a.wal_fsyncs_saved + b.wal_fsyncs_saved;
+    commit_waits = a.commit_waits + b.commit_waits;
+    commit_wait_ns = a.commit_wait_ns + b.commit_wait_ns;
+    commit_wait_hist =
+      Array.init wait_buckets (fun i ->
+          let at (arr : int array) =
+            if i < Array.length arr then arr.(i) else 0
+          in
+          at a.commit_wait_hist + at b.commit_wait_hist);
   }
 
 let merge_all = function

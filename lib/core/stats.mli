@@ -36,6 +36,14 @@ type snapshot = {
   quarantined_tables : int;  (** sstables pulled from the read view *)
   io_retries : int;  (** transient-fault retries by {!Retry_policy} *)
   auto_repairs : int;  (** online repairs back to [`Ok] health *)
+  wal_group_commits : int;  (** durable WAL write+fsync rounds *)
+  wal_group_records : int;  (** records those rounds acknowledged *)
+  wal_fsyncs_saved : int;
+      (** fsyncs amortized away by batching, vs. per-write durability *)
+  commit_waits : int;  (** durable appends with a measured commit wait *)
+  commit_wait_ns : int;  (** cumulative commit-wait time, nanoseconds *)
+  commit_wait_hist : int array;
+      (** log2 buckets: [.(i)] counts waits in [2^i, 2^(i+1)) ns *)
 }
 
 val create : unit -> t
@@ -76,6 +84,18 @@ val incr_corruptions_detected : t -> unit
 val incr_quarantined_tables : t -> unit
 val incr_io_retries : t -> unit
 val incr_auto_repairs : t -> unit
+
+val record_group_commit : t -> records:int -> unit
+(** Account one durable WAL write+fsync round covering [records] records
+    ([records - 1] fsyncs saved vs. per-write durability). *)
+
+val record_commit_wait : t -> ns:int -> unit
+(** Account one durable append's commit-wait latency. *)
+
+val wal_observer : t -> Clsm_wal.Wal_writer.observer
+(** The {!Clsm_wal.Wal_writer.observer} feeding this registry; pass it to
+    every WAL writer the store opens. *)
+
 val read : t -> snapshot
 
 val merge : snapshot -> snapshot -> snapshot
@@ -86,6 +106,11 @@ val merge : snapshot -> snapshot -> snapshot
 
 val merge_all : snapshot list -> snapshot
 (** [merge]d over the list; all-zero for [[]]. *)
+
+val commit_wait_percentile_us : snapshot -> pct:float -> int
+(** Percentile of the commit-wait histogram in microseconds (the matched
+    log2 bucket's upper bound, so within 2x of the true value); 0 when no
+    waits were recorded. [to_json] exports p50/p99 via this. *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Renders every counter of the catalogue that {!to_json} also walks —

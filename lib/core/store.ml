@@ -498,9 +498,11 @@ module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
       Clsm_sstable.Cache.create ~capacity:opts.cache_bytes
         ~weight:Clsm_sstable.Block.size_bytes ()
     in
-    let r = Recover.recover opts ~cache in
-    let num_levels = opts.lsm.Lsm_config.num_levels in
+    (* Stats exist before recovery: the recovered WAL writer's observer
+       feeds commit-wait/group-commit accounting into them. *)
     let stats = Stats.create () in
+    let r = Recover.recover opts ~cache ~stats in
+    let num_levels = opts.lsm.Lsm_config.num_levels in
     let clock =
       match opts.clock with
       | Some c -> c
@@ -615,7 +617,13 @@ module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
               Mutex.lock t.install;
               Fun.protect
                 ~finally:(fun () -> Mutex.unlock t.install)
-                (fun () -> save_manifest t))
+                (fun () ->
+                  (* The final manifest save is an idempotent commit
+                     point like every maintenance-path save: a transient
+                     fault rides through the retry policy instead of
+                     failing the close. *)
+                  Hooks.with_retry t ~what:"manifest save (close)"
+                    (fun () -> save_manifest t)))
         end)
 
   (* Offline-style health check runnable on a live store: validates every

@@ -9,41 +9,90 @@
 
     In [Sync] mode every [append] writes and fsyncs before returning.
 
+    In [Group] mode every [append] is durable before returning, but the
+    write+fsync is leader-batched (RocksDB-style group commit): concurrent
+    appenders enqueue their record with a ticket and park on a condition
+    variable; the first waiter elects itself leader — no dedicated domain
+    is spawned, so the scheme composes with the maintenance scheduler's
+    pool and simulated environments — optionally sleeps [max_delay_us] to
+    let more committers board, drains up to [max_batch] records, issues
+    {e one} write and {e one} fsync through the env, publishes the durable
+    ticket and wakes all riders. [max_batch] bounds a single batch;
+    leftover records elect the next leader immediately.
+
     {b Failure model (fsync-gate).} All IO goes through the store's
     {!Clsm_env.Env.t}. The first append or fsync failure {e poisons} the
     writer permanently: the failing operation raises, and every later
     [append]/[flush]/[close] re-raises the original exception instead of
     silently retrying — once an fsync has failed, the durability of
     earlier acknowledged bytes is unknown and no further write may be
-    acknowledged on this log. *)
+    acknowledged on this log. In [Group] mode a failed batch wakes every
+    parked rider and each re-raises the original poisoning exception:
+    none of the batch's records is acknowledged. [flush] after poisoning
+    is idempotent — concurrent or repeated flushers all observe the same
+    original exception and never touch the queue or the file again. *)
 
 type t
-type mode = Sync | Async
 
-val create : ?mode:mode -> ?env:Clsm_env.Env.t -> string -> t
+type group_config = { max_batch : int; max_delay_us : int }
+(** Leader accumulation policy: a batch closes at [max_batch] records, or
+    when the [max_delay_us] accumulation window (0 = commit immediately)
+    expires with fewer waiting. The window is adaptive — a leader opens
+    it only when new records arrived while the previous round was inside
+    its write+fsync, so an uncontended writer commits immediately and
+    never pays the delay, while concurrent committers get a boarding
+    window that lets the batch reach the full committer count instead of
+    oscillating around half of it. *)
+
+type mode = Sync | Async | Group of group_config
+
+type observer = {
+  on_group_commit : records:int -> unit;
+      (** one durable write+fsync covering [records] records (1 in [Sync]
+          mode) just completed *)
+  on_commit_wait : ns:int -> unit;
+      (** one durable [append] was acknowledged after waiting [ns]
+          nanoseconds (commit-wait latency, [Sync] and [Group] modes) *)
+}
+(** Stats hooks, injected at {!create} so this layer stays independent of
+    the core's stats registry. Callbacks run on the committing caller's
+    thread and must be cheap and non-raising. *)
+
+val create : ?mode:mode -> ?env:Clsm_env.Env.t -> ?observer:observer -> string -> t
 (** Open (create/truncate) the log file at the given path.
     Default mode: [Async]; default env: {!Clsm_env.Env.unix}. *)
 
 val append : t -> string -> unit
 (** Log one record. Thread-safe; non-blocking in [Async] mode except for an
-    opportunistic drain attempt. Raises {!Clsm_env.Env.Error} (or the
-    original poisoning exception) on IO failure — in [Sync] mode the
+    opportunistic drain attempt; blocks until durable in [Sync] and
+    [Group] modes. Raises {!Clsm_env.Env.Error} (or the original
+    poisoning exception) on IO failure — in [Sync]/[Group] mode the
     record is then {e not} acknowledged. *)
 
+val enqueue : t -> string -> unit
+(** Queue one record with no durability work or acknowledgement,
+    regardless of mode; a later {!flush} makes it durable. Recovery uses
+    this to re-log a replayed memtable as one batch instead of paying a
+    per-record fsync in durable modes. *)
+
 val flush : t -> unit
-(** Drain the queue, write everything out and [fsync]. Raises on failure
-    and poisons the writer. *)
+(** Settle parked group riders (leader rounds, no accumulation delay),
+    then drain the queue, write everything out and [fsync]. Raises on
+    failure and poisons the writer; once poisoned, idempotently re-raises
+    the original exception. *)
 
 val close : t -> unit
 (** {!flush} then close the file. The descriptor is always released, but a
     flush/fsync failure still propagates. *)
 
 val poisoned : t -> bool
-(** True once an IO failure has permanently disabled the writer. *)
+(** True once an IO failure has permanently disabled the writer (or
+    {!abandon} simulated a crash under it). *)
 
 val path : t -> string
 val queued : t -> int
-(** Records still in the in-memory queue (test/stats). *)
+(** Records still in memory: async queue plus unpublished group tickets
+    (test/stats). *)
 
 val written_bytes : t -> int
 (** Bytes fully appended to the file so far. The prefix
@@ -55,4 +104,6 @@ val written_bytes : t -> int
 
 val abandon : t -> unit
 (** Close the file without draining the queue or syncing — test hook that
-    leaves the file exactly as a crash would. Never raises. *)
+    leaves the file exactly as a crash would. Poisons the writer with
+    {!Clsm_env.Env.Crashed} and wakes parked group riders so in-flight
+    commits raise (unacknowledged) instead of hanging. Never raises. *)

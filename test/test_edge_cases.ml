@@ -12,12 +12,12 @@ let fresh_dir =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "clsm_test_edge_%d_%d" (Unix.getpid ()) !counter)
 
-let small_opts ?(sync_wal = false) dir =
+let small_opts ?(wal_sync = `Async) dir =
   let base = Options.default ~dir in
   {
     base with
     Options.memtable_bytes = 16 * 1024;
-    sync_wal;
+    wal_sync;
     cache_bytes = 1 lsl 20;
     lsm =
       {
@@ -115,7 +115,7 @@ let close_is_idempotent () =
 
 let sync_wal_survives_crash_without_flush () =
   let dir = fresh_dir () in
-  let opts = small_opts ~sync_wal:true dir in
+  let opts = small_opts ~wal_sync:`Per_write dir in
   let db = Db.open_store opts in
   for i = 0 to 49 do
     Db.put db ~key:(Printf.sprintf "k%03d" i) ~value:"durable"

@@ -27,14 +27,14 @@ let fresh_dir =
     rm d;
     d
 
-let small_opts ?(env = Env.unix) ?(wal_enabled = true) ?(sync_wal = false)
+let small_opts ?(env = Env.unix) ?(wal_enabled = true) ?(wal_sync = `Async)
     ?(strict_wal = false) ?(memtable_bytes = 16 * 1024) dir =
   let base = Options.default ~dir in
   {
     base with
     Options.memtable_bytes;
     wal_enabled;
-    sync_wal;
+    wal_sync;
     strict_wal;
     env;
     cache_bytes = 1 lsl 20;
@@ -166,7 +166,7 @@ let enospc_degrades_to_read_only () =
 let mid_flush_crash_leaves_no_orphans () =
   let dir = fresh_dir () in
   let f = Faulty_env.create ~seed:11 () in
-  let opts = small_opts ~env:(Faulty_env.env f) ~sync_wal:true dir in
+  let opts = small_opts ~env:(Faulty_env.env f) ~wal_sync:`Per_write dir in
   let db = Db.open_store opts in
   for i = 1 to 300 do
     Db.put db ~key:(Printf.sprintf "k%04d" i) ~value:(String.make 64 'o')
@@ -213,7 +213,7 @@ let mid_flush_crash_leaves_no_orphans () =
 let mid_subcompaction_crash_leaves_no_orphans () =
   let dir = fresh_dir () in
   let f = Faulty_env.create ~seed:23 () in
-  let base = small_opts ~env:(Faulty_env.env f) ~sync_wal:true dir in
+  let base = small_opts ~env:(Faulty_env.env f) ~wal_sync:`Per_write dir in
   let opts =
     {
       base with
@@ -296,7 +296,7 @@ let mid_subcompaction_crash_leaves_no_orphans () =
 
 let strict_wal_fails_on_corrupt_tail () =
   let dir = fresh_dir () in
-  let opts = small_opts ~sync_wal:true ~memtable_bytes:(1 lsl 20) dir in
+  let opts = small_opts ~wal_sync:`Per_write ~memtable_bytes:(1 lsl 20) dir in
   let db = Db.open_store opts in
   Db.put db ~key:"a" ~value:"1";
   Db.put db ~key:"b" ~value:"2";

@@ -57,7 +57,7 @@ let opts ?(linearizable = false) dir =
     base with
     Options.memtable_bytes = 2 * 1024;
     cache_bytes = 1 lsl 18;
-    sync_wal = false;
+    wal_sync = `Async;
     wal_enabled = true;
     linearizable_snapshots = linearizable;
     maintenance_workers = 2;
@@ -161,6 +161,37 @@ let run_clsm ~linearizable seed () =
     ~seed
     ~scan_mode:(if linearizable then `Linearizable else `Serializable)
     h
+
+(* The same store with the WAL in leader-batched group-commit mode: every
+   put/delete/rmw parks on the group condvar until a leader publishes its
+   LSN as durable, so the commit path the checker observes includes the
+   leader election, the batched fsync and the rider wakeup. A tiny
+   max_batch with a nonzero accumulation window maximizes leader/rider
+   interleavings. Linearizability must be indistinguishable from the
+   async-WAL store. *)
+let run_clsm_group seed () =
+  let dir =
+    Filename.concat base_dir (Printf.sprintf "clsm_group_seed%d" seed)
+  in
+  rm_rf dir;
+  let o =
+    {
+      (opts dir) with
+      Options.wal_sync = `Group { Options.max_batch = 4; max_delay_us = 50 };
+    }
+  in
+  let db = Db.open_store o in
+  let h =
+    Fun.protect
+      ~finally:(fun () ->
+        Db.close db;
+        rm_rf dir)
+      (fun () ->
+        Stress.run
+          { (cfg seed) with Stress.ops_per_domain = 120 }
+          (Db_target.ops ~name:"clsm-group" db))
+  in
+  assert_clean ~target:"store-group" ~seed ~scan_mode:`Serializable h
 
 (* The shard router over 4 Db instances sharing one clock: boundaries
    split the stress key space k00..k07 so every domain's schedule
@@ -290,6 +321,7 @@ let () =
       cases "clsm-linearizable-snapshots"
         (run_clsm ~linearizable:true)
         (take (num_seeds - half) (List.rev seeds));
+      cases "store-group" run_clsm_group (take small seeds);
       cases "sharded" (run_sharded ~linearizable:false) (take small seeds);
       cases "sharded-linearizable-snapshots"
         (run_sharded ~linearizable:true)

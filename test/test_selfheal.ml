@@ -34,7 +34,7 @@ let small_opts ?(env = Env.unix) dir =
     base with
     Options.memtable_bytes = 16 * 1024;
     wal_enabled = true;
-    sync_wal = false;
+    wal_sync = `Async;
     env;
     cache_bytes = 1 lsl 20;
     maintenance_workers = 1;

@@ -43,7 +43,7 @@ let opts_for ~env dir =
   {
     base with
     Options.env;
-    sync_wal = true;
+    wal_sync = `Per_write;
     wal_enabled = true;
     memtable_bytes = 4 * 1024;
     cache_bytes = 1 lsl 18;
@@ -494,7 +494,7 @@ let run_bitrot_seed seed =
   let opts =
     {
       (opts_for ~env:(Faulty_env.env fault) dir) with
-      Options.sync_wal = false;
+      Options.wal_sync = `Async;
       (* an eager background scrub keeps re-reading blocks the cache
          would otherwise hide from the rot *)
       scrub_interval = 0.02;
@@ -594,6 +594,149 @@ let run_bitrot_seed seed =
   Db.close db;
   rm_rf dir
 
+(* ---------- group-commit torture ---------- *)
+
+(* The crash campaign re-run against [`Group] WAL mode with genuinely
+   concurrent committers, so the crash point can land anywhere in the
+   leader/rider protocol:
+
+   - before the batch write: no record of the batch reaches the log —
+     every rider raises, nothing was acked, nothing may surface;
+   - between write and fsync ([Faulty_env] ticks the two separately):
+     the batch bytes are unsynced, so the crash image keeps at most a
+     torn slice of them — still unacked, may legally surface or not;
+   - after fsync, before the riders wake: the batch is durable but
+     unacknowledged (the ack raced the crash) — it may surface, and
+     riders observe [Env.Crashed] from their own later operations.
+
+   Each writer domain owns a disjoint key partition and its own
+   acked/pending model (group commit batches across writers, but each
+   key's history stays single-writer, so "acked state is exact" remains
+   well-defined). The invariant is the campaign's usual one: everything
+   acknowledged survives recovery exactly; nothing unacknowledged
+   resurrects as a value that was never attempted. *)
+let run_group_commit_seed seed =
+  let dir = Filename.concat base_dir (Printf.sprintf "group_seed%d" seed) in
+  rm_rf dir;
+  let rng = Random.State.make [| seed; 53 |] in
+  let fault = Faulty_env.create ~seed () in
+  (* Sweep the policy space deterministically per seed: tiny batches
+     (leaders outnumber riders), wide batches, no/short accumulation
+     windows. *)
+  let max_batch = [| 1; 2; 4; 8 |].(Random.State.int rng 4) in
+  let max_delay_us = [| 0; 100; 500 |].(Random.State.int rng 3) in
+  let opts =
+    {
+      (opts_for ~env:(Faulty_env.env fault) dir) with
+      Options.wal_sync = `Group { Options.max_batch; max_delay_us };
+    }
+  in
+  let db = Db.open_store opts in
+  let writers = 3 in
+  let models =
+    Array.init writers (fun _ ->
+        { acked = Hashtbl.create 64; pending = Hashtbl.create 16 })
+  in
+  Faulty_env.arm fault ~crash_after:(20 + Random.State.int rng 400);
+  let crashed = Atomic.make false in
+  let writer d () =
+    let m = models.(d) in
+    let rng = Random.State.make [| seed; d; 97 |] in
+    (* keys of this writer's partition only *)
+    let my_key () =
+      let i = Random.State.int rng (num_keys / writers) in
+      key_of ((i * writers) + d)
+    in
+    let ops = ref 0 in
+    while (not (Atomic.get crashed)) && !ops < 200 do
+      incr ops;
+      let key = my_key () in
+      match Random.State.int rng 10 with
+      | 0 | 1 -> (
+          attempt m key None;
+          match Db.delete db ~key with
+          | () -> ack m key None
+          | exception (Env.Crashed | Env.Error _ | Store_sig.Degraded _) ->
+              Atomic.set crashed true)
+      | 2 -> (
+          let key2 = my_key () in
+          let v1 = Printf.sprintf "b%d-%d-%d" seed d !ops
+          and v2 = Printf.sprintf "b%d-%d-%d'" seed d !ops in
+          attempt m key (Some v1);
+          attempt m key2 (Some v2);
+          match
+            Db.write_batch db [ Db.Batch_put (key, v1); Db.Batch_put (key2, v2) ]
+          with
+          | () ->
+              (* key2 may equal key: ack in write order *)
+              ack m key (Some v1);
+              ack m key2 (Some v2)
+          | exception (Env.Crashed | Env.Error _ | Store_sig.Degraded _) ->
+              Atomic.set crashed true)
+      | _ -> (
+          let v = Printf.sprintf "v%d-%d-%d" seed d !ops in
+          attempt m key (Some v);
+          match Db.put db ~key ~value:v with
+          | () -> ack m key (Some v)
+          | exception (Env.Crashed | Env.Error _ | Store_sig.Degraded _) ->
+              Atomic.set crashed true)
+    done
+  in
+  List.init writers (fun d -> Domain.spawn (writer d)) |> List.iter Domain.join;
+  Db.simulate_crash db;
+  Faulty_env.install_crash_image fault;
+  (* ---- restart on the crash image with a healthy environment ---- *)
+  let clean_opts = { opts with Options.env = Env.unix } in
+  let db = Db.open_store clean_opts in
+  Db.compact_now db;
+  check_dir_consistent ~seed ~label:"group" dir;
+  (match Db.verify_integrity db with
+  | [] -> ()
+  | problems ->
+      Alcotest.failf "seed %d: integrity violations: %s" seed
+        (String.concat "; " problems));
+  Array.iteri
+    (fun d m ->
+      (* Acked writes survive exactly; keys with pending (unacked)
+         attempts may hold the acked value or any attempted one. *)
+      Hashtbl.iter
+        (fun key expect ->
+          let got = Db.get db key in
+          let allowed =
+            expect :: Option.value ~default:[] (Hashtbl.find_opt m.pending key)
+          in
+          if not (List.mem got allowed) then
+            Alcotest.failf "seed %d: writer %d key %s: got %s, allowed {%s}"
+              seed d key
+              (Option.value ~default:"<none>" got)
+              (String.concat ", "
+                 (List.map (Option.value ~default:"<none>") allowed)))
+        m.acked;
+      (* Never-acked keys can only be absent or hold an attempted value:
+         an unacknowledged batch member must not resurrect as anything
+         else. *)
+      Hashtbl.iter
+        (fun key states ->
+          if not (Hashtbl.mem m.acked key) then
+            let got = Db.get db key in
+            if not (List.mem got (None :: states)) then
+              Alcotest.failf
+                "seed %d: writer %d unacked key %s holds foreign value %s" seed
+                d key
+                (Option.value ~default:"<none>" got))
+        m.pending)
+    models;
+  (* Fresh writes must win over everything recovered. *)
+  Db.put db ~key:(key_of 0) ~value:"fresh";
+  if Db.get db (key_of 0) <> Some "fresh" then
+    Alcotest.failf "seed %d: recovered timestamps shadow new writes" seed;
+  Db.close db;
+  let db = Db.open_store clean_opts in
+  if Db.get db (key_of 0) <> Some "fresh" then
+    Alcotest.failf "seed %d: second reopen lost data" seed;
+  Db.close db;
+  rm_rf dir
+
 (* Post-crash scribble: the torn tail of any file with unsynced appends
    is overwritten with garbage instead of just truncated — the disk that
    lies about what it wrote. Sync-WAL acked writes live in the synced
@@ -674,6 +817,20 @@ let bitrot_seeds =
 let scribble_seeds =
   List.filteri (fun i _ -> i < max 3 (List.length bitrot_seeds / 5)) bitrot_seeds
 
+(* The group-commit campaign has its own budget knob (GROUP_COMMIT_SEEDS,
+   default 50 — the acceptance bar: 50 seeds, acked writes survive, no
+   resurrections). *)
+let group_commit_seeds =
+  let n =
+    match Sys.getenv_opt "GROUP_COMMIT_SEEDS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n > 0 -> n
+        | _ -> failwith "GROUP_COMMIT_SEEDS must be a positive integer")
+    | None -> 50
+  in
+  List.init n (fun i -> 17000 + (i * 53))
+
 let () =
   Alcotest.run "clsm-torture"
     [
@@ -717,4 +874,12 @@ let () =
               `Slow
               (fun () -> run_scribble_seed seed))
           scribble_seeds );
+      ( "group-commit",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d" seed)
+              `Slow
+              (fun () -> run_group_commit_seed seed))
+          group_commit_seeds );
     ]

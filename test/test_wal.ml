@@ -172,6 +172,211 @@ let empty_log () =
   Alcotest.(check (list string)) "no records" [] records;
   Alcotest.(check bool) "clean" true (outcome = Wal_reader.Clean)
 
+(* ---------- group commit ---------- *)
+
+module Faulty_env = Clsm_env.Faulty_env
+module Env = Clsm_env.Env
+
+let group ?(max_batch = 8) ?(max_delay_us = 0) () =
+  Wal_writer.Group { Wal_writer.max_batch; max_delay_us }
+
+(* Durability is immediate in group mode: no flush/close, the record must
+   already be on disk when append returns — and [written_bytes] must
+   bound a cleanly readable prefix, exactly like Sync mode (scrub's
+   contract). *)
+let group_append_is_durable () =
+  let path = tmp_path "group_durable.log" in
+  let w = Wal_writer.create ~mode:(group ()) path in
+  Wal_writer.append w "one";
+  Wal_writer.append w "two";
+  let records, outcome =
+    Wal_reader.read_records ~strict:true ~max_bytes:(Wal_writer.written_bytes w)
+      path
+  in
+  Alcotest.(check (list string)) "durable before close" [ "one"; "two" ] records;
+  Alcotest.(check bool) "clean" true (outcome = Wal_reader.Clean);
+  Alcotest.(check int) "nothing pending" 0 (Wal_writer.queued w);
+  Wal_writer.close w
+
+let group_concurrent_appends () =
+  let path = tmp_path "group_concurrent.log" in
+  let w =
+    Wal_writer.create ~mode:(group ~max_batch:4 ~max_delay_us:200 ()) path
+  in
+  let n = 500 in
+  let producer tag () =
+    for i = 0 to n - 1 do
+      Wal_writer.append w (Printf.sprintf "%c%06d" tag i)
+    done
+  in
+  List.map Domain.spawn [ producer 'a'; producer 'b'; producer 'c' ]
+  |> List.iter Domain.join;
+  Wal_writer.close w;
+  let records, outcome = Wal_reader.read_records ~strict:true path in
+  Alcotest.(check bool) "clean" true (outcome = Wal_reader.Clean);
+  Alcotest.(check int) "none lost" (3 * n) (List.length records);
+  Alcotest.(check int) "all distinct" (3 * n)
+    (List.length (List.sort_uniq String.compare records));
+  (* Per-producer order survives batching: a producer's records are its
+     own commit order, whatever they were grouped with. *)
+  List.iter
+    (fun tag ->
+      let mine = List.filter (fun r -> r.[0] = tag) records in
+      Alcotest.(check (list string))
+        (Printf.sprintf "order of %c" tag)
+        (List.init n (fun i -> Printf.sprintf "%c%06d" tag i))
+        mine)
+    [ 'a'; 'b'; 'c' ]
+
+(* The leader's accumulation window actually batches concurrent
+   committers: with 4 writers parked behind a 100 ms window, the run must
+   need fewer fsync rounds than records. The observer is the witness. *)
+let group_batches_riders () =
+  let path = tmp_path "group_batches.log" in
+  let commits = Atomic.make 0 and committed = Atomic.make 0 in
+  let observer =
+    {
+      Wal_writer.on_group_commit =
+        (fun ~records ->
+          Atomic.incr commits;
+          ignore (Atomic.fetch_and_add committed records));
+      on_commit_wait = (fun ~ns:_ -> ());
+    }
+  in
+  let w =
+    Wal_writer.create
+      ~mode:(group ~max_batch:8 ~max_delay_us:100_000 ())
+      ~observer path
+  in
+  let writers = 4 in
+  let producer i () = Wal_writer.append w (Printf.sprintf "w%d" i) in
+  List.init writers (fun i -> Domain.spawn (producer i))
+  |> List.iter Domain.join;
+  Wal_writer.close w;
+  Alcotest.(check int) "all committed" writers (Atomic.get committed);
+  Alcotest.(check bool)
+    (Printf.sprintf "batched (%d commits for %d records)" (Atomic.get commits)
+       writers)
+    true
+    (Atomic.get commits < writers);
+  let records, _ = Wal_reader.read_records ~strict:true path in
+  Alcotest.(check int) "on disk" writers (List.length records)
+
+(* [max_batch] bounds every single commit round. *)
+let group_respects_max_batch () =
+  let path = tmp_path "group_maxbatch.log" in
+  let oversize = Atomic.make 0 in
+  let observer =
+    {
+      Wal_writer.on_group_commit =
+        (fun ~records -> if records > 2 then Atomic.incr oversize);
+      on_commit_wait = (fun ~ns:_ -> ());
+    }
+  in
+  let w =
+    Wal_writer.create
+      ~mode:(group ~max_batch:2 ~max_delay_us:20_000 ())
+      ~observer path
+  in
+  let producer tag () =
+    for i = 0 to 19 do
+      Wal_writer.append w (Printf.sprintf "%c%03d" tag i)
+    done
+  in
+  List.map Domain.spawn [ producer 'a'; producer 'b'; producer 'c'; producer 'd' ]
+  |> List.iter Domain.join;
+  Wal_writer.close w;
+  Alcotest.(check int) "no batch above max_batch" 0 (Atomic.get oversize);
+  let records, _ = Wal_reader.read_records ~strict:true path in
+  Alcotest.(check int) "none lost" 80 (List.length records)
+
+(* Recovery's re-log path: [enqueue] acknowledges nothing and writes
+   nothing until one [flush] makes the whole batch durable. *)
+let group_enqueue_then_flush () =
+  let path = tmp_path "group_enqueue.log" in
+  let w = Wal_writer.create ~mode:(group ()) path in
+  for i = 1 to 10 do
+    Wal_writer.enqueue w (Printf.sprintf "re-log-%02d" i)
+  done;
+  Alcotest.(check int) "queued, not written" 10 (Wal_writer.queued w);
+  Alcotest.(check int) "no bytes yet" 0 (Wal_writer.written_bytes w);
+  Wal_writer.flush w;
+  Alcotest.(check int) "drained" 0 (Wal_writer.queued w);
+  Wal_writer.close w;
+  let records, outcome = Wal_reader.read_records ~strict:true path in
+  Alcotest.(check int) "all durable" 10 (List.length records);
+  Alcotest.(check bool) "clean" true (outcome = Wal_reader.Clean)
+
+(* A failed batch acknowledges nothing: every rider parked on the commit
+   (not just the leader that hit the fault) must raise, the writer stays
+   poisoned, and nothing hangs. *)
+let group_poison_wakes_all_riders () =
+  let path = tmp_path "group_poison.log" in
+  let f = Faulty_env.create ~seed:11 ~fsync_fail_1_in:1 () in
+  let w =
+    Wal_writer.create
+      ~mode:(group ~max_batch:8 ~max_delay_us:50_000 ())
+      ~env:(Faulty_env.env f) path
+  in
+  let raised = Atomic.make 0 in
+  let producer i () =
+    match Wal_writer.append w (Printf.sprintf "r%d" i) with
+    | () -> ()
+    | exception Env.Error _ -> Atomic.incr raised
+  in
+  List.init 3 (fun i -> Domain.spawn (producer i)) |> List.iter Domain.join;
+  Alcotest.(check int) "every rider raised" 3 (Atomic.get raised);
+  Alcotest.(check bool) "poisoned" true (Wal_writer.poisoned w);
+  (match Wal_writer.append w "after" with
+  | () -> Alcotest.fail "poisoned writer must not acknowledge"
+  | exception Env.Error _ -> ());
+  Wal_writer.abandon w
+
+(* Satellite regression: [flush] after fsync-gate poisoning is idempotent
+   for concurrent flushers. The second flusher must re-raise the original
+   poisoning exception without touching the queue or issuing any further
+   IO — not observe a half-drained queue or retry over the gap. *)
+let flush_idempotent_after_poison () =
+  let path = tmp_path "flush_idempotent.log" in
+  let f = Faulty_env.create ~seed:5 ~fsync_fail_1_in:1 () in
+  let w = Wal_writer.create ~mode:Wal_writer.Async ~env:(Faulty_env.env f) path in
+  (* Async appends opportunistically write (no fsync), so the records are
+     in the file and the queue is empty when the first flush's fsync
+     fails. *)
+  for i = 1 to 5 do
+    Wal_writer.append w (Printf.sprintf "a%d" i)
+  done;
+  let original =
+    match Wal_writer.flush w with
+    | () -> Alcotest.fail "expected fsync failure"
+    | exception (Env.Error _ as e) -> Printexc.to_string e
+  in
+  Alcotest.(check bool) "poisoned" true (Wal_writer.poisoned w);
+  let ops_after_poison = Faulty_env.mutating_ops f in
+  let queued_after_poison = Wal_writer.queued w in
+  (* The poison gate closes the queue too: nothing can be queued behind a
+     failed fsync, so no later flusher can ever find half-drained work. *)
+  (match Wal_writer.enqueue w "never-queued" with
+  | () -> Alcotest.fail "poisoned writer must refuse enqueue"
+  | exception Env.Error _ -> ());
+  (* Concurrent second and third flushers: both must deterministically
+     re-raise the original exception. *)
+  let reraised = Atomic.make 0 in
+  let flusher () =
+    match Wal_writer.flush w with
+    | () -> ()
+    | exception (Env.Error _ as e) ->
+        if Printexc.to_string e = original then Atomic.incr reraised
+  in
+  List.init 2 (fun _ -> Domain.spawn flusher) |> List.iter Domain.join;
+  Alcotest.(check int) "both re-raise the original exception" 2
+    (Atomic.get reraised);
+  Alcotest.(check int) "no further IO attempted" ops_after_poison
+    (Faulty_env.mutating_ops f);
+  Alcotest.(check int) "queue untouched by poisoned flushes"
+    queued_after_poison (Wal_writer.queued w);
+  Wal_writer.abandon w
+
 let prop_wal_roundtrip =
   QCheck.Test.make ~name:"wal roundtrip (random payloads)" ~count:50
     QCheck.(list (string_of_size Gen.(0 -- 100)))
@@ -182,6 +387,85 @@ let prop_wal_roundtrip =
       Wal_writer.close w;
       let records, outcome = Wal_reader.read_records path in
       records = payloads && outcome = Wal_reader.Clean)
+
+(* Satellite property: Group mode is crash-equivalent to Per_write mode.
+   For any interleaving of appends and flushes and any crash point, the
+   salvaged record sequence of each mode is a prefix of the issued
+   sequence containing every acknowledged append (prefix-closed
+   equivalence: each salvage is a prefix of the other's extension to the
+   full issued list). Without a crash, both modes must produce strictly
+   readable logs with identical contents. Wal_reader is used both ways:
+   salvage (strict:false) on crash images, strict:true on clean logs and
+   on the [written_bytes]-bounded durable prefix. *)
+let prop_group_prefix_equivalent =
+  let gen =
+    QCheck.Gen.(
+      triple
+        (list_size (1 -- 25) (string_size ~gen:printable (1 -- 12)))
+        (list_size (0 -- 4) (0 -- 25))
+        (0 -- 34))
+  in
+  let arb = QCheck.make gen in
+  QCheck.Test.make ~name:"group salvage ≡ per-write salvage (prefix-closed)"
+    ~count:40 arb (fun (payloads, flush_at, crash_budget) ->
+      let is_prefix shorter longer =
+        let rec go = function
+          | [], _ -> true
+          | x :: xs, y :: ys -> x = y && go (xs, ys)
+          | _ :: _, [] -> false
+        in
+        go (shorter, longer)
+      in
+      (* Run the identical op sequence against one writer; returns
+         (acked appends, file path, faulty handle, crashed). The crash
+         budget counts the env's mutating ops, so the two modes crash at
+         their own (different) protocol points — the property must hold
+         at every one. [crash_budget] past the op count means no crash. *)
+      let run_mode name mode =
+        let path = tmp_path (Printf.sprintf "prop_group_%s.log" name) in
+        (try Sys.remove path with Sys_error _ -> ());
+        let f = Faulty_env.create ~seed:(Hashtbl.hash (payloads, name)) () in
+        Faulty_env.arm f ~crash_after:(1 + crash_budget);
+        let acked = ref [] and crashed = ref false in
+        (match Wal_writer.create ~mode ~env:(Faulty_env.env f) path with
+        | exception Env.Crashed -> crashed := true
+        | w -> (
+            try
+              List.iteri
+                (fun i payload ->
+                  if List.mem i flush_at then Wal_writer.flush w;
+                  Wal_writer.append w payload;
+                  acked := payload :: !acked)
+                payloads;
+              Wal_writer.close w
+            with Env.Crashed | Env.Error _ -> crashed := true));
+        (List.rev !acked, path, f, !crashed)
+      in
+      let group_mode = group ~max_batch:3 ~max_delay_us:0 () in
+      let acked_g, path_g, f_g, crashed_g = run_mode "g" group_mode in
+      let acked_p, path_p, f_p, crashed_p = run_mode "p" Wal_writer.Sync in
+      let salvage ~crashed path f =
+        if crashed then Faulty_env.install_crash_image f;
+        if Sys.file_exists path then fst (Wal_reader.read_records path) else []
+      in
+      let salvaged_g = salvage ~crashed:crashed_g path_g f_g in
+      let salvaged_p = salvage ~crashed:crashed_p path_p f_p in
+      (* Both salvages are prefixes of the issued sequence... *)
+      is_prefix salvaged_g payloads
+      && is_prefix salvaged_p payloads
+      (* ...so the shorter is a prefix of the longer (prefix-closed
+         equivalence of the two modes)... *)
+      && (is_prefix salvaged_g salvaged_p || is_prefix salvaged_p salvaged_g)
+      (* ...and every acknowledged append survived in both. *)
+      && is_prefix acked_g salvaged_g
+      && is_prefix acked_p salvaged_p
+      (* Clean runs: both modes wrote the full sequence, strictly
+         readable. *)
+      &&
+      if crashed_g || crashed_p then true
+      else
+        let strict p = fst (Wal_reader.read_records ~strict:true p) in
+        strict path_g = payloads && strict path_p = payloads)
 
 let suites =
   [
@@ -199,5 +483,19 @@ let suites =
         Alcotest.test_case "garbage trailer" `Quick garbage_trailer;
         Alcotest.test_case "empty log" `Quick empty_log;
       ] );
-    ("wal.props", List.map QCheck_alcotest.to_alcotest [ prop_wal_roundtrip ]);
+    ( "wal.group",
+      [
+        Alcotest.test_case "append is durable" `Quick group_append_is_durable;
+        Alcotest.test_case "concurrent appends" `Quick group_concurrent_appends;
+        Alcotest.test_case "riders batch" `Quick group_batches_riders;
+        Alcotest.test_case "max_batch bound" `Quick group_respects_max_batch;
+        Alcotest.test_case "enqueue then flush" `Quick group_enqueue_then_flush;
+        Alcotest.test_case "poison wakes riders" `Quick
+          group_poison_wakes_all_riders;
+        Alcotest.test_case "flush idempotent after poison" `Quick
+          flush_idempotent_after_poison;
+      ] );
+    ( "wal.props",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_wal_roundtrip; prop_group_prefix_equivalent ] );
   ]
