@@ -474,6 +474,214 @@ let run_durability ~scale ~out =
   close_out oc;
   Printf.printf "wrote %s\n%!" out
 
+(* ---------- read bench: reader-domain scaling over a resident set ---------- *)
+
+(* One store, preloaded and fully compacted, working set sized to the
+   block cache: every cell then measures the read path itself (lock-free
+   cache hits, merge iterators, readahead) rather than disk. Cells are
+   readers × distribution × operation; the store is shared across cells
+   because reads don't perturb it. *)
+
+module Key_dist = Clsm_workload.Key_dist
+module Rng = Clsm_workload.Rng
+module Cache = Clsm_sstable.Cache
+
+let read_opts ~dir =
+  let base = Options.default ~dir in
+  {
+    base with
+    Options.memtable_bytes = 1 lsl 22;
+    wal_enabled = false;
+    cache_bytes = 1 lsl 26;
+    maintenance_workers = 1;
+  }
+
+type read_op = Point | Scan of int
+
+let run_read_cell_once db ~readers ~dist ~op ~ops_per_reader ~seed0 =
+  let c0 = Db.cache_stats db in
+  let t0 = Unix.gettimeofday () in
+  let worker r =
+    let rng = Rng.create (seed0 + (r * 7919) + 17) in
+    let h = Histogram.create () in
+    for _ = 1 to ops_per_reader do
+      let k = Key_dist.next_key dist rng in
+      let op_start = Unix.gettimeofday () in
+      (match op with
+      | Point -> ignore (Db.get db k)
+      | Scan limit -> ignore (Db.range ~start:k ~limit db));
+      Histogram.record h (Unix.gettimeofday () -. op_start)
+    done;
+    h
+  in
+  let domains =
+    List.init (readers - 1) (fun r -> Domain.spawn (fun () -> worker (r + 1)))
+  in
+  let h0 = worker 0 in
+  let hists = h0 :: List.map Domain.join domains in
+  let wall = Unix.gettimeofday () -. t0 in
+  let c1 = Db.cache_stats db in
+  let h = Histogram.merge hists in
+  let ops = readers * ops_per_reader in
+  let hits = c1.Cache.hits - c0.Cache.hits in
+  let misses = c1.Cache.misses - c0.Cache.misses in
+  ( float_of_int ops /. wall,
+    J.Obj
+      [
+        ("readers", J.Int readers);
+        ("ops", J.Int ops);
+        ("wall_s", J.Float wall);
+        ("ops_per_s", J.Float (float_of_int ops /. wall));
+        ("op_p50_us", J.Float (Histogram.percentile h 50.0 *. 1e6));
+        ("op_p99_us", J.Float (Histogram.percentile h 99.0 *. 1e6));
+        ("cache_hits", J.Int hits);
+        ("cache_misses", J.Int misses);
+        ( "cache_hit_rate",
+          J.Float
+            (if hits + misses = 0 then 1.0
+             else float_of_int hits /. float_of_int (hits + misses)) );
+        ("readaheads", J.Int (c1.Cache.readaheads - c0.Cache.readaheads));
+        ( "readahead_blocks",
+          J.Int (c1.Cache.readahead_blocks - c0.Cache.readahead_blocks) );
+        ( "singleflight_waits",
+          J.Int (c1.Cache.singleflight_waits - c0.Cache.singleflight_waits) );
+      ] )
+
+(* Reader throughput on a shared host wanders between runs; best-of-N per
+   cell keeps the scaling curve from comparing two different instants. *)
+let run_read_cell db ~repeats ~readers ~dist ~op ~ops_per_reader ~seed0 =
+  let best = ref None in
+  for rep = 1 to repeats do
+    let rate, row =
+      run_read_cell_once db ~readers ~dist ~op ~ops_per_reader
+        ~seed0:(seed0 + (rep * 104729))
+    in
+    match !best with
+    | Some (r, _) when r >= rate -> ()
+    | _ -> best := Some (rate, row)
+  done;
+  Option.get !best
+
+let run_read ~scale ~out =
+  Printf.printf "clsm read bench (%s scale, %d core(s))\n%!" (scale_name scale)
+    (Domain.recommended_domain_count ());
+  let keys = match scale with Smoke -> 5_000 | Full -> 100_000 in
+  let ops_point = match scale with Smoke -> 2_000 | Full -> 20_000 in
+  let ops_scan = match scale with Smoke -> 200 | Full -> 2_000 in
+  let repeats = match scale with Smoke -> 1 | Full -> 3 in
+  let reader_counts =
+    match scale with Smoke -> [ 1; 4 ] | Full -> [ 1; 2; 4; 8; 16 ]
+  in
+  let scan_limit = 50 in
+  let value = String.make 256 'v' in
+  let dir = fresh_dir () in
+  let db = Db.open_store (read_opts ~dir) in
+  for i = 0 to keys - 1 do
+    Db.put db ~key:(Key_dist.key_of_index i) ~value
+  done;
+  Db.compact_now db;
+  (* Warm pass: fault every data block into the cache so cells measure a
+     resident working set, not first-touch IO. *)
+  let resident = Db.fold (fun _ _ n -> n + 1) db 0 in
+  Printf.printf "  preloaded %d keys (%d visible), cache warmed\n%!" keys
+    resident;
+  let dists =
+    [ ("uniform", Key_dist.uniform keys); ("zipfian", Key_dist.zipf keys) ]
+  in
+  let ops =
+    [ ("point", Point, ops_point); ("scan", Scan scan_limit, ops_scan) ]
+  in
+  let cells =
+    List.concat_map
+      (fun readers ->
+        List.concat_map
+          (fun (dist_name, dist) ->
+            List.map
+              (fun (op_name, op, ops_per_reader) ->
+                let rate, row =
+                  run_read_cell db ~repeats ~readers ~dist ~op ~ops_per_reader
+                    ~seed0:
+                      ((readers * 131) + (String.length dist_name * 17)
+                     + ops_per_reader)
+                in
+                Printf.printf "  %-7s %-8s %2d readers %12.0f ops/s\n%!"
+                  op_name dist_name readers rate;
+                let row =
+                  match row with
+                  | J.Obj fields ->
+                      J.Obj
+                        (("dist", J.Str dist_name)
+                        :: ("op", J.Str op_name)
+                        :: fields)
+                  | other -> other
+                in
+                (op_name, dist_name, readers, rate, row))
+              ops)
+          dists)
+      reader_counts
+  in
+  let rate op_name dist_name readers =
+    List.find_map
+      (fun (o, d, w, r, _) ->
+        if o = op_name && d = dist_name && w = readers then Some r else None)
+      cells
+  in
+  let scaling =
+    List.filter_map
+      (fun readers ->
+        match
+          (rate "point" "uniform" readers, rate "point" "uniform" 1)
+        with
+        | Some r, Some r1 when readers > 1 ->
+            let s = r /. r1 in
+            Printf.printf "  point/uniform scaling at %d readers: %.2fx\n%!"
+              readers s;
+            Some (string_of_int readers, J.Float s)
+        | _ -> None)
+      reader_counts
+  in
+  let s = Db.stats db in
+  let c = Db.cache_stats db in
+  let store =
+    J.Obj
+      [
+        ("gets", J.Int s.Stats.gets);
+        ("get_p50_us", J.Int (Stats.get_percentile_us s ~pct:50.0));
+        ("get_p99_us", J.Int (Stats.get_percentile_us s ~pct:99.0));
+        ("cache_hits", J.Int c.Cache.hits);
+        ("cache_misses", J.Int c.Cache.misses);
+        ("cache_weight", J.Int c.Cache.weight);
+        ("cache_pins", J.Int c.Cache.pins);
+        ("readaheads", J.Int c.Cache.readaheads);
+        ("readahead_blocks", J.Int c.Cache.readahead_blocks);
+      ]
+  in
+  Db.close db;
+  rm_rf dir;
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "clsm-bench/1");
+        ("bench", J.Str "read");
+        ("scale", J.Str (scale_name scale));
+        ( "host",
+          J.Obj
+            [ ("recommended_domains", J.Int (Domain.recommended_domain_count ())) ]
+        );
+        ("keys", J.Int keys);
+        ("value_bytes", J.Int (String.length value));
+        ("scan_limit", J.Int scan_limit);
+        ("cells", J.List (List.map (fun (_, _, _, _, row) -> row) cells));
+        ("point_uniform_scaling_vs_1_reader", J.Obj scaling);
+        ("store", store);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
 (* ---------- entry point ---------- *)
 
 let run ~scale ~out =

@@ -17,7 +17,11 @@
    --durability [smoke] [--out FILE]
                    4-writer durable-put bench across the three WAL
                    policies (per-write / group / async); same JSON
-                   schema (default BENCH_durability.json) *)
+                   schema (default BENCH_durability.json)
+   --read [smoke] [--out FILE]
+                   reader-domain scaling (1..16 readers × uniform/zipfian
+                   × point-get/scan) over a cache-resident working set;
+                   same JSON schema (default BENCH_read.json) *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -42,6 +46,16 @@ let () =
         | [] -> "BENCH_durability.json"
       in
       Bench_store.run_durability ~scale ~out:(out_of rest)
+  | "--read" :: rest ->
+      let scale =
+        if List.mem "smoke" rest then Bench_store.Smoke else Bench_store.Full
+      in
+      let rec out_of = function
+        | "--out" :: path :: _ -> path
+        | _ :: tl -> out_of tl
+        | [] -> "BENCH_read.json"
+      in
+      Bench_store.run_read ~scale ~out:(out_of rest)
   | "--sharded" :: rest ->
       let scale =
         if List.mem "smoke" rest then Bench_store.Smoke else Bench_store.Full

@@ -80,12 +80,20 @@ let wal_sync_arg =
     & opt wal_sync_conv `Async
     & info [ "wal-sync" ] ~docv:"POLICY" ~doc)
 
+let cache_bytes_arg =
+  let doc =
+    "Block cache budget in bytes (default 64 MiB). Shared by all shards \
+     of a sharded store; open-table index/filter pins are charged against \
+     it."
+  in
+  Arg.(value & opt (some int) None & info [ "cache-bytes" ] ~docv:"BYTES" ~doc)
+
 (* The store-selection flags travel together. *)
 let store_args =
   Term.(
-    const (fun dir shards boundaries wal_sync ->
-        (dir, shards, boundaries, wal_sync))
-    $ dir_arg $ shards_arg $ boundaries_arg $ wal_sync_arg)
+    const (fun dir shards boundaries wal_sync cache_bytes ->
+        (dir, shards, boundaries, wal_sync, cache_bytes))
+    $ dir_arg $ shards_arg $ boundaries_arg $ wal_sync_arg $ cache_bytes_arg)
 
 (* Commands are written once against [Store_sig.S] and run against either
    [Db] or the [Sharded_db] router, picked at open time. *)
@@ -93,13 +101,15 @@ type 'r app = {
   apply : 'a. (module Store_sig.S with type t = 'a) -> 'a -> 'r;
 }
 
-let with_store (dir, shards, boundaries, wal_sync) { apply } =
+let with_store (dir, shards, boundaries, wal_sync, cache_bytes) { apply } =
+  let base = Options.default ~dir in
   let opts =
     {
-      (Options.default ~dir) with
+      base with
       Options.shards;
       shard_boundaries = Option.map (String.split_on_char ',') boundaries;
       wal_sync;
+      cache_bytes = Option.value cache_bytes ~default:base.Options.cache_bytes;
     }
   in
   let sharded =
@@ -273,6 +283,12 @@ let stats_cmd =
           (fun (type a) (module S : Store_sig.S with type t = a) (db : a) ->
             Format.printf "%a@." Stats.pp (S.stats db);
             Format.printf "memtable bytes: %d@." (S.memtable_bytes db);
+            let c = S.cache_stats db in
+            Format.printf
+              "block cache: hits=%d misses=%d evictions=%d weight=%d pins=%d \
+               singleflight_waits=%d readaheads=%d readahead_blocks=%d@."
+              c.Clsm_sstable.Cache.hits c.misses c.evictions c.weight c.pins
+              c.singleflight_waits c.readaheads c.readahead_blocks;
             Format.printf "files per level:";
             List.iter (Format.printf " %d") (S.level_file_counts db);
             Format.printf "@.";

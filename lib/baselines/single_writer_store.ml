@@ -353,6 +353,7 @@ let open_store (opts : Options.t) =
   if not (Sys.file_exists opts.Options.dir) then Unix.mkdir opts.Options.dir 0o755;
   let cache =
     Clsm_sstable.Cache.create ~capacity:opts.Options.cache_bytes
+      ~readahead:opts.Options.readahead_blocks
       ~weight:Clsm_sstable.Block.size_bytes ()
   in
   let num_levels = opts.Options.lsm.Lsm_config.num_levels in

@@ -7,6 +7,7 @@ type t = {
   wal_sync : wal_sync;
   wal_enabled : bool;
   cache_bytes : int;
+  readahead_blocks : int;
   linearizable_snapshots : bool;
   unsafe_naive_snapshots : bool;
   active_set_capacity : int;
@@ -34,6 +35,7 @@ let default ~dir =
     wal_sync = `Async;
     wal_enabled = true;
     cache_bytes = 64 * 1024 * 1024;
+    readahead_blocks = 8;
     linearizable_snapshots = false;
     unsafe_naive_snapshots = false;
     active_set_capacity = 4096;

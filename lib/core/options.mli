@@ -23,6 +23,11 @@ type t = {
           queue-the-log-request configuration §2.3) *)
   wal_enabled : bool;  (** disable only for benchmarks *)
   cache_bytes : int;  (** block cache budget (default 64 MB) *)
+  readahead_blocks : int;
+      (** forward-scan readahead depth in data blocks (default 8): once a
+          table iterator advances sequentially, up to this many physically
+          contiguous blocks are fetched in one pread and decoded into the
+          block cache ahead of the scan; 0 disables *)
   linearizable_snapshots : bool;
       (** use the linearizable [getSnap] variant (§3.2.1: omit lines 10–11)
           instead of the default serializable one *)

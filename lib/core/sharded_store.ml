@@ -547,8 +547,22 @@ module Make (S : Store_sig.EXTENDED) = struct
             misses = acc.misses + c.misses;
             evictions = acc.evictions + c.evictions;
             weight = acc.weight + c.weight;
+            pins = acc.pins + c.pins;
+            singleflight_waits = acc.singleflight_waits + c.singleflight_waits;
+            readaheads = acc.readaheads + c.readaheads;
+            readahead_blocks = acc.readahead_blocks + c.readahead_blocks;
           })
-      Clsm_sstable.Cache.{ hits = 0; misses = 0; evictions = 0; weight = 0 }
+      Clsm_sstable.Cache.
+        {
+          hits = 0;
+          misses = 0;
+          evictions = 0;
+          weight = 0;
+          pins = 0;
+          singleflight_waits = 0;
+          readaheads = 0;
+          readahead_blocks = 0;
+        }
       t.shards
 
   let verify_integrity t =

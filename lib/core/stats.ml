@@ -48,6 +48,8 @@ type t = {
   commit_waits : int Atomic.t;
   commit_wait_ns : int Atomic.t;
   commit_wait_hist : int Atomic.t array; (* log2 buckets, see above *)
+  get_ns : int Atomic.t;
+  get_hist : int Atomic.t array; (* log2 buckets, same scheme *)
 }
 
 type snapshot = {
@@ -84,6 +86,8 @@ type snapshot = {
   commit_waits : int;
   commit_wait_ns : int;
   commit_wait_hist : int array;
+  get_ns : int;
+  get_hist : int array;
 }
 
 let create () : t =
@@ -121,6 +125,8 @@ let create () : t =
     commit_waits = Atomic.make 0;
     commit_wait_ns = Atomic.make 0;
     commit_wait_hist = Array.init wait_buckets (fun _ -> Atomic.make 0);
+    get_ns = Atomic.make 0;
+    get_hist = Array.init wait_buckets (fun _ -> Atomic.make 0);
   }
 
 let incr_puts (t : t) = Atomic.incr t.puts
@@ -184,6 +190,13 @@ let record_commit_wait (t : t) ~ns =
   ignore (Atomic.fetch_and_add t.commit_wait_ns (max 0 ns));
   Atomic.incr t.commit_wait_hist.(bucket_of_ns ns)
 
+(* Point-read latency, same log2 scheme as commit waits; the count lives
+   in the histogram (sum of buckets), so only the duration sum needs a
+   second counter. *)
+let record_get_latency (t : t) ~ns =
+  ignore (Atomic.fetch_and_add t.get_ns (max 0 ns));
+  Atomic.incr t.get_hist.(bucket_of_ns ns)
+
 (* The hook record every store layer passes to [Wal_writer.create], so
    durable-commit accounting is identical no matter which layer (recovery,
    rotation, a baseline store) opened the log. *)
@@ -229,14 +242,16 @@ let read (t : t) : snapshot =
     commit_waits = Atomic.get t.commit_waits;
     commit_wait_ns = Atomic.get t.commit_wait_ns;
     commit_wait_hist = Array.map Atomic.get t.commit_wait_hist;
+    get_ns = Atomic.get t.get_ns;
+    get_hist = Array.map Atomic.get t.get_hist;
   }
 
-(* Percentile over the log2 histogram, reported as the matched bucket's
+(* Percentile over a log2 histogram, reported as the matched bucket's
    upper bound in (ceiling) microseconds — within 2x of the true value,
    which is the resolution the buckets promise. 0 when nothing was
    recorded. *)
-let commit_wait_percentile_us (s : snapshot) ~pct =
-  let total = Array.fold_left ( + ) 0 s.commit_wait_hist in
+let percentile_us (hist : int array) ~pct =
+  let total = Array.fold_left ( + ) 0 hist in
   if total = 0 then 0
   else begin
     let rank = max 1 (int_of_float (ceil (float_of_int total *. pct /. 100.))) in
@@ -249,10 +264,15 @@ let commit_wait_percentile_us (s : snapshot) ~pct =
              idx := i;
              raise Exit
            end)
-         s.commit_wait_hist
+         hist
      with Exit -> ());
     ((1 lsl (!idx + 1)) + 999) / 1000
   end
+
+let commit_wait_percentile_us (s : snapshot) ~pct =
+  percentile_us s.commit_wait_hist ~pct
+
+let get_percentile_us (s : snapshot) ~pct = percentile_us s.get_hist ~pct
 
 (* ---------- the counter catalogue ----------
 
@@ -303,6 +323,9 @@ let scalar_fields : (string * [ `Sum | `Max ] * (snapshot -> int)) list =
        instead of averaging per-shard percentiles *)
     ("commit_wait_p50_us", `Max, fun s -> commit_wait_percentile_us s ~pct:50.);
     ("commit_wait_p99_us", `Max, fun s -> commit_wait_percentile_us s ~pct:99.);
+    ("get_ns", `Sum, fun s -> s.get_ns);
+    ("get_p50_us", `Max, fun s -> get_percentile_us s ~pct:50.);
+    ("get_p99_us", `Max, fun s -> get_percentile_us s ~pct:99.);
   ]
 
 (* Aggregate several stores' snapshots (the shard roll-up): counters sum,
@@ -357,6 +380,13 @@ let merge (a : snapshot) (b : snapshot) : snapshot =
             if i < Array.length arr then arr.(i) else 0
           in
           at a.commit_wait_hist + at b.commit_wait_hist);
+    get_ns = a.get_ns + b.get_ns;
+    get_hist =
+      Array.init wait_buckets (fun i ->
+          let at (arr : int array) =
+            if i < Array.length arr then arr.(i) else 0
+          in
+          at a.get_hist + at b.get_hist);
   }
 
 let merge_all = function

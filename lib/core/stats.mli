@@ -44,6 +44,10 @@ type snapshot = {
   commit_wait_ns : int;  (** cumulative commit-wait time, nanoseconds *)
   commit_wait_hist : int array;
       (** log2 buckets: [.(i)] counts waits in [2^i, 2^(i+1)) ns *)
+  get_ns : int;  (** cumulative point-read latency, nanoseconds *)
+  get_hist : int array;
+      (** log2 buckets of point-read latency, same scheme as
+          [commit_wait_hist]; the timed-read count is the bucket sum *)
 }
 
 val create : unit -> t
@@ -92,6 +96,9 @@ val record_group_commit : t -> records:int -> unit
 val record_commit_wait : t -> ns:int -> unit
 (** Account one durable append's commit-wait latency. *)
 
+val record_get_latency : t -> ns:int -> unit
+(** Account one point read's end-to-end latency. *)
+
 val wal_observer : t -> Clsm_wal.Wal_writer.observer
 (** The {!Clsm_wal.Wal_writer.observer} feeding this registry; pass it to
     every WAL writer the store opens. *)
@@ -111,6 +118,9 @@ val commit_wait_percentile_us : snapshot -> pct:float -> int
 (** Percentile of the commit-wait histogram in microseconds (the matched
     log2 bucket's upper bound, so within 2x of the true value); 0 when no
     waits were recorded. [to_json] exports p50/p99 via this. *)
+
+val get_percentile_us : snapshot -> pct:float -> int
+(** Same resolution over the point-read latency histogram. *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Renders every counter of the catalogue that {!to_json} also walks —

@@ -6,6 +6,20 @@
     Ties (equal keys across sources) are broken by source order: earlier
     sources (newer components) win, and the duplicate from the older source
     is still emitted afterwards — callers that need deduplication (e.g.
-    compaction) skip repeated internal keys. *)
+    compaction) skip repeated internal keys.
+
+    Exhausted sources are remembered: a seek whose target a previously
+    learned exhaustion bound proves absent skips the physical re-seek of
+    that source, so repeated seeks over a merge with mostly-dead sources
+    (common in wide sharded scans) touch only the sources that can still
+    answer. *)
 
 val merge : cmp:(string -> string -> int) -> Iter.t list -> Iter.t
+(** Picks the engine by fan-in: a linear scan for [<= 4] sources, a binary
+    heap with winner caching above that. *)
+
+val merge_linear : cmp:(string -> string -> int) -> Iter.t list -> Iter.t
+(** The O(k)-per-step linear engine, any fan-in (exposed for tests). *)
+
+val merge_heap : cmp:(string -> string -> int) -> Iter.t list -> Iter.t
+(** The O(log k)-per-step heap engine, any fan-in (exposed for tests). *)

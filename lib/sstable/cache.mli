@@ -1,29 +1,154 @@
-(** Sharded LRU cache for decoded table blocks.
+(** Sharded CLOCK cache for decoded table blocks, with a lock-free hit
+    path.
 
     The disk component of an LSM-DS "utilizes a large RAM cache" (paper
-    §2.3); with locality most reads that reach the disk component are served
-    from here. Shards each have their own mutex, so concurrent readers only
-    contend within a shard. *)
+    §2.3); with locality most reads that reach the disk component are
+    served from here, so the hit path must scale with reader domains. Each
+    shard publishes an immutable map snapshot through an [Atomic.t]: a hit
+    is a map lookup, a [Refcounted.try_incr], and an atomic reference-bit
+    store — no mutex. The shard mutex is taken only on miss, insertion,
+    eviction and pin management.
+
+    {2 Entries and handles}
+
+    Entries are reference counted ({!Clsm_primitives.Refcounted}): the
+    cache holds one owner reference, every outstanding {!handle} holds one
+    more. Eviction drops the owner reference; the payload stays alive (and
+    [release] does not fire) until the last handle is released, so a reader
+    can never observe a freed block.
+
+    {2 Pinned entries}
+
+    Open tables pin their hot auxiliary blocks (index, filter) so every
+    get does not re-look them up by string key. Pinned entries are charged
+    to the shard budget but are never touched by the CLOCK hand, [clear],
+    or a racing {!insert}. {!reserve} charges weight for auxiliary data
+    that lives outside the cache's value type (e.g. bloom filters), so
+    accounting stays honest without widening ['a].
+
+    {2 Singleflight}
+
+    {!find_or_add} and {!acquire_or_add} deduplicate concurrent misses:
+    one caller (the winner) runs the loader, everyone else waits on the
+    shard condition variable and reuses the winner's entry. A loser never
+    installs anything, so it can never overwrite a winner's entry — in
+    particular not one that already has pinned or outstanding handles. If
+    the winner's loader raises, the waiters re-raise the same exception
+    and the next caller retries the load. *)
 
 type 'a t
 
-type stats = { hits : int; misses : int; evictions : int; weight : int }
+type 'a handle
+(** A counted reference to a cache entry. The payload obtained through
+    {!handle_value} is valid until {!release}; releasing twice is a no-op.
+    Handles are owned by a single reader and are not thread-safe
+    themselves. *)
 
-val create : ?shards:int -> capacity:int -> weight:('a -> int) -> unit -> 'a t
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  weight : int;  (** resident + pinned + reserved weight *)
+  pins : int;  (** currently pinned entries across all shards *)
+  singleflight_waits : int;
+      (** times a reader waited for another reader's in-flight load *)
+  readaheads : int;  (** readahead batches issued by table iterators *)
+  readahead_blocks : int;  (** blocks fetched by those batches *)
+}
+
+val create :
+  ?shards:int ->
+  ?release:('a -> unit) ->
+  ?readahead:int ->
+  capacity:int ->
+  weight:('a -> int) ->
+  unit ->
+  'a t
 (** [capacity] is the total weight budget across all shards (e.g. bytes);
-    [weight] measures each entry. Default [shards] is 16. *)
+    [weight] measures each entry. Default [shards] is 16. [release] runs
+    when an entry's last reference drops (eviction with no outstanding
+    handles, or the last {!release} after eviction). [readahead] is the
+    forward-scan readahead depth in blocks advertised through
+    {!readahead_blocks} (default 0 = disabled); the cache only carries the
+    policy and counters — table iterators implement the fetch. *)
 
 val find : 'a t -> string -> 'a option
+(** Lock-free on hit. The returned value stays reachable through the GC
+    even if the entry is evicted immediately after. *)
+
 val insert : 'a t -> string -> 'a -> unit
-(** Insert or refresh; evicts least-recently-used entries of the shard
-    until it fits. Entries heavier than a whole shard are not cached. *)
+(** Insert or refresh; runs the CLOCK hand until the shard fits its
+    budget. Entries heavier than a whole shard are not cached. Inserting
+    over a pinned entry is a no-op (the pin wins). *)
 
 val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
 (** [find_or_add t k f] returns the cached value or computes, caches and
-    returns [f ()]. [f] may run more than once across racing callers; the
-    cache keeps whichever lands last. *)
+    returns [f ()]. Concurrent callers on the same missing key run [f]
+    exactly once per generation: one winner loads, losers wait and share
+    the result. A loser never installs its own entry (see the singleflight
+    notes above). *)
 
 val remove : 'a t -> string -> unit
+(** Drop the cache's reference to [key]'s entry if present and not
+    pinned. Outstanding handles keep the payload alive. *)
+
 val clear : 'a t -> unit
+(** Evict every unpinned entry. Pinned entries and reservations
+    survive. *)
+
+val remove_matching : 'a t -> prefix:string -> unit
+(** Drop every unpinned entry whose key starts with [prefix]. Used to
+    retire a closing table's blocks eagerly: CLOCK's second chance cannot
+    distinguish "recently used, then orphaned" from "hot", so without
+    eager invalidation dead blocks would push live data out first.
+    O(entries); meant for rare namespace retirement, not the hot path. *)
+
 val stats : 'a t -> stats
 val cardinal : 'a t -> int
+
+(** {2 Handles} *)
+
+val acquire : 'a t -> string -> 'a handle option
+(** Lock-free on hit: like {!find} but returns a counted handle the
+    caller must {!release}. *)
+
+val acquire_or_add : 'a t -> string -> (unit -> 'a) -> 'a handle
+(** Handle-returning {!find_or_add}; same singleflight contract. *)
+
+val handle_value : 'a handle -> 'a
+val release : 'a handle -> unit
+
+(** {2 Pinning} *)
+
+val pin : 'a t -> string -> 'a -> 'a handle
+(** Insert [key] as a pinned entry (evicting any unpinned entry under the
+    same key) and return a handle to it. The entry is charged to the
+    budget but never evicted until {!unpin}. *)
+
+val unpin : 'a t -> 'a handle -> unit
+(** Remove the pinned entry and release the handle. Idempotent. *)
+
+val reserve : 'a t -> string -> int -> unit
+(** Charge [weight] against [key]'s shard without storing a value.
+    Re-reserving the same key replaces the previous charge. *)
+
+val unreserve : 'a t -> string -> unit
+
+(** {2 Readahead support} *)
+
+val mem : 'a t -> string -> bool
+(** Lock-free membership probe that does not touch hit/miss counters or
+    reference bits — used by readahead to skip already-resident blocks. *)
+
+val readahead_blocks : 'a t -> int
+(** The configured forward-scan readahead depth (0 = disabled). *)
+
+val note_readahead : 'a t -> blocks:int -> unit
+(** Record one readahead batch that fetched [blocks] blocks. *)
+
+(** {2 Test hooks} *)
+
+val with_shard_locked : 'a t -> string -> (unit -> 'b) -> 'b
+(** Run [f] while holding the mutex of [key]'s shard. Used by tests to
+    prove the hit path never takes the shard lock: a concurrent {!find}
+    on a resident key must complete while [f] is still running. *)

@@ -7,6 +7,7 @@ let next_table_id = Atomic.make 0
 
 type t = {
   id : int;
+  key_prefix : string;  (* "<id>:", the cache-key namespace of this table *)
   path : string;
   file : Env.random_file;
   cmp : Comparator.t;
@@ -15,22 +16,24 @@ type t = {
   index : Block.t;
   filter : Bloom.t;
   props : Table_format.properties;
+  (* Accounting handles: the index block is pinned into the cache (direct
+     reference, charged to the budget, never evicted) and the filter +
+     properties weight is reserved, so the per-open-table RAM the reader
+     keeps hot is visible in [Cache.stats]. *)
+  index_pin : Block.t Cache.handle option;
+  aux_reservation : string option;
 }
 
-(* Read a block payload at [handle], verifying the CRC trailer. Corrupt
-   messages carry the block's byte offset so containment/quarantine can
-   report exactly which block rotted. *)
-let read_block_raw (file : Env.random_file) handle =
-  let { Block_handle.offset; size } = handle in
+(* Decode one block image ([payload ^ trailer] as laid out on disk),
+   verifying the CRC trailer. Corrupt messages carry the block's byte
+   offset so containment/quarantine can report exactly which block
+   rotted. *)
+let decode_block_image ~offset raw =
   let corrupt what =
     raise (Corrupt (Printf.sprintf "block@%d: %s" offset what))
   in
-  let raw =
-    try
-      file.Env.rf_read ~pos:offset
-        ~len:(size + Table_format.block_trailer_length)
-    with Invalid_argument _ -> corrupt "handle out of bounds"
-  in
+  let size = String.length raw - Table_format.block_trailer_length in
+  if size < 0 then corrupt "handle out of bounds";
   let payload = String.sub raw 0 size in
   let block_type = raw.[size] in
   let stored = Crc32c.unmask (Binary.get_fixed32 raw ~pos:(size + 1)) in
@@ -42,6 +45,18 @@ let read_block_raw (file : Env.random_file) handle =
       try Simple_compress.decompress payload
       with Invalid_argument m -> corrupt m)
   | _ -> corrupt "unknown block type"
+
+(* Read a block payload at [handle], verifying the CRC trailer. *)
+let read_block_raw (file : Env.random_file) handle =
+  let { Block_handle.offset; size } = handle in
+  let raw =
+    try
+      file.Env.rf_read ~pos:offset
+        ~len:(size + Table_format.block_trailer_length)
+    with Invalid_argument _ ->
+      raise (Corrupt (Printf.sprintf "block@%d: handle out of bounds" offset))
+  in
+  decode_block_image ~offset raw
 
 let open_file ?cache ?(env = Env.unix) ~cmp path =
   let file = env.Env.open_random path in
@@ -70,8 +85,25 @@ let open_file ?cache ?(env = Env.unix) ~cmp path =
         (read_block_raw file footer.Table_format.props_handle)
     with Varint.Corrupt m | Invalid_argument m -> raise (Corrupt m)
   in
+  let id = Atomic.fetch_and_add next_table_id 1 in
+  let index_pin, aux_reservation =
+    match cache with
+    | None -> (None, None)
+    | Some cache ->
+        let pin_key = Printf.sprintf "%d:index" id in
+        let aux_key = Printf.sprintf "%d:aux" id in
+        let aux_weight =
+          footer.Table_format.filter_handle.Block_handle.size
+          + footer.Table_format.props_handle.Block_handle.size
+          + Table_format.footer_length
+        in
+        let pin = Cache.pin cache pin_key index in
+        Cache.reserve cache aux_key aux_weight;
+        (Some pin, Some aux_key)
+  in
   {
-    id = Atomic.fetch_and_add next_table_id 1;
+    id;
+    key_prefix = string_of_int id ^ ":";
     path;
     file;
     cmp;
@@ -80,9 +112,24 @@ let open_file ?cache ?(env = Env.unix) ~cmp path =
     index;
     filter;
     props;
+    index_pin;
+    aux_reservation;
   }
 
-let close t = t.file.Env.rf_close ()
+let close t =
+  (match (t.cache, t.index_pin) with
+  | Some cache, Some pin -> Cache.unpin cache pin
+  | _ -> ());
+  (match (t.cache, t.aux_reservation) with
+  | Some cache, Some key -> Cache.unreserve cache key
+  | _ -> ());
+  (* Retire this table's data blocks so they stop competing with live
+     tables for cache space (handles held by in-flight reads keep their
+     blocks alive). *)
+  (match t.cache with
+  | Some cache -> Cache.remove_matching cache ~prefix:t.key_prefix
+  | None -> ());
+  t.file.Env.rf_close ()
 let path t = t.path
 let properties t = t.props
 let file_size t = t.file.Env.rf_length
@@ -96,7 +143,7 @@ let load_block t handle =
   match t.cache with
   | None -> decode ()
   | Some cache ->
-      let key = Printf.sprintf "%d:%d" t.id handle.Block_handle.offset in
+      let key = t.key_prefix ^ string_of_int handle.Block_handle.offset in
       Cache.find_or_add cache key decode
 
 let handle_of_index_value v =
@@ -108,10 +155,86 @@ module Iter = struct
     table : t;
     index_iter : Block.Iter.iter;
     mutable data_iter : Block.Iter.iter option;
+    mutable seq_blocks : int;
+        (* consecutive sequential (index [next]) block advances; reset by
+           any seek, so point reads never trigger readahead *)
+    mutable ra_until : int;
+        (* file offset already covered by a readahead batch; nothing below
+           this needs another batch *)
   }
 
   let make table =
-    { table; index_iter = Block.Iter.make table.index; data_iter = None }
+    {
+      table;
+      index_iter = Block.Iter.make table.index;
+      data_iter = None;
+      seq_blocks = 0;
+      ra_until = 0;
+    }
+
+  let block_end h =
+    h.Block_handle.offset + h.Block_handle.size
+    + Table_format.block_trailer_length
+
+  (* Fetch up to [k] physically contiguous data blocks starting at the
+     iterator's current index position in one pread, decode each and warm
+     the cache. Any failure (short read, rot in one of the prefetched
+     blocks) is swallowed: the scan falls back to on-demand single-block
+     reads, which carry their own verification and error paths. *)
+  let readahead_batch it cache k cur =
+    let t = it.table in
+    let probe = Block.Iter.make t.index in
+    Block.Iter.seek probe (Block.Iter.key it.index_iter);
+    let run = ref [ cur ] in
+    let run_end = ref (block_end cur) in
+    let n = ref 1 in
+    Block.Iter.next probe;
+    let continue = ref true in
+    while !continue && !n < k && Block.Iter.valid probe do
+      let h = handle_of_index_value (Block.Iter.value probe) in
+      if h.Block_handle.offset = !run_end then begin
+        run := h :: !run;
+        run_end := block_end h;
+        incr n;
+        Block.Iter.next probe
+      end
+      else continue := false
+    done;
+    let handles = List.rev !run in
+    it.ra_until <- !run_end;
+    let key_of h = t.key_prefix ^ string_of_int h.Block_handle.offset in
+    let missing =
+      List.filter (fun h -> not (Cache.mem cache (key_of h))) handles
+    in
+    if List.length handles > 1 && missing <> [] then begin
+      let base = cur.Block_handle.offset in
+      let span = t.file.Env.rf_read ~pos:base ~len:(!run_end - base) in
+      List.iter
+        (fun h ->
+          let image =
+            String.sub span
+              (h.Block_handle.offset - base)
+              (h.Block_handle.size + Table_format.block_trailer_length)
+          in
+          let payload =
+            decode_block_image ~offset:h.Block_handle.offset image
+          in
+          Cache.insert cache (key_of h) (Block.parse t.cmp payload))
+        missing;
+      Cache.note_readahead cache ~blocks:(List.length missing)
+    end
+
+  let maybe_readahead it =
+    match it.table.cache with
+    | None -> ()
+    | Some cache ->
+        let k = Cache.readahead_blocks cache in
+        if k > 0 && it.seq_blocks >= 1 && Block.Iter.valid it.index_iter
+        then begin
+          let cur = handle_of_index_value (Block.Iter.value it.index_iter) in
+          if cur.Block_handle.offset >= it.ra_until then
+            try readahead_batch it cache k cur with _ -> ()
+        end
 
   let load_data_block it =
     if Block.Iter.valid it.index_iter then begin
@@ -128,6 +251,8 @@ module Iter = struct
     | Some _ | None ->
         Block.Iter.next it.index_iter;
         if Block.Iter.valid it.index_iter then begin
+          it.seq_blocks <- it.seq_blocks + 1;
+          maybe_readahead it;
           load_data_block it;
           (match it.data_iter with
           | Some di -> Block.Iter.seek_to_first di
@@ -137,6 +262,7 @@ module Iter = struct
         else it.data_iter <- None
 
   let seek_to_first it =
+    it.seq_blocks <- 0;
     Block.Iter.seek_to_first it.index_iter;
     load_data_block it;
     (match it.data_iter with
@@ -147,6 +273,7 @@ module Iter = struct
   let seek it target =
     (* Index keys are the last key of each block, so the first index entry
        >= target points at the only block that can contain it. *)
+    it.seq_blocks <- 0;
     Block.Iter.seek it.index_iter target;
     load_data_block it;
     (match it.data_iter with

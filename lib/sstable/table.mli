@@ -14,8 +14,12 @@ val open_file :
   t
 (** Open and validate a table file through [env] (default
     {!Clsm_env.Env.unix}). The index, filter and properties blocks are
-    loaded eagerly; data blocks are read on demand (through [cache] when
-    provided). Raises {!Corrupt} or {!Clsm_env.Env.Error}. *)
+    loaded eagerly and held as direct references for the table's lifetime;
+    when [cache] is provided the index block is additionally pinned into it
+    and the filter/properties weight reserved, so this per-open-table RAM
+    is charged to the cache budget and visible in {!Cache.stats} (released
+    by {!close}). Data blocks are read on demand through [cache]. Raises
+    {!Corrupt} or {!Clsm_env.Env.Error}. *)
 
 val close : t -> unit
 val path : t -> string
@@ -43,6 +47,15 @@ val find_last_le : t -> string -> (string * string) option
     Like {!find_first_ge}, not Bloom-gated. *)
 
 module Iter : sig
+  (** Two-level iterator with forward-scan readahead: after the first
+      sequential block-to-block advance, the next K physically contiguous
+      data blocks (K = [Cache.readahead_blocks] of the table's cache) are
+      fetched in a single pread and decoded into the cache ahead of the
+      scan. Seeks reset the sequential detector, so point reads never
+      prefetch. Readahead failures are swallowed — the scan degrades to
+      on-demand per-block reads, which carry their own verification and
+      error reporting. *)
+
   type iter
 
   val make : t -> iter

@@ -1,0 +1,431 @@
+(* The read-path cache contracts: lock-free hits, epoch-style handle
+   reclamation, singleflight miss dedup, pinning/reservation accounting,
+   and table-iterator readahead (including degradation under injected IO
+   faults). *)
+
+open Clsm_sstable
+module Env = Clsm_env.Env
+
+let tmp_dir =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "clsm_test_cache_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let tmp_path name = Filename.concat tmp_dir name
+
+(* ---------- lock-free hit path ---------- *)
+
+(* The structural proof that hits never take the shard mutex: hold the
+   (only) shard's mutex hostage on another domain and do a [find] — on the
+   old mutex-per-shard design this deadlocks until the hostage releases;
+   on the CLOCK design it completes immediately. *)
+let hits_lock_free () =
+  let c = Cache.create ~shards:1 ~capacity:100 ~weight:(fun _ -> 1) () in
+  Cache.insert c "k" "v";
+  let locked = Atomic.make false and release = Atomic.make false in
+  let holder =
+    Domain.spawn (fun () ->
+        Cache.with_shard_locked c "k" (fun () ->
+            Atomic.set locked true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done))
+  in
+  while not (Atomic.get locked) do
+    Domain.cpu_relax ()
+  done;
+  (* The shard mutex is held right now. *)
+  let via_find = Cache.find c "k" in
+  let via_mem = Cache.mem c "k" in
+  let via_handle =
+    match Cache.acquire c "k" with
+    | None -> None
+    | Some h ->
+        let v = Cache.handle_value h in
+        Cache.release h;
+        Some v
+  in
+  Atomic.set release true;
+  Domain.join holder;
+  Alcotest.(check (option string))
+    "find completed under held shard lock" (Some "v") via_find;
+  Alcotest.(check bool) "mem completed under held shard lock" true via_mem;
+  Alcotest.(check (option string))
+    "acquire completed under held shard lock" (Some "v") via_handle
+
+(* ---------- handles vs. eviction ---------- *)
+
+let handle_survives_eviction () =
+  let freed = ref [] in
+  let c =
+    Cache.create ~shards:1 ~capacity:4
+      ~release:(fun v -> freed := v :: !freed)
+      ~weight:(fun _ -> 1) ()
+  in
+  let h = Cache.acquire_or_add c "k" (fun () -> "payload-k") in
+  (* Flood the shard so "k" is certainly evicted. *)
+  for i = 0 to 15 do
+    Cache.insert c (string_of_int i) ("v" ^ string_of_int i)
+  done;
+  Alcotest.(check (option string)) "k evicted" None (Cache.find c "k");
+  Alcotest.(check bool)
+    "payload not freed while a handle is held" false
+    (List.mem "payload-k" !freed);
+  Alcotest.(check string) "handle still reads the payload" "payload-k"
+    (Cache.handle_value h);
+  Cache.release h;
+  Alcotest.(check bool) "freed after the last release" true
+    (List.mem "payload-k" !freed);
+  Cache.release h (* idempotent *)
+
+(* ---------- singleflight ---------- *)
+
+(* One generation: two domains race a cold key; the loader refuses to
+   finish until the cache has registered a singleflight wait, so "loader
+   ran exactly once and the loser shared the result" is deterministic,
+   not a timing accident. *)
+let singleflight_generation c key loads expected_loads =
+  let waits_before = (Cache.stats c).Cache.singleflight_waits in
+  let loader () =
+    Atomic.incr loads;
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while
+      (Cache.stats c).Cache.singleflight_waits < waits_before + 1
+      && Unix.gettimeofday () < deadline
+    do
+      Domain.cpu_relax ()
+    done;
+    Printf.sprintf "value-%d" expected_loads
+  in
+  let d1 = Domain.spawn (fun () -> Cache.find_or_add c key loader) in
+  let d2 = Domain.spawn (fun () -> Cache.find_or_add c key loader) in
+  let v1 = Domain.join d1 and v2 = Domain.join d2 in
+  Alcotest.(check string) "racers share one value" v1 v2;
+  Alcotest.(check int) "loader ran exactly once this generation"
+    expected_loads (Atomic.get loads);
+  Alcotest.(check bool) "the loser waited on the flight" true
+    ((Cache.stats c).Cache.singleflight_waits > waits_before)
+
+let singleflight_once_per_generation () =
+  let c = Cache.create ~shards:1 ~capacity:100 ~weight:(fun _ -> 1) () in
+  let loads = Atomic.make 0 in
+  singleflight_generation c "k" loads 1;
+  (* New generation: drop the entry, the next racers reload once. *)
+  Cache.remove c "k";
+  singleflight_generation c "k" loads 2
+
+let singleflight_failure_propagates () =
+  let c = Cache.create ~shards:1 ~capacity:100 ~weight:(fun _ -> 1) () in
+  (match Cache.find_or_add c "k" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected the loader's exception"
+  | exception Failure m -> Alcotest.(check string) "loader exn" "boom" m);
+  (* The failed flight is cleaned up: the next caller retries the load. *)
+  Alcotest.(check string) "retry succeeds" "ok"
+    (Cache.find_or_add c "k" (fun () -> "ok"))
+
+(* ---------- pinning and reservations ---------- *)
+
+let pins_and_reservations () =
+  let c = Cache.create ~shards:1 ~capacity:8 ~weight:(fun _ -> 1) () in
+  let h = Cache.pin c "pin" "P" in
+  Alcotest.(check int) "pins counted" 1 (Cache.stats c).Cache.pins;
+  Cache.reserve c "res" 3;
+  for i = 0 to 31 do
+    Cache.insert c (string_of_int i) "v"
+  done;
+  let s = Cache.stats c in
+  Alcotest.(check bool) "budget holds pin + reservation + resident" true
+    (s.Cache.weight <= 8);
+  Alcotest.(check bool) "reservation squeezed resident entries" true
+    (Cache.cardinal c <= 5);
+  Alcotest.(check (option string)) "pinned entry never evicted" (Some "P")
+    (Cache.find c "pin");
+  Cache.clear c;
+  Alcotest.(check (option string)) "pin survives clear" (Some "P")
+    (Cache.find c "pin");
+  Alcotest.(check int) "only the pin survives clear" 1 (Cache.cardinal c);
+  Cache.insert c "pin" "usurper";
+  Alcotest.(check (option string)) "insert over a pin is a no-op" (Some "P")
+    (Cache.find c "pin");
+  Cache.unreserve c "res";
+  Cache.unpin c h;
+  Alcotest.(check int) "pins drop on unpin" 0 (Cache.stats c).Cache.pins;
+  Alcotest.(check (option string)) "unpinned entry gone" None
+    (Cache.find c "pin");
+  Alcotest.(check int) "weight back to zero" 0 (Cache.stats c).Cache.weight;
+  Cache.unpin c h (* idempotent *)
+
+(* ---------- multi-domain stress ---------- *)
+
+(* Heavy eviction pressure + racing handle reads + singleflight loads.
+   Payloads carry their own freed flag (set by the release hook), so any
+   read of a reclaimed block is caught at the moment it happens. *)
+let stress_domains () =
+  let c =
+    Cache.create ~shards:4 ~capacity:64
+      ~release:(fun (_, freed) -> freed := true)
+      ~weight:(fun _ -> 1) ()
+  in
+  let n_keys = 512 in
+  let worker seed () =
+    let ok = ref true in
+    for i = 0 to 10_000 do
+      let k = (i * seed) mod n_keys in
+      let key = Printf.sprintf "key%d" k in
+      let expect = Printf.sprintf "val%d" k in
+      match Cache.acquire c key with
+      | Some h ->
+          let v, freed = Cache.handle_value h in
+          if v <> expect then ok := false;
+          if !freed then ok := false;
+          Cache.release h
+      | None ->
+          let v, freed =
+            Cache.find_or_add c key (fun () -> (expect, ref false))
+          in
+          if v <> expect then ok := false;
+          ignore freed
+    done;
+    !ok
+  in
+  let results =
+    List.map Domain.spawn [ worker 3; worker 5; worker 7 ]
+    |> List.map Domain.join
+  in
+  List.iter
+    (fun ok ->
+      Alcotest.(check bool) "no wrong value, no freed payload read" true ok)
+    results;
+  let s = Cache.stats c in
+  Alcotest.(check bool) "evictions happened (pressure was real)" true
+    (s.Cache.evictions > 0);
+  Alcotest.(check bool) "capacity respected" true (s.Cache.weight <= 64)
+
+(* ---------- readahead ---------- *)
+
+let sorted_pairs n =
+  List.init n (fun i -> (Printf.sprintf "key%06d" i, Printf.sprintf "val%d" i))
+
+let build_table ?(block_size = 256) name pairs =
+  let path = tmp_path name in
+  let b = Table_builder.create ~block_size ~cmp:Comparator.bytewise ~path () in
+  List.iter (fun (k, v) -> Table_builder.add b ~key:k ~value:v) pairs;
+  ignore (Table_builder.finish b);
+  path
+
+let readahead_warms_cache () =
+  let pairs = sorted_pairs 2000 in
+  let path = build_table "ra_warm" pairs in
+  let cache =
+    Cache.create ~capacity:(1 lsl 20) ~readahead:4 ~weight:Block.size_bytes ()
+  in
+  let t = Table.open_file ~cache ~cmp:Comparator.bytewise path in
+  let n_blocks = List.length (Table.index_anchors t) in
+  Alcotest.(check bool) "enough blocks to readahead" true (n_blocks > 8);
+  Alcotest.(check (list (pair string string)))
+    "scan sees every pair" pairs (Table.to_list t);
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "readahead batches issued" true (s.Cache.readaheads > 0);
+  Alcotest.(check bool) "readahead fetched blocks" true
+    (s.Cache.readahead_blocks > 0);
+  (* Prefetched blocks are inserts, not misses: only the scan's first
+     block (plus nothing else) should have missed. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "prefetch absorbed the misses (%d misses, %d blocks)"
+       s.Cache.misses n_blocks)
+    true
+    (s.Cache.misses < n_blocks / 4);
+  (* A second scan is fully resident: no new readahead IO. *)
+  let ra_before = s.Cache.readahead_blocks in
+  ignore (Table.to_list t);
+  let s2 = Cache.stats cache in
+  Alcotest.(check int) "warm scan fetches nothing" ra_before
+    s2.Cache.readahead_blocks;
+  Table.close t
+
+let readahead_point_reads_dont_prefetch () =
+  let pairs = sorted_pairs 2000 in
+  let path = build_table "ra_point" pairs in
+  let cache =
+    Cache.create ~capacity:(1 lsl 20) ~readahead:4 ~weight:Block.size_bytes ()
+  in
+  let t = Table.open_file ~cache ~cmp:Comparator.bytewise path in
+  List.iter
+    (fun probe -> ignore (Table.find_first_ge t probe))
+    [ "key000100"; "key000900"; "key001500"; "key000400" ];
+  Alcotest.(check int) "no readahead on point seeks" 0
+    (Cache.stats cache).Cache.readaheads;
+  Table.close t
+
+(* An environment whose random files, once [armed], refuse any read
+   larger than [threshold]: every multi-block readahead batch fails while
+   single-block on-demand reads keep working. A scan must silently fall
+   back to on-demand reads and still see everything. Arming happens after
+   [Table.open_file] because metadata loads (index block) are legitimately
+   large. *)
+let limited_env ~armed ~threshold =
+  let base = Env.unix in
+  {
+    base with
+    Env.open_random =
+      (fun path ->
+        let f = base.Env.open_random path in
+        {
+          f with
+          Env.rf_read =
+            (fun ~pos ~len ->
+              if !armed && len > !threshold then
+                failwith "batch read refused"
+              else f.Env.rf_read ~pos ~len);
+        });
+  }
+
+(* Largest single read a readahead-free scan issues: the batch-refusal
+   threshold. Any >=2-block batch is necessarily bigger (each data block
+   payload alone is near the block size). *)
+let max_on_demand_read_len path =
+  let max_len = ref 0 in
+  let base = Env.unix in
+  let recording =
+    {
+      base with
+      Env.open_random =
+        (fun p ->
+          let f = base.Env.open_random p in
+          {
+            f with
+            Env.rf_read =
+              (fun ~pos ~len ->
+                if len > !max_len then max_len := len;
+                f.Env.rf_read ~pos ~len);
+          });
+    }
+  in
+  let t = Table.open_file ~env:recording ~cmp:Comparator.bytewise path in
+  max_len := 0;
+  (* reset: only count data-block reads, not metadata *)
+  ignore (Table.to_list t);
+  Table.close t;
+  !max_len
+
+let readahead_failure_degrades_to_on_demand () =
+  let pairs = sorted_pairs 2000 in
+  let path = build_table "ra_fail" pairs in
+  let threshold = ref (max_on_demand_read_len path) in
+  Alcotest.(check bool) "sane single-block read size" true (!threshold > 0);
+  let cache =
+    Cache.create ~capacity:(1 lsl 20) ~readahead:4 ~weight:Block.size_bytes ()
+  in
+  let armed = ref false in
+  let t =
+    Table.open_file ~cache
+      ~env:(limited_env ~armed ~threshold)
+      ~cmp:Comparator.bytewise path
+  in
+  armed := true;
+  Alcotest.(check (list (pair string string)))
+    "scan survives readahead failure" pairs (Table.to_list t);
+  Alcotest.(check int) "no batch ever succeeded" 0
+    (Cache.stats cache).Cache.readaheads;
+  armed := false;
+  Table.close t
+
+(* Store-level: scans with bit-rot injected under an active readahead
+   policy. Rot seen by a readahead batch is swallowed (the batch is
+   dropped); rot seen by an on-demand read goes through the existing
+   containment path (quarantine, `Partial`). Neither may take the store
+   to `Degraded`. *)
+let readahead_with_bitrot_never_degrades () =
+  let module Db = Clsm_core.Db in
+  let module Options = Clsm_core.Options in
+  List.iter
+    (fun seed ->
+      let dir = Filename.concat tmp_dir (Printf.sprintf "ra_rot_%d" seed) in
+      let fenv = Clsm_env.Faulty_env.create ~seed () in
+      let base = Options.default ~dir in
+      let opts =
+        {
+          base with
+          Options.env = Clsm_env.Faulty_env.env fenv;
+          wal_enabled = false;
+          readahead_blocks = 4;
+          memtable_bytes = 64 * 1024;
+          lsm =
+            {
+              base.Options.lsm with
+              Clsm_lsm.Lsm_config.block_size = 256;
+              target_file_size = 16 * 1024;
+            };
+        }
+      in
+      let db = Db.open_store opts in
+      let pairs = sorted_pairs 2000 in
+      List.iter (fun (k, v) -> Db.put db ~key:k ~value:v) pairs;
+      Db.compact_now db;
+      (* Arm bit-rot only now: the write/compaction path is clean, so
+         every injected fault lands on the read path under test. *)
+      Clsm_env.Faulty_env.set_fault_rates fenv ~corrupt_read_1_in:24 ();
+      for _ = 1 to 4 do
+        match Db.range db with
+        | got ->
+            (* A scan that succeeds must be correct: every returned
+               binding is one we wrote. *)
+            List.iter
+              (fun (k, v) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "scan binding %s intact" k)
+                  true
+                  (List.assoc_opt k pairs = Some v))
+              got
+        | exception _ -> () (* rot on an on-demand read: legitimate *)
+      done;
+      (match Db.health db with
+      | `Degraded reason ->
+          Alcotest.failf "seed %d: degraded by read-path faults: %s" seed
+            reason
+      | `Ok | `Partial _ -> ());
+      Db.close db)
+    [ 1; 2; 3 ]
+
+let suites =
+  [
+    ( "cache.lockfree",
+      [
+        Alcotest.test_case "hit path ignores a held shard lock" `Quick
+          hits_lock_free;
+        Alcotest.test_case "handle outlives eviction" `Quick
+          handle_survives_eviction;
+      ] );
+    ( "cache.singleflight",
+      [
+        Alcotest.test_case "loader once per generation" `Quick
+          singleflight_once_per_generation;
+        Alcotest.test_case "failure propagates, flight cleaned" `Quick
+          singleflight_failure_propagates;
+      ] );
+    ( "cache.pins",
+      [
+        Alcotest.test_case "pin + reservation accounting" `Quick
+          pins_and_reservations;
+      ] );
+    ( "cache.stress",
+      [
+        Alcotest.test_case "domains race hits/loads under eviction" `Quick
+          stress_domains;
+      ] );
+    ( "cache.readahead",
+      [
+        Alcotest.test_case "sequential scan warms the cache" `Quick
+          readahead_warms_cache;
+        Alcotest.test_case "point reads never prefetch" `Quick
+          readahead_point_reads_dont_prefetch;
+        Alcotest.test_case "batch failure degrades to on-demand" `Quick
+          readahead_failure_degrades_to_on_demand;
+        Alcotest.test_case "bit-rot under readahead never degrades" `Slow
+          readahead_with_bitrot_never_degrades;
+      ] );
+  ]

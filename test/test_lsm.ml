@@ -140,6 +140,133 @@ let prop_merge_seek =
       let expected = List.find_opt (fun k -> k >= target) all in
       got = expected)
 
+(* ---------- heap merge ≡ linear merge ≡ naive merge ---------- *)
+
+(* The naive reference: concatenate in source order, stable-sort by key —
+   equal keys keep source order (newer source first), duplicates are all
+   emitted, exactly the documented merge semantics. *)
+let naive_merge lists =
+  List.stable_sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.concat lists)
+
+let mk_lists keylists =
+  List.map
+    (fun keys -> List.sort_uniq compare (List.map (fun k -> (k, k)) keys))
+    keylists
+
+let engines =
+  [
+    ("linear", Merge_iter.merge_linear);
+    ("heap", Merge_iter.merge_heap);
+    ("auto", Merge_iter.merge);
+  ]
+
+let prop_merge_engines_agree =
+  QCheck.Test.make ~name:"heap merge = linear merge = naive merge" ~count:300
+    QCheck.(
+      list_of_size
+        Gen.(0 -- 10)
+        (list_of_size Gen.(0 -- 15) (string_of_size Gen.(1 -- 3))))
+    (fun keylists ->
+      let lists = mk_lists keylists in
+      let expected = naive_merge lists in
+      List.for_all
+        (fun (_, engine) ->
+          let iters =
+            List.map (Iter.of_sorted_list ~cmp:String.compare) lists
+          in
+          Iter.to_list (engine ~cmp:String.compare iters) = expected)
+        engines)
+
+(* Repeated seeks interleaved with nexts must agree across engines and
+   with the naive model — this is what exercises the exhaustion-bound
+   bookkeeping (a seek whose target a dead source's bound covers skips the
+   physical re-seek, and a later lower seek must revive the source). *)
+let prop_merge_engines_agree_on_seeks =
+  QCheck.Test.make ~name:"merge engines agree under seek/next sequences"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size
+           Gen.(0 -- 7)
+           (list_of_size Gen.(0 -- 12) (string_of_size Gen.(1 -- 2))))
+        (list_of_size Gen.(1 -- 12) (string_of_size Gen.(1 -- 2))))
+    (fun (keylists, targets) ->
+      let lists = mk_lists keylists in
+      let all = naive_merge lists in
+      List.for_all
+        (fun (_, engine) ->
+          let iters =
+            List.map (Iter.of_sorted_list ~cmp:String.compare) lists
+          in
+          let m = engine ~cmp:String.compare iters in
+          List.for_all
+            (fun target ->
+              m.Iter.seek target;
+              (* after the seek, drain two entries and compare with the
+                 naive remainder *)
+              let got = ref [] in
+              for _ = 1 to 2 do
+                if m.Iter.valid () then begin
+                  got := (m.Iter.key (), m.Iter.value ()) :: !got;
+                  m.Iter.next ()
+                end
+              done;
+              let expected =
+                List.filter (fun (k, _) -> k >= target) all |> fun l ->
+                List.filteri (fun i _ -> i < 2) l
+              in
+              List.rev !got = expected)
+            targets)
+        engines)
+
+(* An exhausted source must not be physically re-seeked while the learned
+   bound proves the target empty, and must revive on a lower seek. *)
+let merge_skips_dead_source_seeks () =
+  List.iter
+    (fun (name, engine) ->
+      let seeks = ref 0 in
+      let base = Iter.of_sorted_list ~cmp:String.compare [ ("a", "1") ] in
+      let counted = { base with Iter.seek = (fun t -> incr seeks; base.Iter.seek t) } in
+      let other = Iter.of_sorted_list ~cmp:String.compare [ ("c", "3") ] in
+      let m = engine ~cmp:String.compare [ counted; other ] in
+      m.Iter.seek "b";
+      Alcotest.(check int) (name ^ ": first dead seek hits the source") 1 !seeks;
+      Alcotest.(check string) (name ^ ": other source answers") "c" (m.Iter.key ());
+      m.Iter.seek "bb";
+      Alcotest.(check int) (name ^ ": covered re-seek skipped") 1 !seeks;
+      m.Iter.seek "d";
+      Alcotest.(check int) (name ^ ": still skipped") 1 !seeks;
+      Alcotest.(check bool) (name ^ ": all dead") false (m.Iter.valid ());
+      m.Iter.seek "a";
+      Alcotest.(check int) (name ^ ": lower seek revives") 2 !seeks;
+      Alcotest.(check string) (name ^ ": revived key") "a" (m.Iter.key ()))
+    engines
+
+(* A next() that runs a source dry teaches a strict bound: seeking exactly
+   the last emitted key must still re-seek (entries = that key exist), but
+   seeking past it must not. *)
+let merge_next_exhaustion_bound () =
+  List.iter
+    (fun (name, engine) ->
+      let seeks = ref 0 in
+      let base = Iter.of_sorted_list ~cmp:String.compare [ ("a", "1"); ("b", "2") ] in
+      let counted = { base with Iter.seek = (fun t -> incr seeks; base.Iter.seek t) } in
+      let m = engine ~cmp:String.compare [ counted ] in
+      m.Iter.seek_to_first ();
+      m.Iter.next ();
+      m.Iter.next ();
+      Alcotest.(check bool) (name ^ ": drained") false (m.Iter.valid ());
+      Alcotest.(check int) (name ^ ": no seeks so far") 0 !seeks;
+      m.Iter.seek "b";
+      Alcotest.(check int) (name ^ ": seek at last key is real") 1 !seeks;
+      Alcotest.(check string) (name ^ ": finds it") "b" (m.Iter.key ());
+      m.Iter.next ();
+      m.Iter.seek "bb";
+      Alcotest.(check int) (name ^ ": seek past last key skipped") 1 !seeks)
+    engines
+
 (* ---------- Iter.clamp (half-open range views) ---------- *)
 
 let simple_iter entries = Iter.of_sorted_list ~cmp:String.compare entries
@@ -372,8 +499,19 @@ let suites =
         Alcotest.test_case "concat" `Quick iter_concat;
         Alcotest.test_case "merge basic" `Quick merge_basic;
         Alcotest.test_case "merge tie-break" `Quick merge_tie_break;
+        Alcotest.test_case "merge skips dead-source seeks" `Quick
+          merge_skips_dead_source_seeks;
+        Alcotest.test_case "merge next-exhaustion bound" `Quick
+          merge_next_exhaustion_bound;
       ] );
-    ("lsm.iter.props", qtests [ prop_merge_equals_sort; prop_merge_seek ]);
+    ( "lsm.iter.props",
+      qtests
+        [
+          prop_merge_equals_sort;
+          prop_merge_seek;
+          prop_merge_engines_agree;
+          prop_merge_engines_agree_on_seeks;
+        ] );
     ( "lsm.iter.clamp",
       [
         Alcotest.test_case "windows" `Quick clamp_basic;
