@@ -27,15 +27,7 @@ type t = {
   mutable closed : bool;
 }
 
-let with_mutex t f =
-  Mutex.lock t.mutex;
-  match f () with
-  | v ->
-      Mutex.unlock t.mutex;
-      v
-  | exception e ->
-      Mutex.unlock t.mutex;
-      raise e
+let with_mutex t f = Mutex.protect t.mutex f
 
 let alloc_file_number t () = Atomic.fetch_and_add t.next_file 1
 
@@ -321,31 +313,27 @@ let compact_level_once t =
   result
 
 let maintenance_step t =
-  Mutex.lock t.maintenance;
-  let worked =
-    if flush_imm t then true
-    else begin
-      let need =
-        with_mutex t (fun () ->
-            Memtable.approximate_bytes t.pm.mem > t.opts.Options.memtable_bytes)
-      in
-      if need && rotate t then begin
-        ignore (flush_imm t);
-        true
-      end
-      else compact_level_once t
-    end
-  in
-  Mutex.unlock t.maintenance;
-  worked
+  Mutex.protect t.maintenance (fun () ->
+      if flush_imm t then true
+      else begin
+        let need =
+          with_mutex t (fun () ->
+              Memtable.approximate_bytes t.pm.mem
+              > t.opts.Options.memtable_bytes)
+        in
+        if need && rotate t then begin
+          ignore (flush_imm t);
+          true
+        end
+        else compact_level_once t
+      end)
 
 let compact_now t =
-  Mutex.lock t.maintenance;
-  ignore (flush_imm t);
-  ignore (rotate t);
-  ignore (flush_imm t);
-  while compact_level_once t do () done;
-  Mutex.unlock t.maintenance
+  Mutex.protect t.maintenance (fun () ->
+      ignore (flush_imm t);
+      ignore (rotate t);
+      ignore (flush_imm t);
+      while compact_level_once t do () done)
 
 (* ---------- open / close ---------- *)
 

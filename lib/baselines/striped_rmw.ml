@@ -10,14 +10,7 @@ let stripe_of t key =
 
 let with_stripe t key f =
   let m = stripe_of t key in
-  Mutex.lock m;
-  match f () with
-  | v ->
-      Mutex.unlock m;
-      v
-  | exception e ->
-      Mutex.unlock m;
-      raise e
+  Mutex.protect m f
 
 let put t ~key ~value =
   with_stripe t key (fun () -> Single_writer_store.put t.store ~key ~value)

@@ -27,15 +27,7 @@ let entry_size user_key entry =
   String.length user_key + Internal_key.ts_size + entry_overhead
   + (match entry with Entry.Value v -> String.length v | Entry.Tombstone -> 0)
 
-let locked t f =
-  Mutex.lock t.write_mutex;
-  match f () with
-  | v ->
-      Mutex.unlock t.write_mutex;
-      v
-  | exception e ->
-      Mutex.unlock t.write_mutex;
-      raise e
+let locked t f = Mutex.protect t.write_mutex f
 
 let add t ~user_key ~ts entry =
   let ik = Internal_key.make user_key ts in

@@ -243,9 +243,8 @@ module Make (M : Memtable_intf.S) = struct
     Mutex.protect c.cm (fun () -> c.flush_claimed <- false)
 
   (* Pick and claim a compaction whose level range is disjoint from every
-     in-flight one. Caller must hold [c.cm]. The version the task was
-     picked from is pinned so its input files cannot be released before
-     the task runs.
+     in-flight one. The version the task was picked from is pinned so its
+     input files cannot be released before the task runs.
 
      Tombstone dropping is pinned while the quarantine ledger is
      non-empty: a quarantined table is invisible to the version, so
@@ -289,6 +288,7 @@ module Make (M : Memtable_intf.S) = struct
           Refcounted.decr cell;
           None
     end
+  [@@requires_lock cm]
 
   let release_compaction t range =
     let c = t.claims in
@@ -340,8 +340,8 @@ module Make (M : Memtable_intf.S) = struct
      the quarantine ledger), not [`Degraded] — writes continue.
 
      Runs regardless of [auto_repair] (containment is not optional).
-     Caller must hold no locks; takes [t.install] then the exclusive
-     lock, the same order as every other install. *)
+     Takes [t.install] then the exclusive lock, the same order as every
+     other install. *)
   let apply_pending_quarantines t =
     let h = t.heal in
     let pending =
@@ -386,6 +386,7 @@ module Make (M : Memtable_intf.S) = struct
           with_retry t ~what:"manifest save (quarantine)" (fun () ->
               save_manifest t))
     end
+  [@@excludes_locks]
 
   (* One scrub slice: re-verify up to [budget] blocks (checksums plus
      structural decode, bypassing the block cache) starting from the
@@ -653,6 +654,7 @@ module Make (M : Memtable_intf.S) = struct
               Table_file.mark_obsolete (Refcounted.value qcell);
             Refcounted.retire old_pd);
         if overlaps <> [] then List.iter Refcounted.retire outputs)
+  [@@excludes_locks]
 
   (* Repair out of [`Partial]. Every quarantined table gets a second
      chance: re-opened fresh and fully re-verified from disk. Rot that
@@ -799,6 +801,7 @@ module Make (M : Memtable_intf.S) = struct
             `Blocked
       end
     end
+  [@@excludes_locks]
 
   (* Repair out of [`Degraded]: prove the failure path works again by
      pushing everything buffered out to disk — clear any stuck immutable
@@ -855,6 +858,7 @@ module Make (M : Memtable_intf.S) = struct
       | `Repaired -> Stats.incr_auto_repairs t.stats
       | `Nothing | `Blocked -> ()
     end
+  [@@excludes_locks]
 
   (* ---------- the scheduler's job interface ---------- *)
 
@@ -908,9 +912,9 @@ module Make (M : Memtable_intf.S) = struct
               if is_degraded t then None
               else begin
                 let c = t.claims in
-                Mutex.lock c.cm;
-                let job = claim_compaction_locked t in
-                Mutex.unlock c.cm;
+                let job =
+                  Mutex.protect c.cm (fun () -> claim_compaction_locked t)
+                in
                 match job with
                 | Some _ as j -> j
                 | None ->
@@ -1034,6 +1038,7 @@ module Make (M : Memtable_intf.S) = struct
       | `Idle -> ()
     in
     drain ()
+  [@@excludes_locks]
 
   (* Synchronous full scrub pass (the CLI's [scrub] and the tests call
      this): verify every sstable block plus the WAL tail, queue
@@ -1054,6 +1059,7 @@ module Make (M : Memtable_intf.S) = struct
     in
     apply_pending_quarantines t;
     problems
+  [@@excludes_locks]
 
   (* Synchronous repair attempt (the Repair job, forced): containment,
      quarantine finalization and the degraded-recovery probe all run
@@ -1070,4 +1076,5 @@ module Make (M : Memtable_intf.S) = struct
       ~finally:(fun () -> release_repair t)
       (fun () ->
         guard_io t ~what:"repair" (fun () -> run_repair t ~force:true))
+  [@@excludes_locks]
 end

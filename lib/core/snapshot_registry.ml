@@ -4,15 +4,7 @@ type t = { mutex : Mutex.t; mutable entries : entry list }
 
 let create () = { mutex = Mutex.create (); entries = [] }
 
-let with_lock t f =
-  Mutex.lock t.mutex;
-  match f () with
-  | v ->
-      Mutex.unlock t.mutex;
-      v
-  | exception e ->
-      Mutex.unlock t.mutex;
-      raise e
+let with_lock t f = Mutex.protect t.mutex f
 
 let expired now entry =
   (not entry.live)
@@ -30,6 +22,7 @@ let remove t handle =
 
 let prune_locked t now =
   t.entries <- List.filter (fun e -> not (expired now e)) t.entries
+[@@requires_lock registry]
 
 let live_timestamps t ~now =
   with_lock t (fun () ->

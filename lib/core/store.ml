@@ -593,15 +593,14 @@ module Make (M : Memtable_intf.S) : Store_sig.EXTENDED = struct
      manifest — what a crash leaves on disk. The value must not be used
      afterwards (a fresh open_store on the directory performs recovery). *)
   let simulate_crash t =
-    Mutex.lock t.close_mutex;
-    if not t.closed then begin
-      t.closed <- true;
-      stop_scheduler t;
-      match (current_pm t).wal with
-      | Some w -> Clsm_wal.Wal_writer.abandon w
-      | None -> ()
-    end;
-    Mutex.unlock t.close_mutex
+    Mutex.protect t.close_mutex (fun () ->
+        if not t.closed then begin
+          t.closed <- true;
+          stop_scheduler t;
+          match (current_pm t).wal with
+          | Some w -> Clsm_wal.Wal_writer.abandon w
+          | None -> ()
+        end)
 
   let close t =
     Mutex.lock t.close_mutex;

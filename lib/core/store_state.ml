@@ -190,8 +190,8 @@ module Make (M : Memtable_intf.S) = struct
       quarantined = Mutex.protect t.heal.hm (fun () -> t.heal.quarantined);
     }
 
-  (* Caller holds [t.install]. *)
   let save_manifest t =
     Manifest.save ~env:t.opts.Options.env ~dir:t.opts.Options.dir
       (manifest_of_state t)
+  [@@requires_lock install]
 end

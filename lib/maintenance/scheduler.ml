@@ -74,17 +74,16 @@ let ticker_loop t =
   done
 
 let start t =
-  Mutex.lock t.lifecycle;
-  if not t.started then begin
-    t.started <- true;
-    let workers =
-      List.init t.num_workers (fun id ->
-          Domain.spawn (fun () -> worker_loop t id))
-    in
-    let ticker = Domain.spawn (fun () -> ticker_loop t) in
-    t.domains <- ticker :: workers
-  end;
-  Mutex.unlock t.lifecycle
+  Mutex.protect t.lifecycle (fun () ->
+      if not t.started then begin
+        t.started <- true;
+        let workers =
+          List.init t.num_workers (fun id ->
+              Domain.spawn (fun () -> worker_loop t id))
+        in
+        let ticker = Domain.spawn (fun () -> ticker_loop t) in
+        t.domains <- ticker :: workers
+      end)
 
 let wake t =
   if not (Atomic.get t.stopping) then begin
@@ -93,13 +92,12 @@ let wake t =
   end
 
 let stop t =
-  Mutex.lock t.lifecycle;
-  if not (Atomic.exchange t.stopping true) then begin
-    Wakeup.signal t.wakeup;
-    List.iter Domain.join t.domains;
-    t.domains <- []
-  end;
-  Mutex.unlock t.lifecycle
+  Mutex.protect t.lifecycle (fun () ->
+      if not (Atomic.exchange t.stopping true) then begin
+        Wakeup.signal t.wakeup;
+        List.iter Domain.join t.domains;
+        t.domains <- []
+      end)
 
 let jobs_run t = Atomic.get t.jobs
 let wakes t = Atomic.get t.wake_signals

@@ -13,31 +13,20 @@ let create () =
     waiting = 0;
   }
 
-let current t =
-  Mutex.lock t.mutex;
-  let g = t.generation in
-  Mutex.unlock t.mutex;
-  g
+let current t = Mutex.protect t.mutex (fun () -> t.generation)
 
 let signal t =
-  Mutex.lock t.mutex;
-  t.generation <- t.generation + 1;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.mutex
+  Mutex.protect t.mutex (fun () ->
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.cond)
 
 let wait t ~seen =
-  Mutex.lock t.mutex;
-  t.waiting <- t.waiting + 1;
-  while t.generation = seen do
-    Condition.wait t.cond t.mutex
-  done;
-  t.waiting <- t.waiting - 1;
-  let g = t.generation in
-  Mutex.unlock t.mutex;
-  g
+  Mutex.protect t.mutex (fun () ->
+      t.waiting <- t.waiting + 1;
+      while t.generation = seen do
+        Condition.wait t.cond t.mutex
+      done;
+      t.waiting <- t.waiting - 1;
+      t.generation)
 
-let waiters t =
-  Mutex.lock t.mutex;
-  let w = t.waiting in
-  Mutex.unlock t.mutex;
-  w
+let waiters t = Mutex.protect t.mutex (fun () -> t.waiting)

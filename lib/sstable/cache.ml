@@ -112,20 +112,13 @@ let shard_of t key =
   t.shards.(Clsm_util.Hashing.hash ~seed:0x5bd1e995 key
             mod Array.length t.shards)
 
-let with_locked sh f =
-  Mutex.lock sh.mutex;
-  match f () with
-  | v ->
-      Mutex.unlock sh.mutex;
-      v
-  | exception e ->
-      Mutex.unlock sh.mutex;
-      raise e
+let with_locked sh f = Mutex.protect sh.mutex f
 
-(* --- ring management (caller holds the shard mutex) --- *)
+(* --- ring management (under the shard mutex) --- *)
 
 let ring_entry sh i =
   match sh.ring.(i) with Some e -> e | None -> assert false
+[@@requires_lock cache_shard]
 
 let ring_add sh e =
   if sh.count = Array.length sh.ring then begin
@@ -136,6 +129,7 @@ let ring_add sh e =
   sh.ring.(sh.count) <- Some e;
   e.slot <- sh.count;
   sh.count <- sh.count + 1
+[@@requires_lock cache_shard]
 
 (* Swap-remove keeps the ring compact; CLOCK order is approximate anyway
    and the reference bits carry the recency information. *)
@@ -152,6 +146,7 @@ let ring_remove sh e =
   sh.count <- last;
   e.slot <- -1;
   if sh.hand >= sh.count then sh.hand <- 0
+[@@requires_lock cache_shard]
 
 (* Remove [e] from the published snapshot, then drop the cache's owner
    reference. Publication must precede the [decr]: readers whose
@@ -162,6 +157,7 @@ let drop_entry sh e =
   if e.slot >= 0 then ring_remove sh e;
   sh.used <- sh.used - e.w;
   Refcounted.decr e.cell
+[@@requires_lock cache_shard]
 
 let evict_until_fits sh =
   let budget = ref (2 * sh.count + 1) in
@@ -177,6 +173,7 @@ let evict_until_fits sh =
       Atomic.incr sh.evictions
     end
   done
+[@@requires_lock cache_shard]
 
 (* --- lock-free hit path --- *)
 
@@ -216,9 +213,9 @@ let mem t key =
 
 (* --- writes (shard mutex) --- *)
 
-(* Install a fresh entry; caller holds the mutex. [extra_ref] takes the
-   caller's handle reference *before* eviction runs, so the brand-new
-   entry surviving or not, the caller's payload stays valid. *)
+(* Install a fresh entry. [extra_ref] takes the caller's handle
+   reference *before* eviction runs, so the brand-new entry surviving or
+   not, the caller's payload stays valid. *)
 let install_locked t sh key v ~extra_ref =
   (match SMap.find_opt key (Atomic.get sh.map) with
   | Some old when not old.pinned -> drop_entry sh old
@@ -258,6 +255,7 @@ let install_locked t sh key v ~extra_ref =
            the payload's lifetime is the caller's handle (if any). *)
         Refcounted.decr cell;
       h
+[@@requires_lock cache_shard]
 
 let insert t key v =
   let sh = shard_of t key in
@@ -336,20 +334,28 @@ let rec acquire_or_add t key f =
               let fl = { done_ = false; failed = None } in
               Hashtbl.add sh.inflight key fl;
               Mutex.unlock sh.mutex;
+              (* Whatever happens inside — including [install_locked]
+                 raising out of the user's weight callback — the flight
+                 must be marked done and waiters woken, or losers park on
+                 [cond] forever. *)
               let finish outcome =
-                Mutex.lock sh.mutex;
-                let r =
-                  match outcome with
-                  | Ok v -> install_locked t sh key v ~extra_ref:true
-                  | Error e ->
-                      fl.failed <- Some e;
-                      None
-                in
-                fl.done_ <- true;
-                Hashtbl.remove sh.inflight key;
-                Condition.broadcast sh.cond;
-                Mutex.unlock sh.mutex;
-                r
+                Mutex.protect sh.mutex (fun () ->
+                    Fun.protect
+                      ~finally:(fun () ->
+                        fl.done_ <- true;
+                        Hashtbl.remove sh.inflight key;
+                        Condition.broadcast sh.cond)
+                      (fun () ->
+                        match outcome with
+                        | Ok v -> (
+                            match install_locked t sh key v ~extra_ref:true with
+                            | r -> r
+                            | exception e ->
+                                fl.failed <- Some e;
+                                raise e)
+                        | Error e ->
+                            fl.failed <- Some e;
+                            None))
               in
               (match f () with
               | v -> (

@@ -26,9 +26,11 @@ type t = {
          a concurrent reader (scrub's WAL-tail check) that stops there
          can never misread a half-written record as corruption *)
   observer : observer option;
-  (* Group-commit state, all under [gm]. Lock order: gm before io_mutex
-     is never held across the other — the leader releases [gm] before
-     touching IO and re-acquires it afterwards. *)
+  (* Group-commit state, all under [gm]. Neither gm nor io_mutex is
+     ever held while taking the other — the leader releases [gm] before
+     touching IO and re-acquires it afterwards. Both are order leaves
+     and no-block locks in tools/lockcheck/lockspec.sexp; `dune build
+     @lint` enforces this. *)
   gm : Mutex.t;
   gcond : Condition.t;
   gpending : (int * string) Queue.t;
@@ -68,8 +70,8 @@ let create ?(mode = Async) ?(env = Env.unix) ?observer file_path =
    failure instead of silently retrying over a gap. *)
 let check_poisoned t = match t.poisoned with Some e -> raise e | None -> ()
 
-(* Must hold [io_mutex]. *)
 let poison_locked t e = if t.poisoned = None then t.poisoned <- Some e
+[@@requires_lock io_mutex]
 
 let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
 
@@ -80,7 +82,7 @@ let observe_commit t ~records ~since_ns =
       if records > 0 then o.on_group_commit ~records;
       o.on_commit_wait ~ns:(max 0 (now_ns () - since_ns))
 
-(* Must hold [io_mutex]. Pops the async queue in one pass so a failure
+(* Pops the async queue in one pass so a failure
    part-way through cannot leave it half-drained for the next caller:
    either way the popped records are gone (they were never acknowledged)
    and the queue itself stays structurally sound. *)
@@ -98,6 +100,7 @@ let drain_locked t =
     t.writer.Env.w_append (Buffer.contents buf);
     t.written <- t.written + Buffer.length buf
   end
+[@@requires_lock io_mutex]
 
 (* ---------- group commit (leader/rider) ---------- *)
 
@@ -176,6 +179,7 @@ let lead_round_locked t cfg ~accumulate =
   (* Wake everyone: riders whose ticket is now durable return, the rest
      either elect the next leader or observe the poison and raise. *)
   Condition.broadcast t.gcond
+[@@requires_lock gm] [@@drops_lock gm]
 
 let append_group t cfg payload =
   let t0 = now_ns () in
@@ -321,12 +325,8 @@ let abandon t =
        dropped, modeling the loss. Group riders parked at this point are
        in-flight unacknowledged commits: poison with [Env.Crashed] and
        wake them so they raise instead of hanging forever. *)
-    Mutex.lock t.io_mutex;
-    poison_locked t Env.Crashed;
-    Mutex.unlock t.io_mutex;
-    Mutex.lock t.gm;
-    Condition.broadcast t.gcond;
-    Mutex.unlock t.gm;
+    Mutex.protect t.io_mutex (fun () -> poison_locked t Env.Crashed);
+    Mutex.protect t.gm (fun () -> Condition.broadcast t.gcond);
     try t.writer.Env.w_close () with _ -> ()
   end
 

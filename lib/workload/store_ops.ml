@@ -38,16 +38,12 @@ let of_single_writer st =
     scan = (fun ~start ~limit -> S.range ~start ~limit st);
     put_if_absent =
       (fun ~key ~value ->
-        Mutex.lock mutex;
-        let won =
-          match S.get st key with
-          | Some _ -> false
-          | None ->
-              S.put st ~key ~value;
-              true
-        in
-        Mutex.unlock mutex;
-        won);
+        Mutex.protect mutex (fun () ->
+            match S.get st key with
+            | Some _ -> false
+            | None ->
+                S.put st ~key ~value;
+                true));
     compact = (fun () -> S.compact_now st);
     close = (fun () -> S.close st);
     stats_json = (fun () -> Some (Clsm_core.Stats.to_json (S.stats st)));

@@ -1,0 +1,26 @@
+(* Analyzer diagnostics. Codes are stable identifiers the fixture suite
+   and CI grep against:
+
+   LC001  lock-order violation (acquisition not permitted by the spec's
+          partial order, observed edge would invert or extend it)
+   LC002  blocking call (Env IO, sleep, join) while holding a lock the
+          spec forbids blocking under
+   LC003  call site does not hold a lock the callee [@@requires_lock]s
+   LC004  call site holds a lock the callee [@@excludes_locks]
+   LC005  Atomic/Domain use outside the spec's allowlisted module set
+   LC006  bare Mutex.lock without an immediate Fun.protect (exception
+          can leak the held lock); use Mutex.protect
+   LC007  Condition.wait on a foreign or unheld mutex, or while holding
+          an additional lock
+   LC008  acquiring (or calling a function that acquires) a lock the
+          caller already holds — self-deadlock
+   LC009  annotation names an unknown lock *)
+
+type t = { file : string; line : int; code : string; msg : string }
+
+let to_string d = Printf.sprintf "%s:%d: [%s] %s" d.file d.line d.code d.msg
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> String.compare a.code b.code | c -> c)
+  | c -> c

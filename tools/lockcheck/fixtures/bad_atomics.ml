@@ -1,0 +1,6 @@
+(* Atomics outside the allowlisted module set: this module is not in
+   (atomics_allowed ...). *)
+
+let counter = Atomic.make 0 (* BAD: LC005 *)
+
+let bump () = Atomic.incr counter (* BAD: LC005 *)

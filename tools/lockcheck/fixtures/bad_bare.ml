@@ -1,0 +1,17 @@
+(* Bare Mutex.lock without Fun.protect: a raise between lock and unlock
+   leaks the mutex. *)
+
+type t = { cm : Mutex.t; mutable v : int }
+
+let bad t =
+  Mutex.lock t.cm; (* BAD: LC006 *)
+  t.v <- t.v + 1;
+  Mutex.unlock t.cm
+
+let ok t = Mutex.protect t.cm (fun () -> t.v <- t.v + 1)
+
+let ok_fun_protect t =
+  Mutex.lock t.cm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.cm)
+    (fun () -> t.v <- t.v + 1)

@@ -1,0 +1,12 @@
+(* Entering an [@@excludes_locks] function while holding a declared
+   lock: the maintenance entry points' "caller must hold no locks". *)
+
+type t = { cm : Mutex.t }
+
+let entry _t = () [@@excludes_locks]
+
+let ok t = entry t
+
+let bad t =
+  Mutex.protect t.cm (fun () ->
+      entry t (* BAD: LC004 *))

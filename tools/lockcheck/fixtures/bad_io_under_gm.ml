@@ -1,0 +1,14 @@
+(* IO and sleeping under the group-commit mutex: gm is declared
+   no-block, exactly the invariant the real leader preserves by dropping
+   gm around the write. *)
+
+type w = { w_append : string -> unit }
+type t = { gm : Mutex.t; writer : w }
+
+let bad_io t =
+  Mutex.protect t.gm (fun () ->
+      t.writer.w_append "payload" (* BAD: LC002 *))
+
+let bad_sleep t =
+  Mutex.protect t.gm (fun () ->
+      Unix.sleepf 0.001 (* BAD: LC002 *))

@@ -1,0 +1,10 @@
+(* Order inversion: the spec says a before b; taking a under b is the
+   classic ABBA half. *)
+
+type t = { a : Mutex.t; b : Mutex.t }
+
+let right t = Mutex.protect t.a (fun () -> Mutex.protect t.b (fun () -> ()))
+
+let wrong t =
+  Mutex.protect t.b (fun () ->
+      Mutex.protect t.a (fun () -> ()) (* BAD: LC001 *))

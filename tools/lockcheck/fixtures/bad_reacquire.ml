@@ -1,0 +1,7 @@
+(* Self-deadlock: OCaml's Mutex is not reentrant. *)
+
+type t = { cm : Mutex.t }
+
+let bad t =
+  Mutex.protect t.cm (fun () ->
+      Mutex.protect t.cm (fun () -> ()) (* BAD: LC008 *))

@@ -1,0 +1,10 @@
+(* Calling a [@@requires_lock] function without the lock: the machine
+   form of every "caller must hold ..." comment. *)
+
+type t = { cm : Mutex.t; mutable v : int }
+
+let bump_locked t = t.v <- t.v + 1 [@@requires_lock cm]
+
+let ok t = Mutex.protect t.cm (fun () -> bump_locked t)
+
+let bad t = bump_locked t (* BAD: LC003 *)

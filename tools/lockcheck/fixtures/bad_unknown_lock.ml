@@ -1,0 +1,3 @@
+(* Annotations must name declared locks. *)
+
+let f () = () [@@requires_lock no_such_lock] (* BAD: LC009 *)

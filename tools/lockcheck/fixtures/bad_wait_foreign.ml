@@ -1,0 +1,22 @@
+(* Condition.wait with the wrong mutex: the spec pairs [cond] with gm,
+   waiting with [other] held means the wakeup signal's mutex does not
+   protect the waited-for state. *)
+
+type t = {
+  gm : Mutex.t;
+  other : Mutex.t;
+  cond : Condition.t;
+  mutable ready : bool;
+}
+
+let bad t =
+  Mutex.protect t.other (fun () ->
+      while not t.ready do
+        Condition.wait t.cond t.other (* BAD: LC007 *)
+      done)
+
+let ok t =
+  Mutex.protect t.gm (fun () ->
+      while not t.ready do
+        Condition.wait t.cond t.gm
+      done)

@@ -1,0 +1,27 @@
+; Spec for the analyzer fixture suite. Small on purpose: just enough
+; declared locks to exercise every rule class.
+
+(locks
+ (gm (fields gm))
+ (io_mutex (fields io_mutex))
+ (cm (fields cm))
+ (a (fields a))
+ (b (fields b))
+ (other (fields other)))
+
+(order
+ (a b))
+
+(no_block_while_holding gm cm)
+
+(blocking
+ (calls Unix.sleepf)
+ (fields w_append w_fsync))
+
+(condvars
+ ((field gcond) (module Good_group_commit) (lock gm))
+ ((field cond) (module Bad_wait_foreign) (lock gm)))
+
+(atomics_allowed Good_group_commit)
+
+(allow_bare Good_group_commit.lead_round)

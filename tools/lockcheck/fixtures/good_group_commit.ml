@@ -1,0 +1,60 @@
+(* Positive fixture: the gm/io_mutex group-commit protocol as the real
+   Wal_writer implements it.  The leader drops gm around the
+   accumulation sleep and around the IO (which runs under io_mutex),
+   riders park on gcond.  Must produce zero diagnostics; also compiled
+   with -bin-annot by the test rules to exercise --cmt mode. *)
+
+type w = { w_append : string -> unit; w_fsync : unit -> unit }
+
+type t = {
+  gm : Mutex.t;
+  gcond : Condition.t;
+  io_mutex : Mutex.t;
+  writer : w;
+  gpending : string Queue.t;
+  mutable gleader : bool;
+  mutable gdurable : int;
+  mutable gnext : int;
+}
+
+let lead_round t =
+  t.gleader <- true;
+  Mutex.unlock t.gm;
+  Unix.sleepf 0.0001;
+  Mutex.lock t.gm;
+  let batch = ref [] in
+  while not (Queue.is_empty t.gpending) do
+    batch := Queue.pop t.gpending :: !batch
+  done;
+  let durable_upto = t.gnext - 1 in
+  Mutex.unlock t.gm;
+  (match !batch with
+  | [] -> ()
+  | payloads ->
+      Mutex.lock t.io_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.io_mutex)
+        (fun () ->
+          List.iter (fun p -> t.writer.w_append p) payloads;
+          t.writer.w_fsync ()));
+  Mutex.lock t.gm;
+  t.gdurable <- durable_upto;
+  t.gleader <- false;
+  Condition.broadcast t.gcond
+[@@requires_lock gm] [@@drops_lock gm]
+
+let append t payload =
+  Mutex.lock t.gm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.gm)
+    (fun () ->
+      let my = t.gnext in
+      t.gnext <- my + 1;
+      Queue.push payload t.gpending;
+      let rec wait_durable () =
+        if t.gdurable < my then begin
+          if t.gleader then Condition.wait t.gcond t.gm else lead_round t;
+          wait_durable ()
+        end
+      in
+      wait_durable ())

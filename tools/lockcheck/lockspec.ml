@@ -1,0 +1,220 @@
+(* The checked-in lock-discipline spec (lockspec.sexp): the declared
+   locks, the global acquisition partial order, the blocking blacklist,
+   condition-variable associations, the Atomic/Domain allowlist, the
+   hand-over-hand functions permitted to use bare Mutex.lock, and the
+   with-style wrappers the analyzer interprets.
+
+   The spec is DATA, reviewed like code: adding a mutex to the system
+   means adding a lock declaration and its order edges here. *)
+
+module SS = Set.Make (String)
+
+exception Spec_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Spec_error s)) fmt
+
+type lock_decl = {
+  l_name : string;
+  l_fields : string list;  (* record-field names denoting this lock *)
+  l_vars : string list;    (* plain variable names denoting this lock *)
+  l_modules : string list; (* restrict matching to these modules; [] = any *)
+}
+
+type wrapper = {
+  w_name : string;          (* function name, e.g. "protect" *)
+  w_module : string option; (* module the qualified call or definition lives in *)
+  w_lock_arg : int option;  (* 1-based positional argument holding the lock expr *)
+  w_lock : string option;   (* or: a fixed lock name *)
+  w_shared : bool;          (* acquires in shared (reader) mode *)
+}
+
+type condvar = {
+  c_field : string;         (* condvar record-field name *)
+  c_module : string option;
+  c_lock : string;          (* the one mutex this condvar may be waited on with *)
+}
+
+type t = {
+  locks : lock_decl list;
+  order_edges : (string * string) list;
+  order_closure : (string, SS.t) Hashtbl.t; (* a -> every lock allowed under a *)
+  no_block : SS.t;       (* locks that must never be held across blocking calls *)
+  blocking_calls : SS.t; (* dotted function names, e.g. Unix.sleepf *)
+  blocking_fields : SS.t;(* record fields whose application blocks (Env IO) *)
+  condvars : condvar list;
+  atomics_modules : SS.t;(* modules allowed to touch Atomic./Domain. *)
+  allow_bare : SS.t;     (* "Module.fn" allowed to use bare Mutex.lock/unlock *)
+  wrappers : wrapper list;
+}
+
+let lock_names spec = List.map (fun l -> l.l_name) spec.locks
+
+let find_lock_decl spec name =
+  List.find_opt (fun l -> l.l_name = name) spec.locks
+
+(* a may be held while acquiring b *)
+let order_allows spec a b =
+  match Hashtbl.find_opt spec.order_closure a with
+  | Some set -> SS.mem b set
+  | None -> false
+
+(* ---------- parsing ---------- *)
+
+let atom = function
+  | Sexp.Atom a -> a
+  | Sexp.List _ -> err "expected atom, found list"
+
+let atoms = List.map atom
+
+let parse_lock = function
+  | Sexp.List (Sexp.Atom name :: props) ->
+      let fields = ref [] and vars = ref [] and modules = ref [] in
+      List.iter
+        (function
+          | Sexp.List (Sexp.Atom "fields" :: xs) -> fields := atoms xs
+          | Sexp.List (Sexp.Atom "vars" :: xs) -> vars := atoms xs
+          | Sexp.List (Sexp.Atom "modules" :: xs) -> modules := atoms xs
+          | s -> err "lock %s: bad property %s" name (match s with Sexp.List (Sexp.Atom p :: _) -> p | _ -> "?"))
+        props;
+      { l_name = name; l_fields = !fields; l_vars = !vars; l_modules = !modules }
+  | _ -> err "bad lock declaration"
+
+let parse_wrapper = function
+  | Sexp.List (Sexp.Atom qname :: props) ->
+      let w_module, w_name =
+        match String.rindex_opt qname '.' with
+        | Some i ->
+            ( Some (String.sub qname 0 i),
+              String.sub qname (i + 1) (String.length qname - i - 1) )
+        | None -> (None, qname)
+      in
+      let lock_arg = ref None and lock = ref None and shared = ref false in
+      List.iter
+        (function
+          | Sexp.List [ Sexp.Atom "lock_arg"; Sexp.Atom n ] ->
+              lock_arg := Some (int_of_string n)
+          | Sexp.List [ Sexp.Atom "lock"; Sexp.Atom l ] -> lock := Some l
+          | Sexp.Atom "shared" -> shared := true
+          | _ -> err "wrapper %s: bad property" qname)
+        props;
+      {
+        w_name;
+        w_module;
+        w_lock_arg = !lock_arg;
+        w_lock = !lock;
+        w_shared = !shared;
+      }
+  | _ -> err "bad wrapper declaration"
+
+let parse_condvar = function
+  | Sexp.List props ->
+      let field = ref None and m = ref None and lock = ref None in
+      List.iter
+        (function
+          | Sexp.List [ Sexp.Atom "field"; Sexp.Atom f ] -> field := Some f
+          | Sexp.List [ Sexp.Atom "module"; Sexp.Atom x ] -> m := Some x
+          | Sexp.List [ Sexp.Atom "lock"; Sexp.Atom l ] -> lock := Some l
+          | _ -> err "bad condvar property")
+        props;
+      (match (!field, !lock) with
+      | Some f, Some l -> { c_field = f; c_module = !m; c_lock = l }
+      | _ -> err "condvar needs (field ...) and (lock ...)")
+  | _ -> err "bad condvar declaration"
+
+(* Transitive closure over the declared edges; a cycle in the declared
+   order is itself a spec error (the relation must be a partial order). *)
+let close_order locks edges =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace tbl l SS.empty) locks;
+  List.iter
+    (fun (a, b) ->
+      if not (List.mem a locks) then err "order edge refers to unknown lock %s" a;
+      if not (List.mem b locks) then err "order edge refers to unknown lock %s" b;
+      Hashtbl.replace tbl a (SS.add b (Hashtbl.find tbl a)))
+    edges;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun a succ ->
+        let bigger =
+          SS.fold
+            (fun b acc ->
+              match Hashtbl.find_opt tbl b with
+              | Some sb -> SS.union acc sb
+              | None -> acc)
+            succ succ
+        in
+        if not (SS.equal bigger succ) then begin
+          Hashtbl.replace tbl a bigger;
+          changed := true
+        end)
+      tbl
+  done;
+  Hashtbl.iter
+    (fun a succ ->
+      if SS.mem a succ then err "lock order cycle through %s" a)
+    tbl;
+  tbl
+
+let load path =
+  let forms = Sexp.parse_file path in
+  let locks = ref [] and edges = ref [] and no_block = ref [] in
+  let bcalls = ref [] and bfields = ref [] in
+  let condvars = ref [] and atomics = ref [] and bare = ref [] in
+  let wrappers = ref [] in
+  List.iter
+    (function
+      | Sexp.List (Sexp.Atom "locks" :: xs) ->
+          locks := !locks @ List.map parse_lock xs
+      | Sexp.List (Sexp.Atom "order" :: xs) ->
+          List.iter
+            (function
+              | Sexp.List [ Sexp.Atom a; Sexp.Atom b ] ->
+                  edges := (a, b) :: !edges
+              | _ -> err "order edges are (before after) pairs")
+            xs
+      | Sexp.List (Sexp.Atom "no_block_while_holding" :: xs) ->
+          no_block := !no_block @ atoms xs
+      | Sexp.List (Sexp.Atom "blocking" :: xs) ->
+          List.iter
+            (function
+              | Sexp.List (Sexp.Atom "calls" :: cs) -> bcalls := !bcalls @ atoms cs
+              | Sexp.List (Sexp.Atom "fields" :: fs) ->
+                  bfields := !bfields @ atoms fs
+              | _ -> err "blocking takes (calls ...) and (fields ...)")
+            xs
+      | Sexp.List (Sexp.Atom "condvars" :: xs) ->
+          condvars := !condvars @ List.map parse_condvar xs
+      | Sexp.List (Sexp.Atom "atomics_allowed" :: xs) ->
+          atomics := !atomics @ atoms xs
+      | Sexp.List (Sexp.Atom "allow_bare" :: xs) -> bare := !bare @ atoms xs
+      | Sexp.List (Sexp.Atom "wrappers" :: xs) ->
+          wrappers := !wrappers @ List.map parse_wrapper xs
+      | Sexp.List (Sexp.Atom kw :: _) -> err "unknown spec section %s" kw
+      | _ -> err "top-level spec forms must be lists")
+    forms;
+  let lock_list = !locks in
+  let names = List.map (fun l -> l.l_name) lock_list in
+  List.iter
+    (fun n ->
+      if not (List.mem n names) then
+        err "no_block_while_holding refers to unknown lock %s" n)
+    !no_block;
+  List.iter
+    (fun (c : condvar) ->
+      if not (List.mem c.c_lock names) then
+        err "condvar refers to unknown lock %s" c.c_lock)
+    !condvars;
+  {
+    locks = lock_list;
+    order_edges = List.rev !edges;
+    order_closure = close_order names (List.rev !edges);
+    no_block = SS.of_list !no_block;
+    blocking_calls = SS.of_list !bcalls;
+    blocking_fields = SS.of_list !bfields;
+    condvars = !condvars;
+    atomics_modules = SS.of_list !atomics;
+    allow_bare = SS.of_list !bare;
+    wrappers = !wrappers;
+  }

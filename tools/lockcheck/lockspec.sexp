@@ -1,0 +1,118 @@
+; Lock-discipline spec for the store. Reviewed like code: adding a mutex
+; to the system means declaring it here, placing it in the order, and
+; deciding whether blocking is allowed under it. DESIGN.md §15 explains
+; the model; tools/lockcheck enforces it via `dune build @lint`.
+
+(locks
+ ; group-commit WAL: gm guards the group state, io_mutex the drain/write
+ ; path; the leader drops gm before touching io_mutex, so the two are
+ ; never nested gm-over-IO.
+ (gm (fields gm) (modules Wal_writer))
+ (io_mutex (fields io_mutex) (modules Wal_writer))
+ ; store-wide shared/exclusive lock (readers+writers shared, rotation
+ ; and install exclusive)
+ (lock (fields lock) (modules Store Store_state Maintenance_hooks Sharded_store))
+ ; serializes version installs + manifest saves
+ (install (fields install) (modules Store Store_state Maintenance_hooks))
+ ; serializes close/simulate_crash against each other
+ (close_mutex (fields close_mutex) (modules Store Sharded_store))
+ ; compaction claim state
+ (cm (fields cm) (modules Store Store_state Maintenance_hooks))
+ ; self-healing (quarantine/scrub) state
+ (hm (fields hm) (modules Store Store_state Maintenance_hooks))
+ ; scheduler start/stop lifecycle
+ (lifecycle (fields lifecycle) (modules Scheduler))
+ ; maintenance wakeup condvar's mutex
+ (wakeup (fields mutex) (modules Wakeup))
+ ; block-cache shard mutex (never held across a table fill)
+ (cache_shard (fields mutex) (modules Cache))
+ ; snapshot registry
+ (registry (fields mutex) (modules Snapshot_registry))
+ ; COW memtable writer mutex
+ (write_mutex (fields write_mutex) (modules Cow_memtable))
+ ; sharded router batch lock (shared per-op, exclusive for batches/snaps)
+ (batch_lock (fields batch_lock) (modules Sharded_store))
+ ; LevelDB-style baseline: global db mutex + background maintenance mutex
+ (ldb_mutex (fields mutex) (modules Single_writer_store))
+ (ldb_maintenance (fields maintenance) (modules Single_writer_store))
+ ; striped-RMW baseline stripe mutex (bound to m in with_stripe)
+ (stripe (vars m) (modules Striped_rmw)))
+
+; (a b) = a may already be held when b is acquired. The checker takes
+; the transitive closure and rejects any acquisition outside it, and
+; rejects cycles in this declaration itself.
+(order
+ (close_mutex install)
+ (close_mutex lifecycle)
+ (close_mutex gm)
+ (close_mutex io_mutex)
+ (close_mutex lock)
+ (batch_lock lock)
+ (install lock)
+ (install hm)
+ (lock gm)
+ (lock io_mutex)
+ (lock cache_shard)
+ (lock hm)
+ (lock registry)
+ (lock wakeup)
+ (cm hm)
+ (lifecycle wakeup)
+ (stripe ldb_mutex)
+ (stripe ldb_maintenance)
+ (stripe cache_shard)
+ (ldb_maintenance ldb_mutex)
+ ; LevelDB-style baseline holds its global mutex across WAL appends and
+ ; its maintenance mutex across flush/compaction IO — by design; the
+ ; figure-9 comparison measures exactly that serialization.
+ (ldb_mutex gm)
+ (ldb_mutex io_mutex)
+ (ldb_maintenance gm)
+ (ldb_maintenance io_mutex)
+ (ldb_maintenance cache_shard))
+
+; Short-hold locks: no Env IO, sleeping, or joining while holding one.
+; Deliberately absent: lock (write_batch does WAL IO under the exclusive
+; store lock by design), install/io_mutex/ldb_* (IO under them is the
+; point), lifecycle (stop joins domains), close_mutex, stripe.
+(no_block_while_holding gm cm hm cache_shard registry wakeup write_mutex)
+
+(blocking
+ (calls Unix.sleep Unix.sleepf Unix.select Domain.join Thread.join
+        Thread.delay)
+ ; Env record fields: every IO the store performs goes through these.
+ (fields w_append w_fsync rf_read create_writer open_random read_file
+         rename remove mkdir list_dir))
+
+; Each condition variable is waited on with exactly one mutex.
+(condvars
+ ((field gcond) (module Wal_writer) (lock gm))
+ ((field cond) (module Cache) (lock cache_shard))
+ ((field cond) (module Wakeup) (lock wakeup)))
+
+; Modules allowed to touch Atomic/Domain directly. Anything else must
+; build on these primitives.
+(atomics_allowed
+ Active_set Backoff Backpressure Broken_store Cache Cow_memtable Driver
+ Event_buffer History Key_dist Maintenance_hooks Memtable
+ Monotonic_counter Mpmc_queue Rcu_box Recovery Refcounted Scheduler
+ Shared_lock Sharded_store Single_writer_store Skiplist Stats Store
+ Store_state Stress Table Table_file)
+
+; Hand-over-hand protocols that legitimately use bare Mutex.lock:
+; the group-commit leader (drops gm around IO, re-locks to distribute
+; results) and the cache fill protocol (shard mutex released across the
+; fill, re-taken to install).
+(allow_bare Wal_writer.lead_round_locked Cache.acquire_or_add)
+
+; with-style wrappers the checker interprets: the lambda argument is
+; analyzed with the wrapper's lock held.
+(wrappers
+ (Cache.with_locked (lock cache_shard))
+ (Cache.with_shard_locked (lock cache_shard))
+ (Shared_lock.with_shared (lock_arg 1) shared)
+ (Shared_lock.with_exclusive (lock_arg 1))
+ (Snapshot_registry.with_lock (lock registry))
+ (Cow_memtable.locked (lock write_mutex))
+ (Single_writer_store.with_mutex (lock ldb_mutex))
+ (Striped_rmw.with_stripe (lock stripe)))

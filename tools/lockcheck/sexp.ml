@@ -1,0 +1,82 @@
+(* A tiny s-expression reader for lockspec files. sexplib is not a
+   dependency of this repo; the spec grammar needs nothing beyond atoms,
+   lists and line comments. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let parse_string src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | Some ';' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done;
+        skip_ws ()
+    | _ -> ()
+  in
+  let is_delim c =
+    match c with
+    | '(' | ')' | ' ' | '\t' | '\n' | '\r' | ';' | '"' -> true
+    | _ -> false
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+        incr pos;
+        parse_list []
+    | Some ')' -> raise (Parse_error "unexpected ')'")
+    | Some '"' ->
+        incr pos;
+        let b = Buffer.create 16 in
+        let rec quoted () =
+          if !pos >= n then raise (Parse_error "unterminated string");
+          match src.[!pos] with
+          | '"' ->
+              incr pos;
+              Buffer.contents b
+          | '\\' when !pos + 1 < n ->
+              Buffer.add_char b src.[!pos + 1];
+              pos := !pos + 2;
+              quoted ()
+          | c ->
+              Buffer.add_char b c;
+              incr pos;
+              quoted ()
+        in
+        Atom (quoted ())
+    | Some _ ->
+        let start = !pos in
+        while !pos < n && not (is_delim src.[!pos]) do
+          incr pos
+        done;
+        Atom (String.sub src start (!pos - start))
+  and parse_list acc =
+    skip_ws ();
+    match peek () with
+    | Some ')' ->
+        incr pos;
+        List (List.rev acc)
+    | None -> raise (Parse_error "unterminated list")
+    | _ -> parse_list (parse_one () :: acc)
+  in
+  let rec top acc =
+    skip_ws ();
+    if !pos >= n then List.rev acc else top (parse_one () :: acc)
+  in
+  top []
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,118 @@
+(* Fixture harness for the lockcheck analyzer.
+
+   Each fixture under ../fixtures marks its expected diagnostics with an
+   end-of-line comment [(* BAD: LCxxx *)].  We run the analyzer over all
+   fixtures with the fixture spec and require the produced set of
+   (file, line, code) to match the marked set exactly, in both
+   directions: a missed marker means a rule stopped firing, an unmarked
+   diagnostic means a false positive crept in. *)
+
+module SS = Set.Make (struct
+  type t = string * int * string
+
+  let compare = compare
+end)
+
+let read_lines file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let marker = "(* BAD: "
+
+let expected_of_file file =
+  List.concat
+    (List.mapi
+       (fun i line ->
+         let rec find acc from =
+           match
+             if from > String.length line - String.length marker then None
+             else
+               let idx = ref None in
+               (try
+                  for j = from to String.length line - String.length marker do
+                    if String.sub line j (String.length marker) = marker then begin
+                      idx := Some j;
+                      raise Exit
+                    end
+                  done
+                with Exit -> ());
+               !idx
+           with
+           | None -> acc
+           | Some j ->
+               let start = j + String.length marker in
+               let fin = ref start in
+               while
+                 !fin < String.length line
+                 && line.[!fin] <> ' '
+                 && line.[!fin] <> '*'
+               do
+                 incr fin
+               done;
+               let code = String.sub line start (!fin - start) in
+               find ((file, i + 1, code) :: acc) (start + 1)
+         in
+         find [] 0)
+       (read_lines file))
+
+let parse_source file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf file;
+      Parse.implementation lexbuf)
+
+let () =
+  let spec_path = ref "" in
+  let files = ref [] in
+  Arg.parse
+    [ ("--spec", Arg.Set_string spec_path, "PATH fixture lock spec") ]
+    (fun f -> files := f :: !files)
+    "run_fixtures --spec SPEC fixture.ml ...";
+  let files = List.sort String.compare !files in
+  if !spec_path = "" || files = [] then begin
+    prerr_endline "run_fixtures: need --spec and at least one fixture";
+    exit 2
+  end;
+  let spec = Lockspec.load !spec_path in
+  let expected =
+    SS.of_list (List.concat_map expected_of_file files)
+  in
+  let units = List.map (fun f -> (f, parse_source f)) files in
+  let diags = Analyze.run spec units in
+  let actual =
+    SS.of_list
+      (List.map (fun d -> (d.Diag.file, d.Diag.line, d.Diag.code)) diags)
+  in
+  let missed = SS.diff expected actual in
+  let spurious = SS.diff actual expected in
+  SS.iter
+    (fun (f, l, c) ->
+      Printf.printf "MISSED: %s:%d: expected %s, analyzer silent\n" f l c)
+    missed;
+  SS.iter
+    (fun (f, l, c) ->
+      let msg =
+        match
+          List.find_opt
+            (fun d -> d.Diag.file = f && d.Diag.line = l && d.Diag.code = c)
+            diags
+        with
+        | Some d -> d.Diag.msg
+        | None -> ""
+      in
+      Printf.printf "SPURIOUS: %s:%d: unexpected %s %s\n" f l c msg)
+    spurious;
+  if not (SS.is_empty missed && SS.is_empty spurious) then exit 1;
+  Printf.printf "fixtures OK: %d expected diagnostics matched across %d files\n"
+    (SS.cardinal expected) (List.length files)
